@@ -1,0 +1,77 @@
+"""Scalability: end-to-end throughput of the full pipeline.
+
+Not a paper table -- an engineering benchmark showing the study scales
+linearly in corpus size and quantifying per-app cost, plus bootstrap
+confidence intervals around the reproduced Table IV metrics (the
+paper's point estimates sit inside them).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.checker import PPChecker
+from repro.core.metrics import bootstrap_interval, wilson_interval
+from repro.core.study import run_study
+from repro.corpus.appstore import generate_app_store
+
+
+def test_throughput_scaling(benchmark, store):
+    checker = PPChecker(lib_policy_source=store.lib_policy)
+
+    def run_100():
+        return run_study(store, checker=PPChecker(
+            lib_policy_source=store.lib_policy
+        ), limit=100)
+
+    benchmark(run_100)
+
+    print("\nScalability: study wall time by corpus size")
+    print(f"{'apps':>6} {'seconds':>9} {'apps/sec':>9}")
+    timings = []
+    for size in (100, 300, 600, 1197):
+        local = PPChecker(lib_policy_source=store.lib_policy)
+        start = time.perf_counter()
+        run_study(store, checker=local, limit=size)
+        elapsed = time.perf_counter() - start
+        timings.append((size, elapsed))
+        print(f"{size:>6} {elapsed:>9.2f} {size / elapsed:>9.0f}")
+
+    # roughly linear: doubling size should not much more than double
+    # the time (allow 3x headroom for noise)
+    per_app = [elapsed / size for size, elapsed in timings]
+    assert max(per_app) <= 3 * min(per_app)
+
+
+def test_confidence_intervals(benchmark, study):
+    """Bootstrap CIs around Table IV; paper values must fall inside."""
+    rows = study.table4()
+    sample_outcomes = [(True, True)] * 41 + [(True, False)] * 5
+    benchmark(lambda: bootstrap_interval(sample_outcomes,
+                                         metric="precision"))
+
+    print("\nTable IV with 95% bootstrap confidence intervals")
+    paper = {
+        "collect_use_retain": {"precision": 0.891, "recall": 0.917},
+        "disclose": {"precision": 0.907, "recall": 0.923},
+    }
+    for name, row in rows.items():
+        outcomes = (
+            [(True, True)] * row.tp + [(True, False)] * row.fp
+            + [(False, True)] * row.fn
+        )
+        for metric in ("precision", "recall"):
+            interval = bootstrap_interval(outcomes, metric=metric)
+            inside = interval.contains(paper[name][metric])
+            print(f"  {name:<20} {metric:<10} {interval}   "
+                  f"paper {paper[name][metric]:.3f} "
+                  f"{'inside' if inside else 'OUTSIDE'}")
+            assert inside, (name, metric)
+
+    fraction = wilson_interval(
+        study.summary()["problem_apps"], study.summary()["apps"]
+    )
+    print(f"  problem fraction {fraction} (paper 0.236)")
+    assert fraction.contains(0.236)

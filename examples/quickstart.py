@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: check one app's privacy policy with PPChecker.
+
+Builds a small app in memory -- an activity that reads GPS coordinates
+and logs the contact list -- pairs it with a privacy policy and a
+Play-store description, and runs all three detectors.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AndroidManifest, Apk, AppBundle, Component, PPChecker
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+
+PACKAGE = "com.example.quickstart"
+
+POLICY = """
+<html><body>
+<h1>Privacy Policy</h1>
+<p>When you use the app, we may collect your email address.</p>
+<p>We may share anonymous usage statistics with our partners.</p>
+<p>We will not store your contacts.</p>
+</body></html>
+"""
+
+DESCRIPTION = (
+    "The app uses gps to tag every note with your position. "
+    "Syncs seamlessly across devices."
+)
+
+
+def build_apk() -> Apk:
+    """An app that collects location and writes contacts to the log."""
+    dex = DexFile()
+
+    activity = DexClass(name=f"{PACKAGE}.MainActivity",
+                        superclass="android.app.Activity")
+    on_create = Method(class_name=f"{PACKAGE}.MainActivity",
+                       name="onCreate", params=("savedInstanceState",))
+    on_create.instructions = [
+        # collect precise location
+        Instruction(op="invoke", dest="v0",
+                    target="android.location.Location->getLatitude()"),
+        # query the contacts provider ...
+        Instruction(op="const-string", dest="v1",
+                    literal="content://contacts"),
+        Instruction(op="invoke", dest="v2",
+                    target="android.net.Uri->parse(uriString)",
+                    args=("v1",)),
+        Instruction(op="invoke", dest="v3",
+                    target="android.content.ContentResolver->query(uri,"
+                           "projection,selection,selectionArgs,sortOrder)",
+                    args=("v2",)),
+        # ... and retain the result in the log
+        Instruction(op="const-string", dest="v4", literal="TAG"),
+        Instruction(op="invoke",
+                    target="android.util.Log->i(tag,msg)",
+                    args=("v4", "v3")),
+        Instruction(op="return"),
+    ]
+    activity.add_method(on_create)
+    dex.add_class(activity)
+
+    manifest = AndroidManifest(
+        package=PACKAGE,
+        permissions={
+            "android.permission.ACCESS_FINE_LOCATION",
+            "android.permission.READ_CONTACTS",
+            "android.permission.INTERNET",
+        },
+    )
+    manifest.add_component(Component(name=f"{PACKAGE}.MainActivity",
+                                     kind="activity"))
+    return Apk(manifest=manifest, dex=dex)
+
+
+def main() -> None:
+    checker = PPChecker()
+    bundle = AppBundle(
+        package=PACKAGE,
+        apk=build_apk(),
+        policy=POLICY,
+        description=DESCRIPTION,
+        policy_is_html=True,
+    )
+    report = checker.check(bundle)
+
+    print(report.summary())
+    print()
+    print("Expected findings:")
+    print(" - INCOMPLETE: the policy never mentions location, although")
+    print("   both the description ('uses gps') and the bytecode")
+    print("   (getLatitude) show the app collects it.")
+    print(" - INCOMPLETE (retained): contacts are queried and logged,")
+    print("   but only denied -- never positively covered.")
+    print(" - INCORRECT: the policy says 'we will not store your")
+    print("   contacts', yet there is a taint path from the contacts")
+    print("   query to Log.i().")
+
+
+if __name__ == "__main__":
+    main()

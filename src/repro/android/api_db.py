@@ -1,0 +1,354 @@
+"""Sensitive API / URI / sink database (Section III-C.2 and III-C.3).
+
+The paper selects **68 sensitive APIs** covering device ID, IP address,
+cookie, location, account, contact, calendar, telephone number,
+camera, audio, and app list, plus **12 content-provider URI strings**
+and **615 URI fields** from the PScout data set, and a sink list (log,
+file, network, SMS, Bluetooth).
+
+The API table below is hand-curated to the same 68-entry size and the
+same information coverage.  The 615 URI fields are reproduced
+programmatically: PScout's list is a per-provider enumeration of
+``CONTENT_URI``-typed fields; we embed the well-known fields literally
+and synthesize the remaining per-table sub-URIs deterministically so
+the lookup surface (field -> permission -> information) behaves like
+the original.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.resources import InfoType
+
+# ---------------------------------------------------------------------------
+# 68 sensitive APIs: signature -> information type
+# ---------------------------------------------------------------------------
+
+SENSITIVE_APIS: dict[str, InfoType] = {
+    # location (12)
+    "android.location.LocationManager->getLastKnownLocation(provider)": InfoType.LOCATION,
+    "android.location.LocationManager->requestLocationUpdates(provider,minTime,minDistance,listener)": InfoType.LOCATION,
+    "android.location.LocationManager->requestSingleUpdate(provider,listener,looper)": InfoType.LOCATION,
+    "android.location.LocationManager->getBestProvider(criteria,enabledOnly)": InfoType.LOCATION,
+    "android.location.LocationManager->addGpsStatusListener(listener)": InfoType.LOCATION,
+    "android.location.Location->getLatitude()": InfoType.LOCATION,
+    "android.location.Location->getLongitude()": InfoType.LOCATION,
+    "android.location.Location->getAltitude()": InfoType.LOCATION,
+    "android.location.Location->getAccuracy()": InfoType.LOCATION,
+    "android.location.Location->getSpeed()": InfoType.LOCATION,
+    "android.telephony.TelephonyManager->getCellLocation()": InfoType.LOCATION,
+    "com.google.android.gms.location.FusedLocationProviderApi->getLastLocation(client)": InfoType.LOCATION,
+    # device ID (10)
+    "android.telephony.TelephonyManager->getDeviceId()": InfoType.DEVICE_ID,
+    "android.telephony.TelephonyManager->getImei()": InfoType.DEVICE_ID,
+    "android.telephony.TelephonyManager->getMeid()": InfoType.DEVICE_ID,
+    "android.telephony.TelephonyManager->getSubscriberId()": InfoType.DEVICE_ID,
+    "android.telephony.TelephonyManager->getSimSerialNumber()": InfoType.DEVICE_ID,
+    "android.provider.Settings$Secure->getString(resolver,ANDROID_ID)": InfoType.DEVICE_ID,
+    "android.os.Build->getSerial()": InfoType.DEVICE_ID,
+    "android.net.wifi.WifiInfo->getMacAddress()": InfoType.DEVICE_ID,
+    "android.bluetooth.BluetoothAdapter->getAddress()": InfoType.DEVICE_ID,
+    "com.google.android.gms.ads.identifier.AdvertisingIdClient->getAdvertisingIdInfo(context)": InfoType.DEVICE_ID,
+    # telephone number (4)
+    "android.telephony.TelephonyManager->getLine1Number()": InfoType.PHONE_NUMBER,
+    "android.telephony.TelephonyManager->getVoiceMailNumber()": InfoType.PHONE_NUMBER,
+    "android.telephony.SmsMessage->getOriginatingAddress()": InfoType.PHONE_NUMBER,
+    "android.provider.CallLog$Calls->getLastOutgoingCall(context)": InfoType.PHONE_NUMBER,
+    # IP address (4)
+    "android.net.wifi.WifiInfo->getIpAddress()": InfoType.IP_ADDRESS,
+    "java.net.NetworkInterface->getInetAddresses()": InfoType.IP_ADDRESS,
+    "java.net.InetAddress->getHostAddress()": InfoType.IP_ADDRESS,
+    "android.net.ConnectivityManager->getActiveNetworkInfo()": InfoType.IP_ADDRESS,
+    # cookie (4)
+    "android.webkit.CookieManager->getCookie(url)": InfoType.COOKIE,
+    "java.net.CookieStore->getCookies()": InfoType.COOKIE,
+    "java.net.HttpCookie->getValue()": InfoType.COOKIE,
+    "org.apache.http.client.CookieStore->getCookies()": InfoType.COOKIE,
+    # account (5)
+    "android.accounts.AccountManager->getAccounts()": InfoType.ACCOUNT,
+    "android.accounts.AccountManager->getAccountsByType(type)": InfoType.ACCOUNT,
+    "android.accounts.AccountManager->getAuthToken(account,authTokenType,options,activity,callback,handler)": InfoType.ACCOUNT,
+    "android.accounts.AccountManager->getUserData(account,key)": InfoType.ACCOUNT,
+    "android.accounts.AccountManager->getPassword(account)": InfoType.ACCOUNT,
+    # contact (3; bulk contact access goes through URIs)
+    "android.provider.ContactsContract$Contacts->getLookupUri(resolver,contentUri)": InfoType.CONTACT,
+    "android.provider.ContactsContract$PhoneLookup->lookup(resolver,number)": InfoType.CONTACT,
+    "android.app.Activity->managedQuery(uri,projection,selection,selectionArgs,sortOrder)": InfoType.CONTACT,
+    # calendar (2; bulk calendar access goes through URIs)
+    "android.provider.CalendarContract$Instances->query(resolver,projection,begin,end)": InfoType.CALENDAR,
+    "android.provider.CalendarContract$Events->query(resolver)": InfoType.CALENDAR,
+    # camera (6)
+    "android.hardware.Camera->open()": InfoType.CAMERA,
+    "android.hardware.Camera->open(cameraId)": InfoType.CAMERA,
+    "android.hardware.Camera->takePicture(shutter,raw,jpeg)": InfoType.CAMERA,
+    "android.hardware.camera2.CameraManager->openCamera(cameraId,callback,handler)": InfoType.CAMERA,
+    "android.media.MediaRecorder->setVideoSource(source)": InfoType.CAMERA,
+    "android.view.SurfaceView->getHolder()": InfoType.CAMERA,
+    # audio (6)
+    "android.media.MediaRecorder->setAudioSource(source)": InfoType.AUDIO,
+    "android.media.MediaRecorder->start()": InfoType.AUDIO,
+    "android.media.AudioRecord-><init>(audioSource,sampleRate,channelConfig,audioFormat,bufferSize)": InfoType.AUDIO,
+    "android.media.AudioRecord->startRecording()": InfoType.AUDIO,
+    "android.media.AudioRecord->read(audioData,offset,size)": InfoType.AUDIO,
+    "android.speech.SpeechRecognizer->startListening(intent)": InfoType.AUDIO,
+    # app list (6)
+    "android.content.pm.PackageManager->getInstalledPackages(flags)": InfoType.APP_LIST,
+    "android.content.pm.PackageManager->getInstalledApplications(flags)": InfoType.APP_LIST,
+    "android.content.pm.PackageManager->queryIntentActivities(intent,flags)": InfoType.APP_LIST,
+    "android.app.ActivityManager->getRunningAppProcesses()": InfoType.APP_LIST,
+    "android.app.ActivityManager->getRunningTasks(maxNum)": InfoType.APP_LIST,
+    "android.app.ActivityManager->getRecentTasks(maxNum,flags)": InfoType.APP_LIST,
+    # SMS (4)
+    "android.telephony.SmsMessage->getMessageBody()": InfoType.SMS,
+    "android.telephony.SmsMessage->getDisplayMessageBody()": InfoType.SMS,
+    "android.telephony.SmsMessage->createFromPdu(pdu)": InfoType.SMS,
+    "android.telephony.gsm.SmsMessage->getMessageBody()": InfoType.SMS,
+    # browser history (2)
+    "android.webkit.WebBackForwardList->getItemAtIndex(index)": InfoType.BROWSER_HISTORY,
+    "android.webkit.WebView->copyBackForwardList()": InfoType.BROWSER_HISTORY,
+}
+
+#: Permission an API call needs (Alg. 2's permission gate).
+API_PERMISSIONS: dict[str, str] = {}
+for _sig, _info in SENSITIVE_APIS.items():
+    if _info is InfoType.LOCATION:
+        API_PERMISSIONS[_sig] = "android.permission.ACCESS_FINE_LOCATION"
+    elif _info in (InfoType.DEVICE_ID, InfoType.PHONE_NUMBER):
+        API_PERMISSIONS[_sig] = "android.permission.READ_PHONE_STATE"
+    elif _info is InfoType.ACCOUNT:
+        API_PERMISSIONS[_sig] = "android.permission.GET_ACCOUNTS"
+    elif _info is InfoType.CONTACT:
+        API_PERMISSIONS[_sig] = "android.permission.READ_CONTACTS"
+    elif _info is InfoType.CALENDAR:
+        API_PERMISSIONS[_sig] = "android.permission.READ_CALENDAR"
+    elif _info is InfoType.CAMERA:
+        API_PERMISSIONS[_sig] = "android.permission.CAMERA"
+    elif _info is InfoType.AUDIO:
+        API_PERMISSIONS[_sig] = "android.permission.RECORD_AUDIO"
+    elif _info is InfoType.SMS:
+        API_PERMISSIONS[_sig] = "android.permission.READ_SMS"
+    elif _info is InfoType.BROWSER_HISTORY:
+        API_PERMISSIONS[_sig] = (
+            "com.android.browser.permission.READ_HISTORY_BOOKMARKS"
+        )
+    # IP address, cookie, app list need no dangerous permission
+
+# ---------------------------------------------------------------------------
+# 12 content-provider URI strings
+# ---------------------------------------------------------------------------
+
+CONTENT_URIS: dict[str, InfoType] = {
+    "content://com.android.calendar": InfoType.CALENDAR,
+    "content://calendar": InfoType.CALENDAR,
+    "content://contacts": InfoType.CONTACT,
+    "content://com.android.contacts": InfoType.CONTACT,
+    "content://icc/adn": InfoType.CONTACT,
+    "content://sms": InfoType.SMS,
+    "content://mms": InfoType.SMS,
+    "content://call_log/calls": InfoType.PHONE_NUMBER,
+    "content://browser/bookmarks": InfoType.BROWSER_HISTORY,
+    "content://com.android.chrome.browser": InfoType.BROWSER_HISTORY,
+    "content://settings/secure": InfoType.DEVICE_ID,
+    "content://media/external/images": InfoType.CAMERA,
+}
+
+URI_PERMISSIONS: dict[str, str] = {
+    "content://com.android.calendar": "android.permission.READ_CALENDAR",
+    "content://calendar": "android.permission.READ_CALENDAR",
+    "content://contacts": "android.permission.READ_CONTACTS",
+    "content://com.android.contacts": "android.permission.READ_CONTACTS",
+    "content://icc/adn": "android.permission.READ_CONTACTS",
+    "content://sms": "android.permission.READ_SMS",
+    "content://mms": "android.permission.READ_SMS",
+    "content://call_log/calls": "android.permission.READ_CALL_LOG",
+    "content://browser/bookmarks":
+        "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+    "content://com.android.chrome.browser":
+        "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+    "content://settings/secure": "",
+    "content://media/external/images": "",
+}
+
+# ---------------------------------------------------------------------------
+# 615 URI fields (PScout substitute)
+# ---------------------------------------------------------------------------
+
+#: (provider class, permission, info, number of per-table sub-fields)
+_URI_FIELD_SPEC: tuple[tuple[str, str, InfoType, int], ...] = (
+    ("android.provider.ContactsContract",
+     "android.permission.READ_CONTACTS", InfoType.CONTACT, 170),
+    ("android.provider.CalendarContract",
+     "android.permission.READ_CALENDAR", InfoType.CALENDAR, 95),
+    ("android.provider.Telephony",
+     "android.permission.RECEIVE_SMS", InfoType.SMS, 120),
+    ("android.provider.CallLog",
+     "android.permission.READ_CALL_LOG", InfoType.PHONE_NUMBER, 40),
+    ("android.provider.Browser",
+     "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+     InfoType.BROWSER_HISTORY, 45),
+    ("android.provider.MediaStore",
+     "android.permission.CAMERA", InfoType.CAMERA, 80),
+    ("android.provider.Settings",
+     "", InfoType.DEVICE_ID, 35),
+    ("android.provider.UserDictionary",
+     "android.permission.READ_USER_DICTIONARY", InfoType.PERSON_NAME, 15),
+    ("android.provider.VoicemailContract",
+     "com.android.voicemail.permission.READ_VOICEMAIL",
+     InfoType.PHONE_NUMBER, 15),
+)
+
+_WELL_KNOWN_FIELDS: tuple[tuple[str, str, InfoType], ...] = (
+    ("<android.provider.ContactsContract$CommonDataKinds$Phone: "
+     "android.net.Uri CONTENT_URI>",
+     "android.permission.READ_CONTACTS", InfoType.CONTACT),
+    ("<android.provider.ContactsContract$Contacts: "
+     "android.net.Uri CONTENT_URI>",
+     "android.permission.READ_CONTACTS", InfoType.CONTACT),
+    ("<android.provider.Telephony$Sms: android.net.Uri CONTENT_URI>",
+     "android.permission.RECEIVE_SMS", InfoType.SMS),
+    ("<android.provider.CalendarContract$Events: "
+     "android.net.Uri CONTENT_URI>",
+     "android.permission.READ_CALENDAR", InfoType.CALENDAR),
+    ("<android.provider.CallLog$Calls: android.net.Uri CONTENT_URI>",
+     "android.permission.READ_CALL_LOG", InfoType.PHONE_NUMBER),
+)
+
+
+def _build_uri_fields() -> dict[str, tuple[str, InfoType]]:
+    fields: dict[str, tuple[str, InfoType]] = {}
+    for name, permission, info in _WELL_KNOWN_FIELDS:
+        fields[name] = (permission, info)
+    for provider, permission, info, count in _URI_FIELD_SPEC:
+        made = 0
+        table = 1
+        while made < count:
+            name = (
+                f"<{provider}$Table{table}: android.net.Uri CONTENT_URI>"
+            )
+            if name not in fields:
+                fields[name] = (permission, info)
+                made += 1
+            table += 1
+    # trim/extend to exactly 615 entries, matching PScout's count
+    target = 615
+    names = sorted(fields)
+    if len(names) > target:
+        for name in names[target:]:
+            del fields[name]
+    return fields
+
+
+#: field literal -> (permission, info); exactly 615 entries.
+URI_FIELDS: dict[str, tuple[str, InfoType]] = _build_uri_fields()
+
+# ---------------------------------------------------------------------------
+# Query functions and sinks
+# ---------------------------------------------------------------------------
+
+#: APIs that read a content provider given a URI argument.
+QUERY_APIS: frozenset[str] = frozenset({
+    "android.content.ContentResolver->query(uri,projection,selection,selectionArgs,sortOrder)",
+    "android.content.ContentResolver->query(uri,projection,selection,selectionArgs,sortOrder,cancellationSignal)",
+    "android.app.Activity->managedQuery(uri,projection,selection,selectionArgs,sortOrder)",
+    "android.content.ContentProviderClient->query(uri,projection,selection,selectionArgs,sortOrder)",
+})
+
+#: android.net.Uri.parse -- the bridge from string constants to URIs.
+URI_PARSE_API = "android.net.Uri->parse(uriString)"
+
+
+class SinkKind:
+    LOG = "log"
+    FILE = "file"
+    NETWORK = "network"
+    SMS = "sms"
+    BLUETOOTH = "bluetooth"
+
+
+SINK_APIS: dict[str, str] = {
+    # log
+    "android.util.Log->d(tag,msg)": SinkKind.LOG,
+    "android.util.Log->e(tag,msg)": SinkKind.LOG,
+    "android.util.Log->i(tag,msg)": SinkKind.LOG,
+    "android.util.Log->v(tag,msg)": SinkKind.LOG,
+    "android.util.Log->w(tag,msg)": SinkKind.LOG,
+    "android.util.Log->println(priority,tag,msg)": SinkKind.LOG,
+    "java.io.PrintStream->println(msg)": SinkKind.LOG,
+    # file
+    "java.io.FileOutputStream->write(bytes)": SinkKind.FILE,
+    "java.io.OutputStreamWriter->write(str)": SinkKind.FILE,
+    "java.io.FileWriter->write(str)": SinkKind.FILE,
+    "java.io.BufferedWriter->write(str)": SinkKind.FILE,
+    "android.content.SharedPreferences$Editor->putString(key,value)": SinkKind.FILE,
+    "android.database.sqlite.SQLiteDatabase->insert(table,nullColumnHack,values)": SinkKind.FILE,
+    "android.database.sqlite.SQLiteDatabase->execSQL(sql)": SinkKind.FILE,
+    # network
+    "android.net.http.AndroidHttpClient->execute(request)": SinkKind.NETWORK,
+    "org.apache.http.impl.client.DefaultHttpClient->execute(request)": SinkKind.NETWORK,
+    "java.net.HttpURLConnection->getOutputStream()": SinkKind.NETWORK,
+    "java.net.URLConnection->getOutputStream()": SinkKind.NETWORK,
+    "java.net.Socket->getOutputStream()": SinkKind.NETWORK,
+    "java.io.DataOutputStream->writeBytes(str)": SinkKind.NETWORK,
+    "android.webkit.WebView->loadUrl(url)": SinkKind.NETWORK,
+    # SMS
+    "android.telephony.SmsManager->sendTextMessage(destinationAddress,scAddress,text,sentIntent,deliveryIntent)": SinkKind.SMS,
+    "android.telephony.SmsManager->sendMultipartTextMessage(destinationAddress,scAddress,parts,sentIntents,deliveryIntents)": SinkKind.SMS,
+    "android.telephony.gsm.SmsManager->sendTextMessage(destinationAddress,scAddress,text,sentIntent,deliveryIntent)": SinkKind.SMS,
+    # bluetooth
+    "android.bluetooth.BluetoothSocket->getOutputStream()": SinkKind.BLUETOOTH,
+    "java.io.OutputStream->write(bytes)": SinkKind.BLUETOOTH,
+}
+
+
+def info_for_api(signature: str) -> InfoType | None:
+    return SENSITIVE_APIS.get(signature)
+
+
+def info_for_uri(uri: str) -> InfoType | None:
+    """Longest-prefix match of a URI string against the 12-entry table."""
+    best: tuple[int, InfoType] | None = None
+    for known, info in CONTENT_URIS.items():
+        if uri.startswith(known) and (best is None or len(known) > best[0]):
+            best = (len(known), info)
+    return best[1] if best else None
+
+
+def permission_for_uri(uri: str) -> str:
+    best_len = -1
+    best = ""
+    for known, permission in URI_PERMISSIONS.items():
+        if uri.startswith(known) and len(known) > best_len:
+            best_len = len(known)
+            best = permission
+    return best
+
+
+def info_for_uri_field(field: str) -> InfoType | None:
+    entry = URI_FIELDS.get(field)
+    return entry[1] if entry else None
+
+
+def is_sink(signature: str) -> bool:
+    return signature in SINK_APIS
+
+
+def is_source(signature: str) -> bool:
+    return signature in SENSITIVE_APIS
+
+
+__all__ = [
+    "SENSITIVE_APIS",
+    "API_PERMISSIONS",
+    "CONTENT_URIS",
+    "URI_PERMISSIONS",
+    "URI_FIELDS",
+    "QUERY_APIS",
+    "URI_PARSE_API",
+    "SinkKind",
+    "SINK_APIS",
+    "info_for_api",
+    "info_for_uri",
+    "permission_for_uri",
+    "info_for_uri_field",
+    "is_sink",
+    "is_source",
+]

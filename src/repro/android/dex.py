@@ -1,0 +1,131 @@
+"""A dex-like register-based bytecode IR.
+
+The IR keeps exactly the structure the paper's static analyses need:
+invocations (for the call graph, sensitive-API detection, sinks),
+string constants (for content-provider URI analysis), register moves
+and returns (for def-use chains feeding taint analysis), and branches
+(for the intraprocedural CFG).
+
+Instruction set:
+
+=================  ====================================================
+op                 semantics
+=================  ====================================================
+``const-string``   dest := literal
+``invoke``         call *target* with ``args`` registers; ``dest``
+                   receives the result when non-empty (fused
+                   move-result)
+``move``           dest := args[0]
+``new-instance``   dest := new object of class ``literal``
+``iput`` /         store/load a field: ``literal`` names the field,
+``iget``           args[0]/dest the registers
+``return``         return args[0] (or void with no args)
+``if`` / ``goto``  control flow to ``literal`` label
+``label``          branch target marker
+``nop``            padding
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One IR instruction."""
+
+    op: str
+    dest: str = ""
+    args: tuple[str, ...] = ()
+    target: str = ""   # invoked method signature for "invoke"
+    literal: str = ""  # string constant / class / field / label
+
+    def is_invoke(self) -> bool:
+        return self.op == "invoke"
+
+
+@dataclass
+class Method:
+    """A method body: parameters plus a linear instruction list."""
+
+    class_name: str
+    name: str
+    params: tuple[str, ...] = ()
+    instructions: list[Instruction] = field(default_factory=list)
+    returns: str = "void"
+
+    @property
+    def signature(self) -> str:
+        return f"{self.class_name}->{self.name}({','.join(self.params)})"
+
+    def invocations(self) -> list[Instruction]:
+        return [ins for ins in self.instructions if ins.is_invoke()]
+
+    def string_constants(self) -> list[str]:
+        return [
+            ins.literal
+            for ins in self.instructions
+            if ins.op == "const-string"
+        ]
+
+
+@dataclass
+class DexClass:
+    """A class: named methods, superclass, interfaces."""
+
+    name: str
+    superclass: str = "java.lang.Object"
+    interfaces: tuple[str, ...] = ()
+    methods: dict[str, Method] = field(default_factory=dict)
+
+    def add_method(self, method: Method) -> Method:
+        self.methods[method.name] = method
+        return method
+
+    def method(self, name: str) -> Method | None:
+        return self.methods.get(name)
+
+
+@dataclass
+class DexFile:
+    """The classes.dex contents: a class dictionary."""
+
+    classes: dict[str, DexClass] = field(default_factory=dict)
+
+    def add_class(self, cls: DexClass) -> DexClass:
+        self.classes[cls.name] = cls
+        return cls
+
+    def get_class(self, name: str) -> DexClass | None:
+        return self.classes.get(name)
+
+    def all_methods(self) -> list[Method]:
+        return [
+            method
+            for cls in self.classes.values()
+            for method in cls.methods.values()
+        ]
+
+    def resolve(self, signature: str) -> Method | None:
+        """Resolve an invoke target signature to a method body."""
+        if "->" not in signature:
+            return None
+        class_name, rest = signature.split("->", 1)
+        method_name = rest.split("(", 1)[0]
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        return cls.method(method_name)
+
+    def class_names(self) -> list[str]:
+        return sorted(self.classes)
+
+
+def make_signature(class_name: str, method_name: str,
+                   params: tuple[str, ...] = ()) -> str:
+    """Canonical signature format used across the analyses."""
+    return f"{class_name}->{method_name}({','.join(params)})"
+
+
+__all__ = ["Instruction", "Method", "DexClass", "DexFile", "make_signature"]

@@ -1,0 +1,307 @@
+"""Dynamic analysis: execute the app and verify the static results.
+
+The paper's Discussion proposes verifying static findings dynamically:
+"One potential approach is to conduct dynamic analysis for verifying
+the result of static analysis."  This module implements that
+extension as a concrete interpreter over the dex IR:
+
+- every entry point is executed with a bounded call depth and step
+  budget;
+- sensitive API results and sensitive content-provider query results
+  become *tainted* runtime values carrying their information type;
+- taint propagates through moves, calls (arguments, returns), field
+  stores/loads, and external calls (argument -> result);
+- sink invocations record which tainted information reached them.
+
+:func:`verify_static` then cross-checks the observation against the
+static-analysis result: facts seen both ways are *confirmed*; facts
+only the static analysis produced are *unconfirmed* (imprecision or
+paths the concrete run did not take); facts only the dynamic run
+produced would indicate a static-analysis miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.api_db import (
+    QUERY_APIS,
+    SENSITIVE_APIS,
+    SINK_APIS,
+    URI_PARSE_API,
+    info_for_uri,
+    info_for_uri_field,
+    URI_FIELDS,
+)
+from repro.android.apk import Apk
+from repro.android.entrypoints import entry_points
+from repro.android.static_analysis import StaticAnalysisResult
+from repro.semantics.resources import InfoType
+
+_MAX_DEPTH = 16
+_MAX_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class Value:
+    """An abstract runtime value.
+
+    ``infos`` carries the taint labels; ``uri`` a tracked URI
+    literal; ``obj_class`` the dynamic type of an instantiated object
+    (needed to dispatch registered callbacks like ``Runnable.run``).
+    """
+
+    infos: frozenset[InfoType] = frozenset()
+    uri: str = ""
+    obj_class: str = ""
+
+    def tainted(self) -> bool:
+        return bool(self.infos)
+
+    def merge(self, other: "Value") -> "Value":
+        return Value(infos=self.infos | other.infos,
+                     uri=self.uri or other.uri,
+                     obj_class=self.obj_class or other.obj_class)
+
+
+_CLEAN = Value()
+
+
+@dataclass(frozen=True)
+class ApiCall:
+    api: str
+    caller: str
+    info: InfoType
+
+
+@dataclass(frozen=True)
+class SinkWrite:
+    sink: str
+    caller: str
+    kind: str
+    infos: frozenset[InfoType]
+
+
+@dataclass
+class DynamicObservation:
+    """Everything one concrete run observed."""
+
+    api_calls: list[ApiCall] = field(default_factory=list)
+    sink_writes: list[SinkWrite] = field(default_factory=list)
+    executed_methods: set[str] = field(default_factory=set)
+    steps: int = 0
+    truncated: bool = False
+
+    def collected_infos(self) -> set[InfoType]:
+        return {call.info for call in self.api_calls}
+
+    def retained_infos(self) -> set[InfoType]:
+        return {
+            info
+            for write in self.sink_writes
+            for info in write.infos
+        }
+
+
+class DynamicAnalyzer:
+    """A bounded concrete interpreter over the dex IR."""
+
+    def __init__(self, apk: Apk, max_depth: int = _MAX_DEPTH,
+                 max_steps: int = _MAX_STEPS):
+        self.apk = apk
+        self.dex = apk.effective_dex()
+        self.max_depth = max_depth
+        self.max_steps = max_steps
+
+    def run(self, rounds: int = 2) -> DynamicObservation:
+        """Execute every entry point, *rounds* times over.
+
+        Two rounds by default: values stored into fields by one entry
+        point (e.g. ``onCreate``) become visible to entry points that
+        sorted earlier (e.g. a UI callback), modelling repeated user
+        interaction with the running app.
+        """
+        observation = DynamicObservation()
+        fields: dict[str, Value] = {}
+        entries = sorted(entry_points(self.apk))
+        for _round in range(rounds):
+            for entry in entries:
+                method = self.dex.resolve(entry)
+                if method is None:
+                    continue
+                args = [_CLEAN] * len(method.params)
+                self._execute(method, args, 0, observation, fields)
+        return observation
+
+    # -- interpreter -------------------------------------------------------
+
+    def _execute(self, method, args, depth, observation, fields) -> Value:
+        if depth > self.max_depth:
+            observation.truncated = True
+            return _CLEAN
+        observation.executed_methods.add(method.signature)
+        registers: dict[str, Value] = dict(zip(method.params, args))
+
+        def get(reg: str) -> Value:
+            return registers.get(reg, _CLEAN)
+
+        for ins in method.instructions:
+            observation.steps += 1
+            if observation.steps > self.max_steps:
+                observation.truncated = True
+                return _CLEAN
+            if ins.op == "const-string":
+                registers[ins.dest] = Value(uri=ins.literal)
+            elif ins.op == "new-instance" and ins.dest:
+                registers[ins.dest] = Value(obj_class=ins.literal)
+            elif ins.op == "move" and ins.args:
+                registers[ins.dest] = get(ins.args[0])
+            elif ins.op == "iput" and ins.args:
+                stored = fields.get(ins.literal, _CLEAN)
+                fields[ins.literal] = stored.merge(get(ins.args[0]))
+            elif ins.op == "iget":
+                value = fields.get(ins.literal, _CLEAN)
+                if ins.literal in URI_FIELDS:
+                    value = Value(infos=value.infos, uri=ins.literal)
+                registers[ins.dest] = value
+            elif ins.op == "return":
+                return get(ins.args[0]) if ins.args else _CLEAN
+            elif ins.op == "invoke":
+                result = self._invoke(method, ins, get, depth,
+                                      observation, fields)
+                if ins.dest:
+                    registers[ins.dest] = result
+        return _CLEAN
+
+    def _invoke(self, method, ins, get, depth, observation,
+                fields) -> Value:
+        target = ins.target
+        arg_values = [get(register) for register in ins.args]
+
+        info = SENSITIVE_APIS.get(target)
+        if info is not None:
+            observation.api_calls.append(ApiCall(
+                api=target, caller=method.signature, info=info,
+            ))
+            return Value(infos=frozenset({info}))
+
+        if target == URI_PARSE_API:
+            return arg_values[0] if arg_values else _CLEAN
+
+        if target in QUERY_APIS:
+            for value in arg_values:
+                queried = None
+                if value.uri.startswith("content://"):
+                    queried = info_for_uri(value.uri)
+                elif value.uri:
+                    queried = info_for_uri_field(value.uri)
+                if queried is not None:
+                    observation.api_calls.append(ApiCall(
+                        api=f"query({value.uri})",
+                        caller=method.signature, info=queried,
+                    ))
+                    return Value(infos=frozenset({queried}))
+            return _CLEAN
+
+        kind = SINK_APIS.get(target)
+        if kind is not None:
+            tainted = frozenset(
+                info
+                for value in arg_values
+                for info in value.infos
+            )
+            if tainted:
+                observation.sink_writes.append(SinkWrite(
+                    sink=target, caller=method.signature, kind=kind,
+                    infos=tainted,
+                ))
+            return _CLEAN
+
+        # registered callbacks fire immediately (a pessimistic but
+        # sound event model: post()/setOnClickListener() deliver)
+        from repro.android.callbacks import CALLBACK_REGISTRATIONS
+        method_name = target.split("->", 1)[-1].split("(", 1)[0]
+        callback_name = CALLBACK_REGISTRATIONS.get(method_name)
+        if callback_name is not None:
+            for value in arg_values:
+                if not value.obj_class:
+                    continue
+                listener_class = self.dex.get_class(value.obj_class)
+                if listener_class is None:
+                    continue
+                callback = listener_class.method(callback_name)
+                if callback is None:
+                    continue
+                callback_args = [_CLEAN] * len(callback.params)
+                self._execute(callback, callback_args, depth + 1,
+                              observation, fields)
+            return _CLEAN
+
+        callee = self.dex.resolve(target)
+        if callee is not None:
+            return self._execute(callee, arg_values, depth + 1,
+                                 observation, fields)
+
+        # unknown external call: arguments taint the result
+        merged = _CLEAN
+        for value in arg_values:
+            merged = merged.merge(value)
+        return Value(infos=merged.infos)
+
+
+# ---------------------------------------------------------------------------
+# Static-vs-dynamic verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VerificationReport:
+    """Cross-check of static findings against a concrete run."""
+
+    confirmed_collected: set[InfoType] = field(default_factory=set)
+    unconfirmed_collected: set[InfoType] = field(default_factory=set)
+    missed_collected: set[InfoType] = field(default_factory=set)
+    confirmed_retained: set[InfoType] = field(default_factory=set)
+    unconfirmed_retained: set[InfoType] = field(default_factory=set)
+    missed_retained: set[InfoType] = field(default_factory=set)
+
+    @property
+    def static_is_sound(self) -> bool:
+        """Did the static analysis cover everything the run observed?"""
+        return not self.missed_collected and not self.missed_retained
+
+
+def verify_static(
+    apk: Apk,
+    static_result: StaticAnalysisResult,
+    observation: DynamicObservation | None = None,
+) -> VerificationReport:
+    """Compare static Collect/Retain facts with a dynamic run."""
+    if observation is None:
+        observation = DynamicAnalyzer(apk).run()
+
+    static_collected = (static_result.collected_infos()
+                        | static_result.lib_collected_infos())
+    dynamic_collected = observation.collected_infos()
+    static_retained = static_result.retained_infos()
+    dynamic_retained = observation.retained_infos()
+
+    return VerificationReport(
+        confirmed_collected=static_collected & dynamic_collected,
+        unconfirmed_collected=static_collected - dynamic_collected,
+        missed_collected=dynamic_collected - static_collected,
+        confirmed_retained=static_retained & dynamic_retained,
+        unconfirmed_retained=static_retained - dynamic_retained,
+        missed_retained=dynamic_retained - static_retained,
+    )
+
+
+__all__ = [
+    "Value",
+    "ApiCall",
+    "SinkWrite",
+    "DynamicObservation",
+    "DynamicAnalyzer",
+    "VerificationReport",
+    "verify_static",
+]

@@ -1,0 +1,70 @@
+"""App entry points (Section III-C.2, reachability analysis).
+
+The paper enumerates three entry families:
+
+1. life-cycle callbacks of declared components
+   (``Activity.onCreate()`` and friends),
+2. major components' entry functions (a content provider's
+   ``query()``/``insert()``/...),
+3. UI-related callbacks (``onClick()`` etc.).
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk
+from repro.android.callbacks import CALLBACK_METHOD_NAMES
+
+#: callback names that are NOT entry points by themselves: a Runnable's
+#: ``run()`` or an AsyncTask's ``doInBackground()`` only executes when
+#: something posts/executes it -- that edge is EdgeMiner's job
+#: (repro.android.callbacks), not the entry-point enumeration's.
+_REGISTRATION_ONLY_CALLBACKS = frozenset({"run", "doInBackground"})
+
+UI_CALLBACK_NAMES: frozenset[str] = (
+    CALLBACK_METHOD_NAMES - _REGISTRATION_ONLY_CALLBACKS
+)
+
+LIFECYCLE_METHODS: dict[str, tuple[str, ...]] = {
+    "activity": ("onCreate", "onStart", "onResume", "onPause", "onStop",
+                 "onDestroy", "onRestart", "onNewIntent",
+                 "onActivityResult", "onSaveInstanceState"),
+    "service": ("onCreate", "onStartCommand", "onBind", "onUnbind",
+                "onDestroy", "onHandleIntent"),
+    "receiver": ("onReceive",),
+    "provider": ("onCreate", "query", "insert", "update", "delete",
+                 "getType"),
+}
+
+
+def entry_points(apk: Apk) -> set[str]:
+    """All entry-point method signatures of the app."""
+    dex = apk.effective_dex()
+    entries: set[str] = set()
+
+    # component life-cycle + provider entry functions
+    for component in apk.manifest.components:
+        cls = dex.get_class(component.name)
+        if cls is None:
+            continue
+        for name in LIFECYCLE_METHODS[component.kind]:
+            method = cls.method(name)
+            if method is not None:
+                entries.add(method.signature)
+
+    # UI callbacks anywhere in the app's code (run()/doInBackground()
+    # excluded: those are only reachable through registration edges)
+    for method in dex.all_methods():
+        if method.name in UI_CALLBACK_NAMES:
+            entries.add(method.signature)
+
+    # the Application subclass, if declared as a component-like class
+    for cls in dex.classes.values():
+        if cls.superclass == "android.app.Application":
+            for name in ("onCreate", "attachBaseContext"):
+                method = cls.method(name)
+                if method is not None:
+                    entries.add(method.signature)
+    return entries
+
+
+__all__ = ["LIFECYCLE_METHODS", "UI_CALLBACK_NAMES", "entry_points"]

@@ -1,0 +1,152 @@
+"""Third-party library registry and detection (Section IV-C).
+
+PPChecker maintains a list of class-name prefixes of third-party libs;
+the static-analysis module walks the dex's class names to find the
+libs an app embeds.  The registry below covers the paper's corpus of
+lib privacy policies: 52 advertising libraries, 9 social-network
+libraries, and 20 development tools (81 total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.dex import DexFile
+
+
+@dataclass(frozen=True)
+class LibSpec:
+    """One third-party library: identity, class prefix, category."""
+
+    lib_id: str
+    name: str
+    prefix: str
+    category: str  # "ad" | "social" | "devtool"
+
+
+_AD_LIBS: tuple[tuple[str, str], ...] = (
+    ("admob", "com.google.ads"),
+    ("doubleclick", "com.google.android.gms.ads.doubleclick"),
+    ("flurry", "com.flurry.android"),
+    ("inmobi", "com.inmobi"),
+    ("mopub", "com.mopub"),
+    ("millennialmedia", "com.millennialmedia"),
+    ("chartboost", "com.chartboost.sdk"),
+    ("unityads", "com.unity3d.ads"),
+    ("applovin", "com.applovin"),
+    ("vungle", "com.vungle"),
+    ("adcolony", "com.jirbo.adcolony"),
+    ("tapjoy", "com.tapjoy"),
+    ("startapp", "com.startapp.android"),
+    ("airpush", "com.airpush.android"),
+    ("leadbolt", "com.pad.android"),
+    ("amazonads", "com.amazon.device.ads"),
+    ("facebookads", "com.facebook.ads"),
+    ("smaato", "com.smaato.soma"),
+    ("inneractive", "com.inneractive.api.ads"),
+    ("adbuddiz", "com.purplebrain.adbuddiz"),
+    ("revmob", "com.revmob"),
+    ("heyzap", "com.heyzap"),
+    ("appbrain", "com.appbrain"),
+    ("mobfox", "com.adsdk.sdk"),
+    ("madvertise", "de.madvertise.android"),
+    ("admarvel", "com.admarvel.android"),
+    ("adwhirl", "com.adwhirl"),
+    ("mdotm", "com.mdotm.android"),
+    ("jumptap", "com.jumptap.adtag"),
+    ("greystripe", "com.greystripe.sdk"),
+    ("medialets", "com.medialets"),
+    ("pontiflex", "com.pontiflex.mobile"),
+    ("tapit", "com.tapit"),
+    ("adfonic", "com.adfonic.android"),
+    ("mobclix", "com.mobclix.android"),
+    ("nexage", "com.nexage.android"),
+    ("rhythmone", "com.rhythmnewmedia"),
+    ("smartadserver", "com.smartadserver.android"),
+    ("phunware", "com.phunware"),
+    ("widespace", "com.widespace"),
+    ("zucks", "net.zucks"),
+    ("nend", "net.nend.android"),
+    ("cauly", "com.cauly.android.ad"),
+    ("imobile", "jp.co.imobile"),
+    ("microad", "jp.co.microad.smartphone"),
+    ("fluct", "jp.fluct"),
+    ("five", "com.five_corp.ad"),
+    ("adlantis", "jp.adlantis.android"),
+    ("mediba", "mediba.ad.sdk.android"),
+    ("domob", "cn.domob.android"),
+    ("youmi", "net.youmi.android"),
+    ("waps", "com.waps"),
+)
+
+_SOCIAL_LIBS: tuple[tuple[str, str], ...] = (
+    ("facebook", "com.facebook.android"),
+    ("twitter", "com.twitter.sdk"),
+    ("googleplus", "com.google.android.gms.plus"),
+    ("linkedin", "com.linkedin.android"),
+    ("weibo", "com.sina.weibo.sdk"),
+    ("wechat", "com.tencent.mm.sdk"),
+    ("vkontakte", "com.vk.sdk"),
+    ("line", "jp.line.android.sdk"),
+    ("kakao", "com.kakao.sdk"),
+)
+
+_DEVTOOL_LIBS: tuple[tuple[str, str], ...] = (
+    ("unity3d", "com.unity3d.player"),
+    ("crashlytics", "com.crashlytics.android"),
+    ("mixpanel", "com.mixpanel.android"),
+    ("googleanalytics", "com.google.analytics"),
+    ("localytics", "com.localytics.android"),
+    ("newrelic", "com.newrelic.agent.android"),
+    ("testflight", "com.testflightapp.lib"),
+    ("hockeyapp", "net.hockeyapp.android"),
+    ("bugsense", "com.bugsense.trace"),
+    ("apsalar", "com.apsalar.sdk"),
+    ("kontagent", "com.kontagent"),
+    ("amplitude", "com.amplitude.api"),
+    ("segment", "com.segment.analytics"),
+    ("urbanairship", "com.urbanairship"),
+    ("parse", "com.parse"),
+    ("onesignal", "com.onesignal"),
+    ("pushwoosh", "com.pushwoosh"),
+    ("branch", "io.branch.referral"),
+    ("adjust", "com.adjust.sdk"),
+    ("appsflyer", "com.appsflyer"),
+)
+
+
+def _build_registry() -> dict[str, LibSpec]:
+    registry: dict[str, LibSpec] = {}
+    for lib_id, prefix in _AD_LIBS:
+        registry[lib_id] = LibSpec(lib_id, lib_id, prefix, "ad")
+    for lib_id, prefix in _SOCIAL_LIBS:
+        registry[lib_id] = LibSpec(lib_id, lib_id, prefix, "social")
+    for lib_id, prefix in _DEVTOOL_LIBS:
+        registry[lib_id] = LibSpec(lib_id, lib_id, prefix, "devtool")
+    return registry
+
+
+#: lib id -> spec; 52 ad + 9 social + 20 devtool = 81 entries.
+LIB_REGISTRY: dict[str, LibSpec] = _build_registry()
+
+
+def detect_libraries(dex: DexFile) -> list[LibSpec]:
+    """The third-party libs embedded in an app, by class-name prefix."""
+    found: dict[str, LibSpec] = {}
+    for class_name in dex.class_names():
+        for spec in LIB_REGISTRY.values():
+            if class_name.startswith(spec.prefix):
+                found[spec.lib_id] = spec
+    return sorted(found.values(), key=lambda s: s.lib_id)
+
+
+def libs_by_category(category: str) -> list[LibSpec]:
+    return sorted(
+        (spec for spec in LIB_REGISTRY.values()
+         if spec.category == category),
+        key=lambda s: s.lib_id,
+    )
+
+
+__all__ = ["LibSpec", "LIB_REGISTRY", "detect_libraries",
+           "libs_by_category"]

@@ -1,0 +1,84 @@
+"""AndroidManifest.xml model.
+
+Holds the pieces the analyses read: the package name (used for
+app-vs-library attribution of sensitive API calls), requested
+permissions (Alg. 2 only considers information whose permission the
+app requests), and the declared components with their intent filters
+(entry points and IccTA-style implicit intent resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+COMPONENT_KINDS = ("activity", "service", "receiver", "provider")
+
+
+@dataclass
+class IntentFilter:
+    actions: tuple[str, ...] = ()
+    categories: tuple[str, ...] = ()
+
+    def matches(self, action: str, category: str | None = None) -> bool:
+        if action not in self.actions:
+            return False
+        if category is not None and category not in self.categories:
+            return False
+        return True
+
+
+@dataclass
+class Component:
+    """A declared app component."""
+
+    name: str          # class name
+    kind: str          # activity | service | receiver | provider
+    exported: bool = False
+    intent_filters: list[IntentFilter] = field(default_factory=list)
+    authority: str = ""  # providers only
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMPONENT_KINDS:
+            raise ValueError(f"unknown component kind: {self.kind!r}")
+
+
+@dataclass
+class AndroidManifest:
+    """The manifest: package, permissions, components."""
+
+    package: str
+    permissions: set[str] = field(default_factory=set)
+    components: list[Component] = field(default_factory=list)
+    main_activity: str = ""
+    min_sdk: int = 9
+    target_sdk: int = 22
+
+    def add_component(self, component: Component) -> Component:
+        self.components.append(component)
+        return component
+
+    def components_of_kind(self, kind: str) -> list[Component]:
+        return [c for c in self.components if c.kind == kind]
+
+    def has_permission(self, permission: str) -> bool:
+        return permission in self.permissions
+
+    def component_by_name(self, name: str) -> Component | None:
+        for component in self.components:
+            if component.name == name:
+                return component
+        return None
+
+    def resolve_implicit_intent(
+        self, action: str, category: str | None = None
+    ) -> list[Component]:
+        """Components whose intent filters accept (action, category)."""
+        return [
+            c
+            for c in self.components
+            for f in c.intent_filters
+            if f.matches(action, category)
+        ]
+
+
+__all__ = ["IntentFilter", "Component", "AndroidManifest", "COMPONENT_KINDS"]

@@ -1,0 +1,126 @@
+"""Identifier obfuscation (ProGuard-style) and its analysis impact.
+
+Production apps ship name-obfuscated: app classes become ``a.a.b``.
+Two of PPChecker's heuristics depend on names --
+
+- app-vs-lib attribution compares the caller's class prefix against
+  the manifest package, and
+- lib detection matches class-name prefixes --
+
+so obfuscation degrades them in characteristic ways.  This module
+implements the transformation so the limitation can be measured (see
+the obfuscation ablation) rather than just stated:
+
+- ``obfuscate()`` renames classes under the given prefixes to short
+  meaningless names, consistently rewriting invoke targets,
+  new-instance literals, and intent targets;
+- framework classes (android.*, java.*, com.google.android.gms.*)
+  keep their names, exactly as ProGuard keep-rules do, so sensitive
+  API *calls* remain visible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+from dataclasses import dataclass, field
+
+from repro.android.apk import Apk
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+from repro.android.manifest import Component
+
+_KEEP_PREFIXES = ("android.", "java.", "javax.", "dalvik.",
+                  "org.apache.", "com.google.android.gms.")
+
+
+def _short_names():
+    alphabet = string.ascii_lowercase
+    for length in itertools.count(1):
+        for combo in itertools.product(alphabet, repeat=length):
+            yield "".join(combo)
+
+
+@dataclass
+class ObfuscationMap:
+    """class-name renaming produced by one obfuscation run."""
+
+    renames: dict[str, str] = field(default_factory=dict)
+
+    def resolve(self, class_name: str) -> str:
+        return self.renames.get(class_name, class_name)
+
+    def resolve_signature(self, signature: str) -> str:
+        if "->" not in signature:
+            return signature
+        class_name, rest = signature.split("->", 1)
+        return f"{self.resolve(class_name)}->{rest}"
+
+
+def _should_rename(class_name: str, keep_libs: bool) -> bool:
+    if any(class_name.startswith(p) for p in _KEEP_PREFIXES):
+        return False
+    if keep_libs:
+        from repro.android.libs import LIB_REGISTRY
+        for spec in LIB_REGISTRY.values():
+            if class_name.startswith(spec.prefix):
+                return False
+    return True
+
+
+def obfuscate(apk: Apk, keep_libs: bool = False) -> ObfuscationMap:
+    """Obfuscate *apk* in place; returns the renaming map.
+
+    ``keep_libs=True`` models apps that exclude SDKs from obfuscation
+    (common, since many SDKs require keep-rules); ``False`` models
+    full obfuscation, under which prefix-based lib detection fails.
+    """
+    dex = apk.effective_dex()
+    mapping = ObfuscationMap()
+    names = _short_names()
+    for class_name in dex.class_names():
+        if _should_rename(class_name, keep_libs):
+            mapping.renames[class_name] = f"o.{next(names)}"
+
+    new_dex = DexFile()
+    for cls in dex.classes.values():
+        new_name = mapping.resolve(cls.name)
+        new_cls = DexClass(
+            name=new_name,
+            superclass=mapping.resolve(cls.superclass),
+            interfaces=tuple(mapping.resolve(i) for i in cls.interfaces),
+        )
+        for method in cls.methods.values():
+            new_method = Method(
+                class_name=new_name,
+                name=method.name,
+                params=method.params,
+                returns=method.returns,
+            )
+            for ins in method.instructions:
+                new_method.instructions.append(Instruction(
+                    op=ins.op,
+                    dest=ins.dest,
+                    args=ins.args,
+                    target=mapping.resolve_signature(ins.target),
+                    literal=mapping.resolve(ins.literal)
+                    if ins.literal in mapping.renames else ins.literal,
+                ))
+            new_cls.add_method(new_method)
+        new_dex.add_class(new_cls)
+    apk.dex = new_dex
+
+    for component in apk.manifest.components:
+        renamed = mapping.resolve(component.name)
+        if renamed != component.name:
+            index = apk.manifest.components.index(component)
+            apk.manifest.components[index] = Component(
+                name=renamed,
+                kind=component.kind,
+                exported=component.exported,
+                intent_filters=component.intent_filters,
+                authority=component.authority,
+            )
+    return mapping
+
+
+__all__ = ["ObfuscationMap", "obfuscate"]

@@ -1,0 +1,142 @@
+"""APK packing and DexHunter-style unpacking.
+
+Commercial packers replace ``classes.dex`` with a loader stub and
+decrypt the real bytecode only at runtime; DexHunter [34] dumps the
+decrypted dex from memory.  We simulate the mechanism: ``pack()``
+serializes the dex into an XOR-"encrypted" payload and substitutes a
+stub, ``unpack()`` recovers the original so the static analyses can
+run.  The encoding is deliberately trivial -- what matters is that a
+packed APK exercises the unpack code path before analysis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.android.apk import Apk
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+
+_XOR_KEY = b"dexhunter"
+
+_STUB_CLASS = "com.packer.StubApplication"
+
+
+def _serialize(dex: DexFile) -> bytes:
+    doc = {
+        cls.name: {
+            "superclass": cls.superclass,
+            "interfaces": list(cls.interfaces),
+            "methods": {
+                m.name: {
+                    "params": list(m.params),
+                    "returns": m.returns,
+                    "instructions": [
+                        {
+                            "op": i.op,
+                            "dest": i.dest,
+                            "args": list(i.args),
+                            "target": i.target,
+                            "literal": i.literal,
+                        }
+                        for i in m.instructions
+                    ],
+                }
+                for m in cls.methods.values()
+            },
+        }
+        for cls in dex.classes.values()
+    }
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+
+def _deserialize(blob: bytes) -> DexFile:
+    doc = json.loads(blob.decode("utf-8"))
+    dex = DexFile()
+    for class_name, cdoc in doc.items():
+        cls = DexClass(
+            name=class_name,
+            superclass=cdoc["superclass"],
+            interfaces=tuple(cdoc["interfaces"]),
+        )
+        for method_name, mdoc in cdoc["methods"].items():
+            method = Method(
+                class_name=class_name,
+                name=method_name,
+                params=tuple(mdoc["params"]),
+                returns=mdoc["returns"],
+            )
+            for idoc in mdoc["instructions"]:
+                method.instructions.append(Instruction(
+                    op=idoc["op"],
+                    dest=idoc["dest"],
+                    args=tuple(idoc["args"]),
+                    target=idoc["target"],
+                    literal=idoc["literal"],
+                ))
+            cls.add_method(method)
+        dex.add_class(cls)
+    return dex
+
+
+def _xor(blob: bytes) -> bytes:
+    key = _XOR_KEY
+    return bytes(b ^ key[i % len(key)] for i, b in enumerate(blob))
+
+
+def _stub_dex() -> DexFile:
+    """The loader stub a packer leaves in classes.dex."""
+    dex = DexFile()
+    stub = DexClass(name=_STUB_CLASS, superclass="android.app.Application")
+    method = Method(class_name=_STUB_CLASS, name="attachBaseContext",
+                    params=("context",))
+    method.instructions = [
+        Instruction(op="const-string", dest="v0",
+                    literal="assets/payload.enc"),
+        Instruction(op="invoke", dest="v1",
+                    target="com.packer.Loader->decrypt(path)",
+                    args=("v0",)),
+        Instruction(op="invoke",
+                    target="dalvik.system.DexClassLoader-><init>(path)",
+                    args=("v1",)),
+        Instruction(op="return"),
+    ]
+    stub.add_method(method)
+    dex.add_class(stub)
+    return dex
+
+
+def pack(apk: Apk) -> Apk:
+    """Pack *apk* in place: hide the dex behind an encrypted payload."""
+    if apk.packed:
+        return apk
+    apk.packed_payload = _xor(_serialize(apk.dex))
+    apk.dex = _stub_dex()
+    apk.packed = True
+    return apk
+
+
+def unpack(apk: Apk) -> Apk:
+    """DexHunter: recover the real dex of a packed APK, in place."""
+    if not apk.packed:
+        return apk
+    if apk.packed_payload is None:
+        raise ValueError(f"{apk.package}: packed APK has no payload")
+    apk.dex = _deserialize(_xor(apk.packed_payload))
+    apk.packed = False
+    apk.packed_payload = None
+    return apk
+
+
+def is_packer_stub(dex: DexFile) -> bool:
+    """Heuristic DexHunter uses: a lone loader class touching
+    DexClassLoader marks a packed app."""
+    if len(dex.classes) > 3:
+        return False
+    for method in dex.all_methods():
+        for ins in method.invocations():
+            if "DexClassLoader" in ins.target:
+                return True
+    return False
+
+
+__all__ = ["pack", "unpack", "is_packer_stub"]

@@ -1,0 +1,103 @@
+"""Permission-usage analysis: over- and under-permission detection.
+
+Related-work adjacent (Whyper [51] / AutoCog [41] study the
+description-permission gap): this module contrasts the *manifest*
+against the *code*:
+
+- **over-permissioned**: the manifest requests a dangerous permission
+  but no reachable code needs it (a privacy smell the screening
+  report surfaces);
+- **under-permissioned**: reachable code invokes an API whose
+  permission the manifest lacks (such calls fail at runtime; the
+  static-analysis module already excludes them from Collect_code --
+  this view makes them visible for auditing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.api_db import (
+    API_PERMISSIONS,
+    SENSITIVE_APIS,
+    permission_for_uri,
+)
+from repro.android.apk import Apk
+from repro.android.apg import build_apg
+from repro.android.reachability import reachable_methods
+from repro.android.uris import find_uri_accesses
+
+#: permissions whose presence matters for privacy auditing.
+DANGEROUS_PERMISSIONS: frozenset[str] = frozenset({
+    "android.permission.ACCESS_FINE_LOCATION",
+    "android.permission.ACCESS_COARSE_LOCATION",
+    "android.permission.READ_PHONE_STATE",
+    "android.permission.READ_CONTACTS",
+    "android.permission.WRITE_CONTACTS",
+    "android.permission.GET_ACCOUNTS",
+    "android.permission.READ_CALENDAR",
+    "android.permission.WRITE_CALENDAR",
+    "android.permission.CAMERA",
+    "android.permission.RECORD_AUDIO",
+    "android.permission.READ_SMS",
+    "android.permission.RECEIVE_SMS",
+    "android.permission.READ_CALL_LOG",
+    "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+})
+
+
+@dataclass
+class PermissionAudit:
+    """The outcome of auditing one app's permission usage."""
+
+    requested: set[str] = field(default_factory=set)
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def over_permissions(self) -> set[str]:
+        """Requested dangerous permissions no reachable code uses."""
+        return (self.requested & DANGEROUS_PERMISSIONS) - self.used
+
+    @property
+    def under_permissions(self) -> set[str]:
+        """Permissions reachable code needs but the manifest lacks."""
+        return self.used - self.requested
+
+
+def _permissions_used(apk: Apk) -> set[str]:
+    dex = apk.effective_dex()
+    apg = build_apg(apk)
+    reached = reachable_methods(apg)
+
+    used: set[str] = set()
+    for method in dex.all_methods():
+        if method.signature not in reached:
+            continue
+        for ins in method.invocations():
+            if ins.target in SENSITIVE_APIS:
+                permission = API_PERMISSIONS.get(ins.target, "")
+                if permission:
+                    used.add(permission)
+    for access in find_uri_accesses(dex):
+        if access.method not in reached:
+            continue
+        if access.via_field:
+            from repro.android.api_db import URI_FIELDS
+            permission = URI_FIELDS[access.uri][0]
+        else:
+            permission = permission_for_uri(access.uri)
+        if permission:
+            used.add(permission)
+    return used
+
+
+def audit_permissions(apk: Apk) -> PermissionAudit:
+    """Audit one app's requested-vs-used permissions."""
+    return PermissionAudit(
+        requested=set(apk.manifest.permissions),
+        used=_permissions_used(apk),
+    )
+
+
+__all__ = ["DANGEROUS_PERMISSIONS", "PermissionAudit",
+           "audit_permissions"]

@@ -1,0 +1,41 @@
+"""Entry-point reachability analysis (Section III-C.2).
+
+The paper discards sensitive API invocations with no feasible path
+from any entry point (dead third-party code, unreferenced classes):
+"We do not consider those sensitive APIs to which there are not
+feasible paths from entry points."
+"""
+
+from __future__ import annotations
+
+from repro.android.apg import AndroidPropertyGraph
+from repro.android.entrypoints import entry_points
+
+
+def reachable_methods(apg: AndroidPropertyGraph) -> set[str]:
+    """All method signatures reachable from the app's entry points."""
+    return apg.reachable_from(entry_points(apg.apk))
+
+
+def is_reachable(apg: AndroidPropertyGraph, signature: str,
+                 cache: set[str] | None = None) -> bool:
+    """Is *signature* reachable from an entry point?"""
+    reached = cache if cache is not None else reachable_methods(apg)
+    return signature in reached
+
+
+def reachable_call_sites(
+    apg: AndroidPropertyGraph,
+    callee: str,
+    cache: set[str] | None = None,
+) -> list[str]:
+    """Caller signatures of *callee* that are themselves reachable."""
+    reached = cache if cache is not None else reachable_methods(apg)
+    return [
+        caller
+        for caller in apg.methods_calling(callee)
+        if caller in reached
+    ]
+
+
+__all__ = ["reachable_methods", "is_reachable", "reachable_call_sites"]

@@ -1,0 +1,193 @@
+"""JSON serialization of APKs and app bundles.
+
+Lets the CLI and downstream users persist the analysis inputs: an app
+bundle (package, manifest, dex, policy, description) round-trips
+through a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.android.apk import Apk
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+from repro.android.manifest import AndroidManifest, Component, IntentFilter
+from repro.core.checker import AppBundle
+
+FORMAT_VERSION = 1
+
+
+def instruction_to_dict(ins: Instruction) -> dict[str, Any]:
+    out: dict[str, Any] = {"op": ins.op}
+    if ins.dest:
+        out["dest"] = ins.dest
+    if ins.args:
+        out["args"] = list(ins.args)
+    if ins.target:
+        out["target"] = ins.target
+    if ins.literal:
+        out["literal"] = ins.literal
+    return out
+
+
+def instruction_from_dict(doc: dict[str, Any]) -> Instruction:
+    return Instruction(
+        op=doc["op"],
+        dest=doc.get("dest", ""),
+        args=tuple(doc.get("args", ())),
+        target=doc.get("target", ""),
+        literal=doc.get("literal", ""),
+    )
+
+
+def dex_to_dict(dex: DexFile) -> dict[str, Any]:
+    return {
+        cls.name: {
+            "superclass": cls.superclass,
+            "interfaces": list(cls.interfaces),
+            "methods": {
+                method.name: {
+                    "params": list(method.params),
+                    "returns": method.returns,
+                    "instructions": [
+                        instruction_to_dict(ins)
+                        for ins in method.instructions
+                    ],
+                }
+                for method in cls.methods.values()
+            },
+        }
+        for cls in dex.classes.values()
+    }
+
+
+def dex_from_dict(doc: dict[str, Any]) -> DexFile:
+    dex = DexFile()
+    for class_name, cdoc in doc.items():
+        cls = DexClass(
+            name=class_name,
+            superclass=cdoc.get("superclass", "java.lang.Object"),
+            interfaces=tuple(cdoc.get("interfaces", ())),
+        )
+        for method_name, mdoc in cdoc.get("methods", {}).items():
+            method = Method(
+                class_name=class_name,
+                name=method_name,
+                params=tuple(mdoc.get("params", ())),
+                returns=mdoc.get("returns", "void"),
+            )
+            method.instructions = [
+                instruction_from_dict(idoc)
+                for idoc in mdoc.get("instructions", ())
+            ]
+            cls.add_method(method)
+        dex.add_class(cls)
+    return dex
+
+
+def manifest_to_dict(manifest: AndroidManifest) -> dict[str, Any]:
+    return {
+        "package": manifest.package,
+        "permissions": sorted(manifest.permissions),
+        "main_activity": manifest.main_activity,
+        "min_sdk": manifest.min_sdk,
+        "target_sdk": manifest.target_sdk,
+        "components": [
+            {
+                "name": component.name,
+                "kind": component.kind,
+                "exported": component.exported,
+                "authority": component.authority,
+                "intent_filters": [
+                    {"actions": list(f.actions),
+                     "categories": list(f.categories)}
+                    for f in component.intent_filters
+                ],
+            }
+            for component in manifest.components
+        ],
+    }
+
+
+def manifest_from_dict(doc: dict[str, Any]) -> AndroidManifest:
+    manifest = AndroidManifest(
+        package=doc["package"],
+        permissions=set(doc.get("permissions", ())),
+        main_activity=doc.get("main_activity", ""),
+        min_sdk=doc.get("min_sdk", 9),
+        target_sdk=doc.get("target_sdk", 22),
+    )
+    for cdoc in doc.get("components", ()):
+        manifest.add_component(Component(
+            name=cdoc["name"],
+            kind=cdoc["kind"],
+            exported=cdoc.get("exported", False),
+            authority=cdoc.get("authority", ""),
+            intent_filters=[
+                IntentFilter(actions=tuple(f.get("actions", ())),
+                             categories=tuple(f.get("categories", ())))
+                for f in cdoc.get("intent_filters", ())
+            ],
+        ))
+    return manifest
+
+
+def apk_to_dict(apk: Apk) -> dict[str, Any]:
+    if apk.packed:
+        raise ValueError("unpack the APK before serializing")
+    return {
+        "version": FORMAT_VERSION,
+        "manifest": manifest_to_dict(apk.manifest),
+        "dex": dex_to_dict(apk.dex),
+    }
+
+
+def apk_from_dict(doc: dict[str, Any]) -> Apk:
+    return Apk(
+        manifest=manifest_from_dict(doc["manifest"]),
+        dex=dex_from_dict(doc["dex"]),
+    )
+
+
+def bundle_to_dict(bundle: AppBundle) -> dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "package": bundle.package,
+        "policy": bundle.policy,
+        "policy_is_html": bundle.policy_is_html,
+        "description": bundle.description,
+        "apk": apk_to_dict(bundle.apk),
+    }
+
+
+def bundle_from_dict(doc: dict[str, Any]) -> AppBundle:
+    return AppBundle(
+        package=doc["package"],
+        apk=apk_from_dict(doc["apk"]),
+        policy=doc.get("policy", ""),
+        description=doc.get("description", ""),
+        policy_is_html=doc.get("policy_is_html", False),
+    )
+
+
+def save_bundle(bundle: AppBundle, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle_to_dict(bundle), handle, indent=2,
+                  sort_keys=True)
+
+
+def load_bundle(path: str) -> AppBundle:
+    with open(path, encoding="utf-8") as handle:
+        return bundle_from_dict(json.load(handle))
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "instruction_to_dict", "instruction_from_dict",
+    "dex_to_dict", "dex_from_dict",
+    "manifest_to_dict", "manifest_from_dict",
+    "apk_to_dict", "apk_from_dict",
+    "bundle_to_dict", "bundle_from_dict",
+    "save_bundle", "load_bundle",
+]

@@ -1,0 +1,171 @@
+"""Static-analysis module facade (Section III-C).
+
+Produces the two code-derived facts the problem-identification module
+consumes:
+
+- ``Collect_code``: information collected by the app -- sensitive API
+  invocations and content-provider URI queries that are (a) reachable
+  from an entry point and (b) attributed to the app (caller class name
+  shares the app's package prefix), gated on the manifest actually
+  requesting the needed permission;
+- ``Retain_code``: information retained by the app -- source-to-sink
+  taint paths (log, file, network, SMS, Bluetooth).
+
+Library-attributed collection is reported separately (used by the
+inconsistency detector and the ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.apg import build_apg
+from repro.android.api_db import (
+    API_PERMISSIONS,
+    SENSITIVE_APIS,
+    permission_for_uri,
+)
+from repro.android.apk import Apk
+from repro.android.libs import LibSpec, detect_libraries
+from repro.android.packer import unpack
+from repro.android.reachability import reachable_methods
+from repro.android.taint import TaintPath, find_taint_paths
+from repro.android.uris import find_uri_accesses
+from repro.semantics.resources import InfoType
+
+
+@dataclass(frozen=True)
+class CollectionFact:
+    """One observed collection: which evidence, from where."""
+
+    info: InfoType
+    evidence: str      # API signature or URI literal
+    caller: str        # caller method signature
+    attributed_to_app: bool
+    reachable: bool
+
+
+@dataclass
+class StaticAnalysisResult:
+    """Everything the detectors need to know about an app's code."""
+
+    package: str
+    facts: list[CollectionFact] = field(default_factory=list)
+    retained: list[TaintPath] = field(default_factory=list)
+    libraries: list[LibSpec] = field(default_factory=list)
+    was_packed: bool = False
+
+    def collected_infos(self) -> set[InfoType]:
+        """Collect_code: app-attributed, reachable collection."""
+        return {
+            fact.info
+            for fact in self.facts
+            if fact.attributed_to_app and fact.reachable
+        }
+
+    def lib_collected_infos(self) -> set[InfoType]:
+        return {
+            fact.info
+            for fact in self.facts
+            if not fact.attributed_to_app and fact.reachable
+        }
+
+    def retained_infos(self) -> set[InfoType]:
+        """Retain_code: information with a source-to-sink path."""
+        return {path.info for path in self.retained}
+
+    def evidence_for(self, info: InfoType) -> list[str]:
+        return sorted({
+            fact.evidence
+            for fact in self.facts
+            if fact.info is info and fact.attributed_to_app
+            and fact.reachable
+        })
+
+
+def _attributed_to_app(caller_class: str, package: str) -> bool:
+    return caller_class.startswith(package)
+
+
+def _permission_ok(apk: Apk, permission: str) -> bool:
+    return not permission or apk.manifest.has_permission(permission)
+
+
+def analyze_apk(
+    apk: Apk,
+    *,
+    use_reachability: bool = True,
+    use_uri_analysis: bool = True,
+    auto_unpack: bool = True,
+) -> StaticAnalysisResult:
+    """Run the full static-analysis module over one APK.
+
+    ``use_reachability`` and ``use_uri_analysis`` exist for the
+    ablation benchmarks; the paper's configuration is both on.
+    """
+    if apk.packed and auto_unpack:
+        unpack(apk)
+        was_packed = True
+    else:
+        was_packed = False
+
+    dex = apk.effective_dex()
+    apg = build_apg(apk)
+    reached = reachable_methods(apg) if use_reachability else None
+    package = apk.package
+
+    result = StaticAnalysisResult(package=package, was_packed=was_packed)
+    result.libraries = detect_libraries(dex)
+
+    # sensitive API invocations
+    for method in dex.all_methods():
+        for ins in method.invocations():
+            info = SENSITIVE_APIS.get(ins.target)
+            if info is None:
+                continue
+            permission = API_PERMISSIONS.get(ins.target, "")
+            if not _permission_ok(apk, permission):
+                continue
+            reachable = (
+                True if reached is None
+                else method.signature in reached
+            )
+            result.facts.append(CollectionFact(
+                info=info,
+                evidence=ins.target,
+                caller=method.signature,
+                attributed_to_app=_attributed_to_app(
+                    method.class_name, package
+                ),
+                reachable=reachable,
+            ))
+
+    # content-provider URI accesses
+    if use_uri_analysis:
+        for access in find_uri_accesses(dex):
+            permission = permission_for_uri(access.uri) \
+                if not access.via_field else ""
+            if not access.via_field and not _permission_ok(apk, permission):
+                continue
+            caller_class = access.method.split("->", 1)[0]
+            reachable = (
+                True if reached is None else access.method in reached
+            )
+            result.facts.append(CollectionFact(
+                info=access.info,
+                evidence=access.uri,
+                caller=access.method,
+                attributed_to_app=_attributed_to_app(caller_class, package),
+                reachable=reachable,
+            ))
+
+    # retention: taint paths (only from reachable sources, same gate)
+    for path in find_taint_paths(dex):
+        if reached is not None and path.source_method not in reached:
+            continue
+        result.retained.append(path)
+
+    return result
+
+
+__all__ = ["CollectionFact", "StaticAnalysisResult", "analyze_apk"]

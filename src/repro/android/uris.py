@@ -1,0 +1,125 @@
+"""Content-provider URI analysis (Section III-C.2, steps from [40]).
+
+Finds the URIs flowing into content-provider query functions:
+
+1. locate query call sites,
+2. collect the statements on paths reaching each call site (here: a
+   def-use walk over the caller, plus one level of interprocedural
+   argument propagation),
+3. record string constants ("content://...") and
+   ``CONTENT_URI``-style field literals that reach the query's URI
+   parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.api_db import (
+    QUERY_APIS,
+    URI_FIELDS,
+    URI_PARSE_API,
+    info_for_uri,
+    info_for_uri_field,
+)
+from repro.android.dex import DexFile, Method
+from repro.semantics.resources import InfoType
+
+
+@dataclass(frozen=True)
+class UriAccess:
+    """One content-provider access: who queried which URI."""
+
+    method: str      # caller signature
+    uri: str         # URI string or field literal
+    info: InfoType
+    via_field: bool
+
+
+def _uri_registers(method: Method) -> dict[str, str]:
+    """register -> URI literal, via const-string / Uri.parse / iget."""
+    uris: dict[str, str] = {}
+    for ins in method.instructions:
+        if ins.op == "const-string" and ins.dest:
+            if ins.literal.startswith("content://"):
+                uris[ins.dest] = ins.literal
+        elif ins.op == "iget" and ins.dest:
+            if ins.literal in URI_FIELDS:
+                uris[ins.dest] = ins.literal
+        elif ins.op == "invoke" and ins.target == URI_PARSE_API:
+            if ins.dest and ins.args and ins.args[0] in uris:
+                uris[ins.dest] = uris[ins.args[0]]
+        elif ins.op == "move" and ins.args and ins.args[0] in uris:
+            uris[ins.dest] = uris[ins.args[0]]
+    return uris
+
+
+def find_uri_accesses(dex: DexFile) -> list[UriAccess]:
+    """All resolved content-provider accesses in the app."""
+    accesses: list[UriAccess] = []
+    # pass 1: local resolution + remember URI constants passed onward
+    param_uris: dict[tuple[str, int], str] = {}
+    for method in dex.all_methods():
+        uris = _uri_registers(method)
+        for ins in method.invocations():
+            if ins.target in QUERY_APIS:
+                for reg in ins.args:
+                    literal = uris.get(reg)
+                    if literal is not None:
+                        accesses.append(_make_access(method, literal))
+            else:
+                callee = dex.resolve(ins.target)
+                if callee is None:
+                    continue
+                for position, reg in enumerate(ins.args):
+                    literal = uris.get(reg)
+                    if literal is not None:
+                        param_uris[(callee.signature, position)] = literal
+
+    # pass 2: one level of interprocedural propagation
+    for method in dex.all_methods():
+        incoming = {
+            method.params[pos]: literal
+            for (sig, pos), literal in param_uris.items()
+            if sig == method.signature and pos < len(method.params)
+        }
+        if not incoming:
+            continue
+        local = dict(incoming)
+        for ins in method.instructions:
+            if ins.op == "move" and ins.args and ins.args[0] in local:
+                local[ins.dest] = local[ins.args[0]]
+            elif ins.op == "invoke" and ins.target == URI_PARSE_API:
+                if ins.dest and ins.args and ins.args[0] in local:
+                    local[ins.dest] = local[ins.args[0]]
+            elif ins.op == "invoke" and ins.target in QUERY_APIS:
+                for reg in ins.args:
+                    literal = local.get(reg)
+                    if literal is not None:
+                        accesses.append(_make_access(method, literal))
+    # deduplicate, preserving order
+    unique: list[UriAccess] = []
+    seen: set[tuple[str, str]] = set()
+    for access in accesses:
+        if access is None:
+            continue
+        key = (access.method, access.uri)
+        if key not in seen:
+            seen.add(key)
+            unique.append(access)
+    return unique
+
+
+def _make_access(method: Method, literal: str) -> UriAccess | None:
+    if literal.startswith("content://"):
+        info = info_for_uri(literal)
+        if info is None:
+            return None
+        return UriAccess(method.signature, literal, info, via_field=False)
+    info = info_for_uri_field(literal)
+    if info is None:
+        return None
+    return UriAccess(method.signature, literal, info, via_field=True)
+
+
+__all__ = ["UriAccess", "find_uri_accesses"]

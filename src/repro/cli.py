@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli check BUNDLE.json [--json] [--lib-policies DIR]
+        Run PPChecker over one serialized app bundle.
+
+    python -m repro.cli study [--apps N] [--seed S] [--json PATH]
+        Run the full market study over the synthetic corpus and print
+        the paper's tables.
+
+    python -m repro.cli bootstrap [--top N]
+        Train the pattern bootstrapping and print the top-N patterns.
+
+    python -m repro.cli genpolicy BUNDLE.json
+        Generate a covering privacy policy from the app's bytecode
+        (the AutoPPG extension).
+
+    python -m repro.cli export-corpus INDEX PATH
+        Serialize one synthetic-corpus app to a bundle JSON (handy for
+        inspecting or replaying single apps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core.checker import PPChecker
+
+
+def _lib_policy_source(directory: str | None):
+    if directory is None:
+        from repro.corpus.libpolicies import lib_policy_text
+
+        def from_corpus(lib_id: str) -> str | None:
+            try:
+                return lib_policy_text(lib_id)
+            except KeyError:
+                return None
+
+        return from_corpus
+
+    def from_directory(lib_id: str) -> str | None:
+        for extension in (".txt", ".html"):
+            path = os.path.join(directory, lib_id + extension)
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as handle:
+                    return handle.read()
+        return None
+
+    return from_directory
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.android.serialization import load_bundle
+
+    bundle = load_bundle(args.bundle)
+    checker = PPChecker(
+        lib_policy_source=_lib_policy_source(args.lib_policies)
+    )
+    report = checker.check(bundle)
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+    else:
+        print(report.summary())
+    return 1 if report.has_problem else 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.core.study import run_study
+    from repro.corpus.appstore import generate_app_store
+
+    store = generate_app_store(seed=args.seed, n_apps=args.apps)
+    checker = PPChecker(lib_policy_source=store.lib_policy)
+    result = run_study(store, checker=checker)
+    summary = result.summary()
+
+    print("== study summary ==")
+    for key, value in summary.items():
+        if isinstance(value, float):
+            print(f"  {key:<30} {value:.3f}")
+        else:
+            print(f"  {key:<30} {value}")
+    print("\n== Table III ==")
+    for permission, count in sorted(result.table3().items(),
+                                    key=lambda kv: -kv[1]):
+        print(f"  {permission:<50} {count}")
+    print("\n== Fig. 13 ==")
+    dist, retained = result.fig13()
+    for info, count in dist.most_common():
+        print(f"  {info.value:<20} {count}")
+    print(f"  retained records: {retained}")
+    print("\n== Table IV ==")
+    for name, row in result.table4().items():
+        print(f"  {name:<20} TP={row.tp} FP={row.fp} "
+              f"P={row.precision:.3f} R={row.recall:.3f} "
+              f"F1={row.f1:.3f}")
+
+    if args.html:
+        from repro.core.html_report import write_study_html
+        write_study_html(result, args.html)
+        print(f"\nwrote {args.html}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2,
+                      sort_keys=True)
+        print(f"\nwrote {args.json}")
+
+    if args.apps >= 1197:
+        deviations = result.deviations_from_paper()
+        if deviations:
+            print("\ndeviations from the paper:")
+            for key, (paper, measured) in deviations.items():
+                print(f"  {key}: paper {paper}, measured {measured}")
+        else:
+            print("\nno deviations from the paper's summary numbers")
+    return 0
+
+
+def cmd_screen(args: argparse.Namespace) -> int:
+    from repro.core.screening import screen
+    from repro.core.study import run_study
+    from repro.corpus.appstore import generate_app_store
+
+    store = generate_app_store(seed=args.seed, n_apps=args.apps)
+    checker = PPChecker(lib_policy_source=store.lib_policy)
+    result = run_study(store, checker=checker)
+    report = screen(result.reports, min_score=args.min_score)
+
+    print(f"{'rank':>4} {'score':>6} {'package':<40} kinds / headline")
+    for rank, entry in enumerate(report.top(args.top), start=1):
+        print(f"{rank:>4} {entry.score:>6.1f} {entry.package:<40} "
+              f"{','.join(entry.kinds)}: {entry.headline}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(report.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_bootstrap(args: argparse.Namespace) -> int:
+    from repro.corpus.sentences import generate_labeled_sentences
+    from repro.policy.bootstrap import Bootstrapper, top_n_patterns
+
+    train, _val = generate_labeled_sentences()
+    bootstrapper = Bootstrapper(train)
+    scored = bootstrapper.score(bootstrapper.run())
+    if args.save:
+        from repro.policy.pattern_store import save_patterns
+        save_patterns(scored, args.save)
+        print(f"saved {len(scored)} patterns to {args.save}")
+    print(f"learned {len(scored)} patterns; top {args.top}:")
+    print(f"{'chain':<30} {'category':<10} {'pos':>5} {'neg':>5} "
+          f"{'score':>7}")
+    for sp in scored[: args.top]:
+        chain = ">".join(sp.pattern.chain)
+        category = sp.pattern.category.value if sp.pattern.category \
+            else "-"
+        print(f"{chain:<30} {category:<10} {sp.pos:>5} {sp.neg:>5} "
+              f"{sp.score:>7.2f}")
+    _ = top_n_patterns(scored, args.top)
+    return 0
+
+
+def cmd_genpolicy(args: argparse.Namespace) -> int:
+    from repro.android.serialization import load_bundle
+    from repro.policy.autoppg import generate_policy
+
+    bundle = load_bundle(args.bundle)
+    print(generate_policy(bundle.apk, app_name=bundle.package))
+    return 0
+
+
+def cmd_export_corpus(args: argparse.Namespace) -> int:
+    from repro.android.serialization import save_bundle
+    from repro.corpus.appstore import generate_app_store
+
+    # always build the full corpus: planted problem groups depend on
+    # the complete index layout
+    store = generate_app_store()
+    if not 0 <= args.index < len(store.apps):
+        print(f"index out of range (0..{len(store.apps) - 1})",
+              file=sys.stderr)
+        return 2
+    app = store.apps[args.index]
+    save_bundle(app.bundle, args.path)
+    print(f"wrote {app.package} to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPChecker: detect incomplete, incorrect, and "
+                    "inconsistent Android privacy policies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check one app bundle")
+    check.add_argument("bundle", help="path to a bundle JSON")
+    check.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    check.add_argument("--lib-policies", default=None,
+                       help="directory of <lib_id>.txt policies")
+    check.set_defaults(func=cmd_check)
+
+    study = sub.add_parser("study", help="run the market study")
+    study.add_argument("--apps", type=int, default=1197)
+    study.add_argument("--seed", type=int, default=2016)
+    study.add_argument("--json", default=None,
+                       help="also write results to this JSON path")
+    study.add_argument("--html", default=None,
+                       help="also render an HTML dashboard here")
+    study.set_defaults(func=cmd_study)
+
+    screen = sub.add_parser("screen",
+                            help="rank questionable apps by severity")
+    screen.add_argument("--apps", type=int, default=1197)
+    screen.add_argument("--seed", type=int, default=2016)
+    screen.add_argument("--top", type=int, default=20)
+    screen.add_argument("--min-score", type=float, default=0.0)
+    screen.add_argument("--csv", default=None,
+                        help="also write the full worklist as CSV")
+    screen.set_defaults(func=cmd_screen)
+
+    bootstrap = sub.add_parser("bootstrap",
+                               help="train pattern bootstrapping")
+    bootstrap.add_argument("--top", type=int, default=20)
+    bootstrap.add_argument("--save", default=None,
+                           help="persist the ranked patterns as JSON")
+    bootstrap.set_defaults(func=cmd_bootstrap)
+
+    genpolicy = sub.add_parser("genpolicy",
+                               help="generate a policy from bytecode")
+    genpolicy.add_argument("bundle", help="path to a bundle JSON")
+    genpolicy.set_defaults(func=cmd_genpolicy)
+
+    export = sub.add_parser("export-corpus",
+                            help="serialize one corpus app")
+    export.add_argument("index", type=int)
+    export.add_argument("path")
+    export.set_defaults(func=cmd_export_corpus)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""PPChecker core: the problem-identification module (Section IV).
+
+- :mod:`repro.core.report`       finding / report data types
+- :mod:`repro.core.matching`     information-vs-phrase matching via ESA
+- :mod:`repro.core.incomplete`   Alg. 1 (description) and Alg. 2 (code)
+- :mod:`repro.core.incorrect`    Alg. 3 (description) and Alg. 4 (code)
+- :mod:`repro.core.inconsistent` Alg. 5 (app policy vs. lib policies)
+- :mod:`repro.core.checker`      the PPChecker facade
+- :mod:`repro.core.study`        runs the 1,197-app study and aggregates
+  the numbers behind every table and figure
+"""
+
+from repro.core.report import (
+    AppReport,
+    IncompleteFinding,
+    InconsistentFinding,
+    IncorrectFinding,
+)
+from repro.core.checker import AppBundle, PPChecker
+from repro.core.extended import ExtendedPPChecker, make_extended_checker
+
+__all__ = [
+    "AppReport",
+    "IncompleteFinding",
+    "IncorrectFinding",
+    "InconsistentFinding",
+    "AppBundle",
+    "PPChecker",
+    "ExtendedPPChecker",
+    "make_extended_checker",
+]

@@ -1,0 +1,122 @@
+"""The PPChecker facade (Fig. 4).
+
+Input: an app's privacy policy, description, APK, and its third-party
+libs' privacy policies.  Output: an :class:`repro.core.report.AppReport`
+with the incomplete / incorrect / inconsistent findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.android.apk import Apk
+from repro.android.static_analysis import StaticAnalysisResult, analyze_apk
+from repro.core.incomplete import (
+    detect_incomplete_via_code,
+    detect_incomplete_via_description,
+)
+from repro.core.inconsistent import detect_inconsistent
+from repro.core.incorrect import (
+    detect_incorrect_via_code,
+    detect_incorrect_via_description,
+)
+from repro.core.matching import InfoMatcher
+from repro.core.report import AppReport
+from repro.description.autocog import AutoCog
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.model import PolicyAnalysis
+
+
+@dataclass
+class AppBundle:
+    """Everything PPChecker needs to know about one app."""
+
+    package: str
+    apk: Apk
+    policy: str
+    description: str
+    policy_is_html: bool = False
+
+
+@dataclass
+class PPChecker:
+    """The complete pipeline: policy analysis, static analysis,
+    description analysis, and the three detectors.
+
+    ``lib_policy_source`` maps a detected lib id to that lib's policy
+    text (None when the lib publishes no English policy); lib analyses
+    are cached across apps.
+    """
+
+    lib_policy_source: Callable[[str], str | None] = lambda lib_id: None
+    policy_analyzer: PolicyAnalyzer = field(default_factory=PolicyAnalyzer)
+    autocog: AutoCog = field(default_factory=AutoCog)
+    matcher: InfoMatcher = field(default_factory=InfoMatcher)
+    use_reachability: bool = True
+    use_uri_analysis: bool = True
+    honor_disclaimer: bool = True
+    _lib_cache: dict[str, PolicyAnalysis | None] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- pipeline pieces ----------------------------------------------------
+
+    def analyze_policy(self, bundle: AppBundle) -> PolicyAnalysis:
+        return self.policy_analyzer.analyze(
+            bundle.policy, html=bundle.policy_is_html
+        )
+
+    def analyze_code(self, bundle: AppBundle) -> StaticAnalysisResult:
+        return analyze_apk(
+            bundle.apk,
+            use_reachability=self.use_reachability,
+            use_uri_analysis=self.use_uri_analysis,
+        )
+
+    def _lib_policy(self, lib_id: str) -> PolicyAnalysis | None:
+        if lib_id not in self._lib_cache:
+            text = self.lib_policy_source(lib_id)
+            self._lib_cache[lib_id] = (
+                None if text is None
+                else self.policy_analyzer.analyze(text)
+            )
+        return self._lib_cache[lib_id]
+
+    # -- the check ----------------------------------------------------------
+
+    def check(self, bundle: AppBundle) -> AppReport:
+        """Run all three detectors over one app."""
+        policy = self.analyze_policy(bundle)
+        static_result = self.analyze_code(bundle)
+        permissions = self.autocog.infer_permissions(bundle.description)
+        # Alg. 1 considers only permissions the app actually requests
+        permissions &= bundle.apk.manifest.permissions
+
+        report = AppReport(package=bundle.package)
+        report.incomplete.extend(detect_incomplete_via_description(
+            policy, permissions, self.matcher,
+        ))
+        report.incomplete.extend(detect_incomplete_via_code(
+            policy, static_result, self.matcher,
+        ))
+        report.incorrect.extend(detect_incorrect_via_description(
+            policy, permissions, self.matcher,
+        ))
+        report.incorrect.extend(detect_incorrect_via_code(
+            policy, static_result, self.matcher,
+        ))
+
+        lib_policies = {
+            spec.lib_id: analysis
+            for spec in static_result.libraries
+            if (analysis := self._lib_policy(spec.lib_id)) is not None
+        }
+        report.inconsistent.extend(detect_inconsistent(
+            policy, lib_policies, self.matcher,
+            honor_disclaimer=self.honor_disclaimer,
+        ))
+        return report
+
+
+__all__ = ["AppBundle", "PPChecker"]

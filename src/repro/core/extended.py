@@ -1,0 +1,74 @@
+"""The extended PPChecker: the paper's future work, assembled.
+
+Combines the three Section-VI extensions into one configuration:
+
+1. verb-synonym patterns (recovers the "display" class of
+   inconsistency false negatives),
+2. constraint modelling (consent-scoped denials stop tripping the
+   incorrect detector; third-party-attributed statements are dropped),
+3. optional dynamic verification (a code-path incomplete finding is
+   kept only if a concrete run can also observe the behaviour --
+   killing static over-approximation false positives from dead code).
+
+``make_extended_checker()`` returns a drop-in
+:class:`repro.core.checker.PPChecker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.checker import AppBundle, PPChecker
+from repro.core.report import AppReport
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.constraints import adjust_analysis
+from repro.policy.model import PolicyAnalysis
+from repro.policy.synonyms import expanded_pattern_set
+
+
+@dataclass
+class ExtendedPPChecker(PPChecker):
+    """PPChecker with the Discussion extensions switched on."""
+
+    use_constraints: bool = True
+    verify_dynamically: bool = False
+
+    def analyze_policy(self, bundle: AppBundle) -> PolicyAnalysis:
+        analysis = super().analyze_policy(bundle)
+        if self.use_constraints:
+            analysis = adjust_analysis(analysis)
+        return analysis
+
+    def check(self, bundle: AppBundle) -> AppReport:
+        report = super().check(bundle)
+        if not self.verify_dynamically:
+            return report
+        code_findings = [
+            f for f in report.incomplete if f.source == "code"
+        ]
+        if not code_findings:
+            return report
+        from repro.android.dynamic import DynamicAnalyzer
+        observed = DynamicAnalyzer(bundle.apk).run()
+        seen = observed.collected_infos() | observed.retained_infos()
+        report.incomplete = [
+            f for f in report.incomplete
+            if f.source != "code" or f.info in seen
+        ]
+        return report
+
+
+def make_extended_checker(
+    lib_policy_source: Callable[[str], str | None] = lambda _lib: None,
+    verify_dynamically: bool = False,
+) -> ExtendedPPChecker:
+    """An extended checker with synonym patterns pre-wired."""
+    return ExtendedPPChecker(
+        lib_policy_source=lib_policy_source,
+        policy_analyzer=PolicyAnalyzer(patterns=expanded_pattern_set()),
+        verify_dynamically=verify_dynamically,
+    )
+
+
+__all__ = ["ExtendedPPChecker", "make_extended_checker"]

@@ -1,0 +1,75 @@
+"""Inconsistent-privacy-policy detection (Section IV-C, Alg. 5).
+
+An app's policy is inconsistent when a *negative* app statement and a
+*positive* statement in an embedded third-party lib's policy share the
+same main-verb category and refer to the same resource.  A policy
+that disclaims responsibility for third parties suppresses the check
+(the paper's com.shortbreakstudios.HammerTime example).
+"""
+
+from __future__ import annotations
+
+from repro.core.matching import InfoMatcher
+from repro.core.report import InconsistentFinding
+from repro.policy.model import PolicyAnalysis
+
+
+def detect_inconsistent(
+    app_policy: PolicyAnalysis,
+    lib_policies: dict[str, PolicyAnalysis],
+    matcher: InfoMatcher,
+    honor_disclaimer: bool = True,
+) -> list[InconsistentFinding]:
+    """Alg. 5 over the app policy and each embedded lib's policy.
+
+    ``honor_disclaimer`` exists for the ablation benchmark; the
+    paper's configuration is True.
+    """
+    if honor_disclaimer and app_policy.has_third_party_disclaimer:
+        return []
+
+    findings: list[InconsistentFinding] = []
+    seen: set[tuple[str, str, str]] = set()
+    negatives = app_policy.negative_statements()
+    for lib_id, lib_policy in sorted(lib_policies.items()):
+        positives = lib_policy.positive_statements()
+        for app_stmt in negatives:
+            for lib_stmt in positives:
+                # requirement (1): same main-verb category;
+                # (2) polarity is already encoded in the statement lists
+                if app_stmt.category is not lib_stmt.category:
+                    continue
+                # requirement (3): same resource
+                hit = _matching_resources(app_stmt.resources,
+                                          lib_stmt.resources, matcher)
+                if hit is None:
+                    continue
+                app_res, lib_res = hit
+                key = (lib_id, app_stmt.sentence, lib_stmt.sentence)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(InconsistentFinding(
+                    lib_id=lib_id,
+                    category=app_stmt.category,
+                    app_sentence=app_stmt.sentence,
+                    lib_sentence=lib_stmt.sentence,
+                    app_resource=app_res,
+                    lib_resource=lib_res,
+                ))
+    return findings
+
+
+def _matching_resources(
+    app_resources: tuple[str, ...],
+    lib_resources: tuple[str, ...],
+    matcher: InfoMatcher,
+) -> tuple[str, str] | None:
+    for app_res in app_resources:
+        for lib_res in lib_resources:
+            if matcher.phrases_match(app_res, lib_res):
+                return app_res, lib_res
+    return None
+
+
+__all__ = ["detect_inconsistent"]

@@ -1,0 +1,92 @@
+"""Incorrect-privacy-policy detection (Section IV-B, Alg. 3 and 4).
+
+A policy is incorrect when it *denies* a behaviour the app performs:
+the Not* resource sets intersect the description-implied information
+(Alg. 3) or the code-observed collection/retention (Alg. 4).
+"""
+
+from __future__ import annotations
+
+from repro.android.static_analysis import StaticAnalysisResult
+from repro.core.matching import InfoMatcher
+from repro.core.report import IncorrectFinding
+from repro.description.permission_map import info_for_permission
+from repro.policy.model import PolicyAnalysis, Statement
+from repro.semantics.resources import InfoType
+
+
+def _denial_sentence(
+    policy: PolicyAnalysis, info: InfoType, matcher: InfoMatcher
+) -> tuple[Statement | None, str]:
+    for statement in policy.negative_statements():
+        for resource in statement.resources:
+            if matcher.phrase_matches(info, resource):
+                return statement, resource
+    return None, ""
+
+
+def detect_incorrect_via_description(
+    policy: PolicyAnalysis,
+    description_permissions: set[str],
+    matcher: InfoMatcher,
+) -> list[IncorrectFinding]:
+    """Alg. 3: Info_desc vs. the policy's negative sets."""
+    findings: list[IncorrectFinding] = []
+    desc_infos: set[InfoType] = set()
+    for permission in description_permissions:
+        desc_infos.update(info_for_permission(permission))
+    for info in sorted(desc_infos, key=lambda i: i.value):
+        statement, _res = _denial_sentence(policy, info, matcher)
+        if statement is None:
+            continue
+        findings.append(IncorrectFinding(
+            info=info,
+            source="description",
+            denial_sentence=statement.sentence,
+            kind=statement.category.value,
+        ))
+    return findings
+
+
+def detect_incorrect_via_code(
+    policy: PolicyAnalysis,
+    static_result: StaticAnalysisResult,
+    matcher: InfoMatcher,
+) -> list[IncorrectFinding]:
+    """Alg. 4: NotCollect vs Collect_code, NotRetain vs Retain_code."""
+    findings: list[IncorrectFinding] = []
+
+    def check(code_infos: set[InfoType], denial_phrases: set[str],
+              kind: str) -> None:
+        for info in sorted(code_infos, key=lambda i: i.value):
+            for phrase in denial_phrases:
+                if matcher.phrase_matches(info, phrase):
+                    sentence = _sentence_with_phrase(policy, phrase, kind)
+                    findings.append(IncorrectFinding(
+                        info=info,
+                        source="code",
+                        denial_sentence=sentence,
+                        kind=kind,
+                        evidence=tuple(static_result.evidence_for(info)),
+                    ))
+                    break
+
+    # NotCollect / NotUse / NotDisclose against observed collection
+    denial_collect = (
+        policy.not_collected | policy.not_used | policy.not_disclosed
+    )
+    check(static_result.collected_infos(), denial_collect, "collect")
+    # NotRetain against observed retention paths
+    check(static_result.retained_infos(), policy.not_retained, "retain")
+    return findings
+
+
+def _sentence_with_phrase(policy: PolicyAnalysis, phrase: str,
+                          kind: str) -> str:
+    for statement in policy.negative_statements():
+        if phrase in statement.resources:
+            return statement.sentence
+    return ""
+
+
+__all__ = ["detect_incorrect_via_description", "detect_incorrect_via_code"]

@@ -1,0 +1,50 @@
+"""Information matching: code/description info vs. policy phrases.
+
+The paper's ``Similarity(Info, PPInfo) > threshold`` predicate (Alg. 1
+line 5 and friends) with ESA and the 0.67 threshold.  A fast exact
+alias lookup short-circuits the ESA computation for the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.description.permission_map import INFO_SURFACE
+from repro.semantics.esa import DEFAULT_THRESHOLD, EsaModel, default_model
+from repro.semantics.resources import InfoType, normalize_resource
+
+
+@dataclass
+class InfoMatcher:
+    """Decides whether a policy phrase refers to a given information."""
+
+    esa: EsaModel | None = None
+    threshold: float = DEFAULT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.esa is None:
+            self.esa = default_model()
+
+    def phrase_matches(self, info: InfoType, phrase: str) -> bool:
+        """Similarity(info, phrase) > threshold."""
+        if normalize_resource(phrase) is info:
+            return True
+        for surface in INFO_SURFACE.get(info, (info.value,)):
+            if self.esa.similarity(surface, phrase) > self.threshold:
+                return True
+        return False
+
+    def covered(self, info: InfoType, phrases: set[str]) -> bool:
+        """Is *info* mentioned by any of the policy *phrases*?"""
+        return any(self.phrase_matches(info, phrase) for phrase in phrases)
+
+    def phrases_match(self, phrase_a: str, phrase_b: str) -> bool:
+        """Resource-to-resource matching (Alg. 5 line 11)."""
+        info_a = normalize_resource(phrase_a)
+        info_b = normalize_resource(phrase_b)
+        if info_a is not None and info_a is info_b:
+            return True
+        return self.esa.similarity(phrase_a, phrase_b) > self.threshold
+
+
+__all__ = ["InfoMatcher"]

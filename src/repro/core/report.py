@@ -1,0 +1,169 @@
+"""Finding and report types: PPChecker's output (Section III-A).
+
+For each app, PPChecker reports whether its policy is incomplete
+(with the missed information), incorrect (with the offending
+sentences), and/or inconsistent (with the conflicting app/lib sentence
+pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.verbs import VerbCategory
+from repro.semantics.resources import InfoType
+
+
+@dataclass(frozen=True)
+class IncompleteFinding:
+    """Information the app handles but the policy does not mention."""
+
+    info: InfoType
+    source: str                  # "description" | "code"
+    retained: bool = False       # the missed record is a retention fact
+    permission: str = ""         # description findings: inferring permission
+    evidence: tuple[str, ...] = ()  # code findings: API/URI evidence
+
+
+@dataclass(frozen=True)
+class IncorrectFinding:
+    """The policy denies a behaviour the app performs."""
+
+    info: InfoType
+    source: str                  # "description" | "code"
+    denial_sentence: str
+    kind: str = "collect"        # "collect" | "retain" (Alg. 3 vs 4 path)
+    evidence: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InconsistentFinding:
+    """App-policy denial conflicting with a lib-policy assertion."""
+
+    lib_id: str
+    category: VerbCategory
+    app_sentence: str
+    lib_sentence: str
+    app_resource: str
+    lib_resource: str
+
+    @property
+    def is_disclose(self) -> bool:
+        """Table IV splits Sents_disclose from Sents_{collect,use,retain}."""
+        return self.category is VerbCategory.DISCLOSE
+
+
+@dataclass
+class AppReport:
+    """PPChecker's verdict for one app."""
+
+    package: str
+    incomplete: list[IncompleteFinding] = field(default_factory=list)
+    incorrect: list[IncorrectFinding] = field(default_factory=list)
+    inconsistent: list[InconsistentFinding] = field(default_factory=list)
+
+    @property
+    def is_incomplete(self) -> bool:
+        return bool(self.incomplete)
+
+    @property
+    def is_incorrect(self) -> bool:
+        return bool(self.incorrect)
+
+    @property
+    def is_inconsistent(self) -> bool:
+        return bool(self.inconsistent)
+
+    @property
+    def has_problem(self) -> bool:
+        return self.is_incomplete or self.is_incorrect or self.is_inconsistent
+
+    def problem_kinds(self) -> set[str]:
+        kinds: set[str] = set()
+        if self.is_incomplete:
+            kinds.add("incomplete")
+        if self.is_incorrect:
+            kinds.add("incorrect")
+        if self.is_inconsistent:
+            kinds.add("inconsistent")
+        return kinds
+
+    def incomplete_via(self, source: str) -> list[IncompleteFinding]:
+        return [f for f in self.incomplete if f.source == source]
+
+    def incorrect_via(self, source: str) -> list[IncorrectFinding]:
+        return [f for f in self.incorrect if f.source == source]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the report."""
+        return {
+            "package": self.package,
+            "has_problem": self.has_problem,
+            "problem_kinds": sorted(self.problem_kinds()),
+            "incomplete": [
+                {
+                    "info": f.info.value,
+                    "source": f.source,
+                    "retained": f.retained,
+                    "permission": f.permission,
+                    "evidence": list(f.evidence),
+                }
+                for f in self.incomplete
+            ],
+            "incorrect": [
+                {
+                    "info": f.info.value,
+                    "source": f.source,
+                    "kind": f.kind,
+                    "denial_sentence": f.denial_sentence,
+                    "evidence": list(f.evidence),
+                }
+                for f in self.incorrect
+            ],
+            "inconsistent": [
+                {
+                    "lib": f.lib_id,
+                    "category": f.category.value,
+                    "app_sentence": f.app_sentence,
+                    "lib_sentence": f.lib_sentence,
+                    "app_resource": f.app_resource,
+                    "lib_resource": f.lib_resource,
+                }
+                for f in self.inconsistent
+            ],
+        }
+
+    def summary(self) -> str:
+        """A one-app human-readable report."""
+        lines = [f"=== {self.package} ==="]
+        if not self.has_problem:
+            lines.append("no problems detected")
+            return "\n".join(lines)
+        for finding in self.incomplete:
+            extra = " (retained)" if finding.retained else ""
+            lines.append(
+                f"INCOMPLETE via {finding.source}: policy misses "
+                f"'{finding.info}'{extra}"
+            )
+        for finding in self.incorrect:
+            lines.append(
+                f"INCORRECT via {finding.source}: app does "
+                f"{finding.kind} '{finding.info}' but policy says: "
+                f"\"{finding.denial_sentence}\""
+            )
+        for finding in self.inconsistent:
+            lines.append(
+                f"INCONSISTENT with lib '{finding.lib_id}' "
+                f"[{finding.category}]: app says "
+                f"\"{finding.app_sentence}\" / lib says "
+                f"\"{finding.lib_sentence}\""
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "IncompleteFinding",
+    "IncorrectFinding",
+    "InconsistentFinding",
+    "AppReport",
+]

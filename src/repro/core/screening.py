@@ -1,0 +1,151 @@
+"""Market screening: rank questionable apps for regulators.
+
+The paper's introduction motivates PPChecker for "app market owners
+and organizations like FTC to identify questionable apps."  This
+module turns per-app reports into a screening worklist:
+
+- a severity score per app (incorrect > inconsistent > incomplete,
+  retention-backed findings weigh extra -- the FTC fined Path for
+  undisclosed *retention*),
+- a ranked list with the evidence a reviewer needs,
+- CSV/JSON export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+from repro.core.report import AppReport
+
+#: base severity per problem class.
+WEIGHTS = {
+    "incorrect": 10.0,
+    "inconsistent": 5.0,
+    "incomplete": 2.0,
+}
+#: extra weight when the finding involves retained information.
+RETENTION_BONUS = 3.0
+#: extra weight per additional finding of the same class.
+PER_FINDING = 0.5
+
+
+def severity(report: AppReport) -> float:
+    """Severity score of one app's report (0 for a clean app)."""
+    score = 0.0
+    if report.incorrect:
+        score += WEIGHTS["incorrect"]
+        score += PER_FINDING * (len(report.incorrect) - 1)
+        if any(f.kind == "retain" for f in report.incorrect):
+            score += RETENTION_BONUS
+    if report.inconsistent:
+        score += WEIGHTS["inconsistent"]
+        score += PER_FINDING * (len(report.inconsistent) - 1)
+    if report.incomplete:
+        score += WEIGHTS["incomplete"]
+        score += PER_FINDING * (len(report.incomplete) - 1)
+        if any(f.retained for f in report.incomplete):
+            score += RETENTION_BONUS
+    return score
+
+
+@dataclass(frozen=True)
+class ScreeningEntry:
+    package: str
+    score: float
+    kinds: tuple[str, ...]
+    finding_count: int
+    headline: str
+
+
+@dataclass
+class ScreeningReport:
+    """A ranked worklist over a set of app reports."""
+
+    entries: list[ScreeningEntry] = field(default_factory=list)
+
+    def top(self, k: int) -> list[ScreeningEntry]:
+        return self.entries[:k]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "package": entry.package,
+                    "score": entry.score,
+                    "kinds": list(entry.kinds),
+                    "findings": entry.finding_count,
+                    "headline": entry.headline,
+                }
+                for entry in self.entries
+            ],
+            indent=2,
+        )
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["package", "score", "kinds", "findings",
+                         "headline"])
+        for entry in self.entries:
+            writer.writerow([
+                entry.package, f"{entry.score:.1f}",
+                "|".join(entry.kinds), entry.finding_count,
+                entry.headline,
+            ])
+        return buffer.getvalue()
+
+
+def _headline(report: AppReport) -> str:
+    if report.incorrect:
+        finding = report.incorrect[0]
+        return (f"policy denies {finding.kind} of '{finding.info}' "
+                "but the app does it")
+    if report.inconsistent:
+        finding = report.inconsistent[0]
+        return (f"policy conflicts with lib '{finding.lib_id}' over "
+                f"'{finding.lib_resource}'")
+    if report.incomplete:
+        finding = report.incomplete[0]
+        extra = " (retained)" if finding.retained else ""
+        return f"policy never mentions '{finding.info}'{extra}"
+    return "clean"
+
+
+def screen(reports: dict[str, AppReport] | list[AppReport],
+           min_score: float = 0.0) -> ScreeningReport:
+    """Rank apps by severity, most questionable first."""
+    if isinstance(reports, dict):
+        items = list(reports.values())
+    else:
+        items = list(reports)
+
+    entries = []
+    for report in items:
+        if not report.has_problem:
+            continue
+        score = severity(report)
+        if score < min_score:
+            continue
+        entries.append(ScreeningEntry(
+            package=report.package,
+            score=score,
+            kinds=tuple(sorted(report.problem_kinds())),
+            finding_count=(len(report.incomplete) + len(report.incorrect)
+                           + len(report.inconsistent)),
+            headline=_headline(report),
+        ))
+    entries.sort(key=lambda e: (-e.score, e.package))
+    return ScreeningReport(entries=entries)
+
+
+__all__ = [
+    "WEIGHTS",
+    "RETENTION_BONUS",
+    "severity",
+    "ScreeningEntry",
+    "ScreeningReport",
+    "screen",
+]

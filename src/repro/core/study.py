@@ -1,0 +1,333 @@
+"""The 1,197-app study (Section V): run PPChecker over the corpus and
+aggregate the numbers behind every table and figure.
+
+``run_study`` produces a :class:`StudyResult` exposing:
+
+- Table III: permission -> count of description-incomplete apps,
+- Fig. 13: distribution of missed information (code path),
+- Section V-D: incorrect-policy counts,
+- Table IV: inconsistency TP/FP/precision/recall/F1 per sentence row,
+- Section V-F: the summary (apps with at least one problem).
+
+Ground-truth labels come from the corpus plans, so precision and
+recall are exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.checker import PPChecker
+from repro.core.report import AppReport
+from repro.corpus.appstore import AppStore
+from repro.corpus.plans import AppPlan
+from repro.policy.verbs import VerbCategory
+from repro.semantics.resources import InfoType
+
+
+@dataclass
+class RowMetrics:
+    """One Table IV row."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def flagged(self) -> int:
+        return self.tp + self.fp
+
+    @property
+    def precision(self) -> float:
+        return self.tp / self.flagged if self.flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.tp + self.fn
+        return self.tp / actual if actual else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+@dataclass
+class StudyResult:
+    """Everything the benches and EXPERIMENTS.md report."""
+
+    n_apps: int
+    reports: dict[str, AppReport] = field(default_factory=dict)
+    plans: dict[str, AppPlan] = field(default_factory=dict)
+
+    # -- incomplete via description (Table III) ---------------------------
+
+    def incomplete_desc_apps(self) -> set[str]:
+        return {
+            pkg for pkg, r in self.reports.items()
+            if r.incomplete_via("description")
+        }
+
+    def table3(self) -> dict[str, int]:
+        """permission -> number of flagged apps."""
+        counts: Counter[str] = Counter()
+        for report in self.reports.values():
+            for permission in {
+                f.permission for f in report.incomplete_via("description")
+            }:
+                counts[permission] += 1
+        return dict(counts)
+
+    # -- incomplete via code (Fig. 13) --------------------------------------
+
+    def incomplete_code_apps(self) -> set[str]:
+        return {
+            pkg for pkg, r in self.reports.items()
+            if r.incomplete_via("code")
+        }
+
+    def incomplete_code_confusion(self) -> tuple[int, int]:
+        """(true positives, false positives) against ground truth."""
+        tp = fp = 0
+        for pkg in self.incomplete_code_apps():
+            if self.plans[pkg].gt_incomplete_code:
+                tp += 1
+            else:
+                fp += 1
+        return tp, fp
+
+    def fig13(self) -> tuple[Counter[InfoType], int]:
+        """(missed-info distribution, retained records), TP apps only."""
+        counts: Counter[InfoType] = Counter()
+        retained = 0
+        for pkg in self.incomplete_code_apps():
+            if not self.plans[pkg].gt_incomplete_code:
+                continue
+            for finding in self.reports[pkg].incomplete_via("code"):
+                counts[finding.info] += 1
+                if finding.retained:
+                    retained += 1
+        return counts, retained
+
+    # -- incorrect (Section V-D) -----------------------------------------------
+
+    def incorrect_apps(self, source: str | None = None) -> set[str]:
+        return {
+            pkg for pkg, r in self.reports.items()
+            if (r.incorrect if source is None else r.incorrect_via(source))
+        }
+
+    def incorrect_confusion(self) -> tuple[int, int]:
+        tp = fp = 0
+        for pkg in self.incorrect_apps():
+            if self.plans[pkg].gt_incorrect:
+                tp += 1
+            else:
+                fp += 1
+        return tp, fp
+
+    # -- inconsistent (Table IV) --------------------------------------------------
+
+    def _row_membership(self, report: AppReport) -> tuple[bool, bool]:
+        cur = any(
+            f.category is not VerbCategory.DISCLOSE
+            for f in report.inconsistent
+        )
+        disclose = any(
+            f.category is VerbCategory.DISCLOSE
+            for f in report.inconsistent
+        )
+        return cur, disclose
+
+    def table4(self) -> dict[str, RowMetrics]:
+        rows = {"collect_use_retain": RowMetrics(),
+                "disclose": RowMetrics()}
+        for pkg, report in self.reports.items():
+            plan = self.plans[pkg]
+            det_cur, det_d = self._row_membership(report)
+            for row, detected, truth in (
+                ("collect_use_retain", det_cur, plan.gt_inconsistent_cur),
+                ("disclose", det_d, plan.gt_inconsistent_d),
+            ):
+                metrics = rows[row]
+                if detected and truth:
+                    metrics.tp += 1
+                elif detected and not truth:
+                    metrics.fp += 1
+                elif not detected and truth:
+                    metrics.fn += 1
+        return rows
+
+    def inconsistent_true_apps(self) -> set[str]:
+        """Detected AND manually-verified inconsistent apps (the 75)."""
+        out = set()
+        for pkg, report in self.reports.items():
+            if not report.inconsistent:
+                continue
+            plan = self.plans[pkg]
+            det_cur, det_d = self._row_membership(report)
+            if (det_cur and plan.gt_inconsistent_cur) or (
+                det_d and plan.gt_inconsistent_d
+            ):
+                out.add(pkg)
+        return out
+
+    # -- summary (Section V-F) ---------------------------------------------------
+
+    def summary(self) -> dict[str, int | float]:
+        incomplete_tp = {
+            pkg for pkg in self.incomplete_desc_apps()
+            if self.plans[pkg].gt_incomplete_desc
+        } | {
+            pkg for pkg in self.incomplete_code_apps()
+            if self.plans[pkg].gt_incomplete_code
+        }
+        incorrect_tp = {
+            pkg for pkg in self.incorrect_apps()
+            if self.plans[pkg].gt_incorrect
+        }
+        inconsistent_tp = self.inconsistent_true_apps()
+        problem_apps = incomplete_tp | incorrect_tp | inconsistent_tp
+        desc_tp = {
+            pkg for pkg in self.incomplete_desc_apps()
+            if self.plans[pkg].gt_incomplete_desc
+        }
+        code_tp = {
+            pkg for pkg in self.incomplete_code_apps()
+            if self.plans[pkg].gt_incomplete_code
+        }
+        return {
+            "apps": self.n_apps,
+            "problem_apps": len(problem_apps),
+            "problem_fraction": len(problem_apps) / self.n_apps
+            if self.n_apps else 0.0,
+            "incomplete_apps": len(incomplete_tp),
+            "incomplete_via_description": len(desc_tp),
+            "incomplete_via_code": len(code_tp),
+            "incorrect_apps": len(incorrect_tp),
+            "incorrect_via_description": len(
+                {p for p in self.incorrect_apps("description")
+                 if self.plans[p].gt_incorrect}
+            ),
+            "incorrect_via_code": len(
+                {p for p in self.incorrect_apps("code")
+                 if self.plans[p].gt_incorrect}
+            ),
+            "inconsistent_apps": len(inconsistent_tp),
+        }
+
+    # -- export & paper comparison ------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of every table and figure."""
+        dist, retained = self.fig13()
+        return {
+            "summary": self.summary(),
+            "table3": self.table3(),
+            "fig13": {
+                info.value: count for info, count in dist.items()
+            },
+            "fig13_retained": retained,
+            "table4": {
+                name: {"tp": row.tp, "fp": row.fp, "fn": row.fn,
+                       "precision": row.precision,
+                       "recall": row.recall, "f1": row.f1}
+                for name, row in self.table4().items()
+            },
+        }
+
+    def deviations_from_paper(self) -> dict[str, tuple]:
+        """Summary metrics that differ from :data:`PAPER_RESULTS`."""
+        summary = self.summary()
+        out: dict[str, tuple] = {}
+        for key, paper_value in PAPER_RESULTS.items():
+            measured = summary.get(key)
+            if measured is None:
+                continue
+            if isinstance(paper_value, float):
+                if abs(measured - paper_value) > 0.002:
+                    out[key] = (paper_value, measured)
+            elif measured != paper_value:
+                out[key] = (paper_value, measured)
+        return out
+
+
+#: the paper's published evaluation numbers (Section V).
+PAPER_RESULTS: dict[str, int | float] = {
+    "apps": 1197,
+    "problem_apps": 282,
+    "problem_fraction": 0.236,
+    "incomplete_apps": 222,
+    "incomplete_via_description": 64,
+    "incomplete_via_code": 180,
+    "incorrect_apps": 4,
+    "incorrect_via_description": 2,
+    "incorrect_via_code": 4,
+    "inconsistent_apps": 75,
+}
+
+
+def run_study(
+    store: AppStore,
+    checker: PPChecker | None = None,
+    limit: int | None = None,
+) -> StudyResult:
+    """Run PPChecker over every app of the store."""
+    if checker is None:
+        checker = PPChecker(lib_policy_source=store.lib_policy)
+    apps = store.apps if limit is None else store.apps[:limit]
+    result = StudyResult(n_apps=len(apps))
+    for app in apps:
+        result.reports[app.package] = checker.check(app.bundle)
+        result.plans[app.package] = app.plan
+    return result
+
+
+def _check_slice(args: tuple[int, int, int, int]) -> list[tuple[str, AppReport]]:
+    """Worker: regenerate the (deterministic) store and check a slice."""
+    seed, n_apps, start, stop = args
+    from repro.corpus.appstore import generate_app_store
+
+    store = generate_app_store(seed=seed, n_apps=n_apps)
+    checker = PPChecker(lib_policy_source=store.lib_policy)
+    return [
+        (app.package, checker.check(app.bundle))
+        for app in store.apps[start:stop]
+    ]
+
+
+def run_study_parallel(
+    seed: int = 2016,
+    n_apps: int = 1197,
+    jobs: int = 2,
+) -> StudyResult:
+    """The study fanned out over worker processes.
+
+    Each worker regenerates the deterministic store locally, so no
+    APKs cross process boundaries -- only the reports come back.
+    """
+    import multiprocessing
+
+    from repro.corpus.appstore import generate_app_store
+
+    store = generate_app_store(seed=seed, n_apps=n_apps)
+    total = len(store.apps)
+    jobs = max(1, min(jobs, total))
+    chunk = (total + jobs - 1) // jobs
+    slices = [
+        (seed, n_apps, start, min(start + chunk, total))
+        for start in range(0, total, chunk)
+    ]
+    result = StudyResult(n_apps=total)
+    with multiprocessing.get_context("spawn").Pool(jobs) as pool:
+        for pairs in pool.map(_check_slice, slices):
+            for package, report in pairs:
+                result.reports[package] = report
+    for app in store.apps:
+        result.plans[app.package] = app.plan
+    return result
+
+
+__all__ = ["RowMetrics", "StudyResult", "PAPER_RESULTS", "run_study",
+           "run_study_parallel"]

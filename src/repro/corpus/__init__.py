@@ -1,0 +1,27 @@
+"""Synthetic app-store corpus (Section V-A substitute).
+
+The paper evaluates PPChecker on 1,197 Google-Play apps with English
+descriptions and privacy policies, plus the policies of 81 third-party
+libraries (52 ad, 9 social, 20 development tools).  That corpus is not
+redistributable, so this package generates a deterministic synthetic
+equivalent: every app gets a manifest, dex bytecode, a description,
+and a privacy policy, rendered from per-app :class:`AppPlan`\\ s whose
+planted problems are calibrated to the paper's findings (Tables III/IV,
+Fig. 13, Section V-F).  Ground-truth labels live on the plans, so
+precision/recall can be measured exactly.
+"""
+
+from repro.corpus.plans import AppPlan, build_plans
+from repro.corpus.appstore import AppStore, SyntheticApp, generate_app_store
+from repro.corpus.libpolicies import lib_policy_text
+from repro.corpus.sentences import generate_labeled_sentences
+
+__all__ = [
+    "AppPlan",
+    "build_plans",
+    "AppStore",
+    "SyntheticApp",
+    "generate_app_store",
+    "lib_policy_text",
+    "generate_labeled_sentences",
+]

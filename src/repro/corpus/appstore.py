@@ -1,0 +1,89 @@
+"""The synthetic app store: assembled bundles + ground truth.
+
+``generate_app_store()`` is the corpus entry point used by tests,
+benchmarks, and examples.  Generation is deterministic and cached per
+(seed, n_apps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checker import AppBundle
+from repro.corpus.codegen import build_apk
+from repro.corpus.descgen import render_description
+from repro.corpus.libpolicies import lib_policy_text
+from repro.corpus.plans import AppPlan, DEFAULT_SEED, N_APPS, build_plans
+from repro.corpus.policygen import render_app_policy
+
+
+@dataclass
+class SyntheticApp:
+    """One generated app: the PPChecker input plus its ground truth."""
+
+    plan: AppPlan
+    bundle: AppBundle
+
+    @property
+    def package(self) -> str:
+        return self.plan.package
+
+
+@dataclass
+class AppStore:
+    """The full corpus."""
+
+    seed: int
+    apps: list[SyntheticApp]
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    def lib_policy(self, lib_id: str) -> str | None:
+        """Lib-policy source for :class:`repro.core.checker.PPChecker`."""
+        try:
+            return lib_policy_text(lib_id)
+        except KeyError:
+            return None
+
+    def app(self, package: str) -> SyntheticApp | None:
+        for app in self.apps:
+            if app.package == package:
+                return app
+        return None
+
+
+def _build_app(plan: AppPlan) -> SyntheticApp:
+    from repro.corpus.htmlgen import policy_to_html
+
+    policy_text = render_app_policy(plan)
+    bundle = AppBundle(
+        package=plan.package,
+        apk=build_apk(plan),
+        policy=policy_to_html(
+            policy_text,
+            title=f"Privacy Policy - {plan.package}",
+            variant=plan.index,
+        ),
+        description=render_description(plan),
+        policy_is_html=True,
+    )
+    return SyntheticApp(plan=plan, bundle=bundle)
+
+
+_CACHE: dict[tuple[int, int], AppStore] = {}
+
+
+def generate_app_store(seed: int = DEFAULT_SEED,
+                       n_apps: int = N_APPS) -> AppStore:
+    """Generate (or fetch the cached) synthetic app store."""
+    key = (seed, n_apps)
+    if key not in _CACHE:
+        plans = build_plans(seed=seed, n_apps=n_apps)
+        _CACHE[key] = AppStore(
+            seed=seed, apps=[_build_app(plan) for plan in plans],
+        )
+    return _CACHE[key]
+
+
+__all__ = ["SyntheticApp", "AppStore", "generate_app_store"]

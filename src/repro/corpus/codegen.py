@@ -1,0 +1,278 @@
+"""APK bytecode generation from an app plan.
+
+Builds a dex whose observable behaviour matches the plan:
+
+- ``MainActivity.onCreate`` invokes one sensitive API (or performs a
+  content-provider query) per planted collection;
+- planted retentions route the result register through a helper method
+  into a log/file sink (an interprocedural taint path);
+- a dead class performs unreachable collection (exercising the
+  reachability analysis);
+- one stub class per embedded third-party lib (exercising lib
+  detection and app-vs-lib attribution);
+- every fourth app launches a service through an explicit intent and
+  registers a click listener (exercising the IccTA and EdgeMiner
+  substitutes);
+- packed apps go through :func:`repro.android.packer.pack`.
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+from repro.android.libs import LIB_REGISTRY
+from repro.android.manifest import AndroidManifest, Component
+from repro.android.packer import pack
+from repro.corpus.plans import AppPlan
+from repro.semantics.resources import InfoType
+
+_QUERY_API = ("android.content.ContentResolver->query(uri,projection,"
+              "selection,selectionArgs,sortOrder)")
+_URI_PARSE = "android.net.Uri->parse(uriString)"
+_LOG_SINK = "android.util.Log->i(tag,msg)"
+_FILE_SINK = "java.io.FileOutputStream->write(bytes)"
+
+#: info -> (sensitive API | None, content URI | None, permission)
+INFO_SOURCES: dict[InfoType, tuple[str | None, str | None, str]] = {
+    InfoType.LOCATION: (
+        "android.location.Location->getLatitude()", None,
+        "android.permission.ACCESS_FINE_LOCATION",
+    ),
+    InfoType.DEVICE_ID: (
+        "android.telephony.TelephonyManager->getDeviceId()", None,
+        "android.permission.READ_PHONE_STATE",
+    ),
+    InfoType.PHONE_NUMBER: (
+        "android.telephony.TelephonyManager->getLine1Number()", None,
+        "android.permission.READ_PHONE_STATE",
+    ),
+    InfoType.ACCOUNT: (
+        "android.accounts.AccountManager->getAccounts()", None,
+        "android.permission.GET_ACCOUNTS",
+    ),
+    InfoType.APP_LIST: (
+        "android.content.pm.PackageManager->getInstalledPackages(flags)",
+        None, "",
+    ),
+    InfoType.CAMERA: (
+        "android.hardware.Camera->open()", None,
+        "android.permission.CAMERA",
+    ),
+    InfoType.AUDIO: (
+        "android.media.AudioRecord->read(audioData,offset,size)", None,
+        "android.permission.RECORD_AUDIO",
+    ),
+    InfoType.IP_ADDRESS: (
+        "android.net.wifi.WifiInfo->getIpAddress()", None, "",
+    ),
+    InfoType.COOKIE: (
+        "android.webkit.CookieManager->getCookie(url)", None, "",
+    ),
+    InfoType.CONTACT: (
+        None, "content://contacts", "android.permission.READ_CONTACTS",
+    ),
+    InfoType.CALENDAR: (
+        None, "content://com.android.calendar",
+        "android.permission.READ_CALENDAR",
+    ),
+    InfoType.SMS: (None, "content://sms", "android.permission.READ_SMS"),
+    InfoType.BROWSER_HISTORY: (
+        None, "content://browser/bookmarks",
+        "com.android.browser.permission.READ_HISTORY_BOOKMARKS",
+    ),
+    InfoType.EMAIL_ADDRESS: (
+        "android.accounts.AccountManager->getAccounts()", None,
+        "android.permission.GET_ACCOUNTS",
+    ),
+    InfoType.PERSON_NAME: (
+        None, "content://contacts", "android.permission.READ_CONTACTS",
+    ),
+    InfoType.BIRTHDAY: (
+        None, "content://contacts", "android.permission.READ_CONTACTS",
+    ),
+}
+
+
+def _collect_instructions(info: InfoType, reg_base: int) -> tuple[
+    list[Instruction], str
+]:
+    """Instructions producing *info* into a result register."""
+    api, uri, _perm = INFO_SOURCES[info]
+    v0 = f"v{reg_base}"
+    v1 = f"v{reg_base + 1}"
+    v2 = f"v{reg_base + 2}"
+    if api is not None:
+        return [Instruction(op="invoke", dest=v0, target=api)], v0
+    return [
+        Instruction(op="const-string", dest=v0, literal=uri or ""),
+        Instruction(op="invoke", dest=v1, target=_URI_PARSE, args=(v0,)),
+        Instruction(op="invoke", dest=v2, target=_QUERY_API, args=(v1,)),
+    ], v2
+
+
+def build_apk(plan: AppPlan) -> Apk:
+    """The APK for one app plan."""
+    package = plan.package
+    dex = DexFile()
+    activity_name = f"{package}.MainActivity"
+    activity = DexClass(name=activity_name,
+                        superclass="android.app.Activity")
+    main = Method(class_name=activity_name, name="onCreate",
+                  params=("savedInstanceState",))
+    permissions = {"android.permission.INTERNET",
+                   "android.permission.ACCESS_NETWORK_STATE"}
+
+    reg = 0
+    retained = set(plan.retains)
+    helper_name = f"{package}.Helper"
+    needs_helper = bool(retained)
+    collects = list(dict.fromkeys(plan.collects))
+
+    # every sixth app performs its first collection inside a posted
+    # Runnable -- reachable only through the EdgeMiner callback edge
+    runnable_info = None
+    if plan.index % 6 == 3 and collects:
+        runnable_info = collects.pop(0)
+
+    for info in collects:
+        instructions, result_reg = _collect_instructions(info, reg)
+        main.instructions.extend(instructions)
+        reg += 4
+        permission = INFO_SOURCES[info][2]
+        if permission:
+            permissions.add(permission)
+        if info in retained:
+            main.instructions.append(Instruction(
+                op="invoke", target=f"{helper_name}->save(value)",
+                args=(result_reg,),
+            ))
+
+    if runnable_info is not None:
+        worker_name = f"{package}.Worker"
+        main.instructions.extend([
+            Instruction(op="new-instance", dest=f"v{reg}",
+                        literal=worker_name),
+            Instruction(op="invoke",
+                        target="android.os.Handler->post(runnable)",
+                        args=(f"v{reg}",)),
+        ])
+        reg += 1
+        worker = DexClass(name=worker_name,
+                          interfaces=("java.lang.Runnable",))
+        run = Method(class_name=worker_name, name="run")
+        instructions, result_reg = _collect_instructions(runnable_info, 0)
+        run.instructions = list(instructions)
+        permission = INFO_SOURCES[runnable_info][2]
+        if permission:
+            permissions.add(permission)
+        if runnable_info in retained:
+            run.instructions.append(Instruction(
+                op="invoke", target=f"{helper_name}->save(value)",
+                args=(result_reg,),
+            ))
+        run.instructions.append(Instruction(op="return"))
+        worker.add_method(run)
+        dex.add_class(worker)
+
+    # exercise implicit callbacks and ICC in a quarter of the apps
+    if plan.index % 4 == 0:
+        listener_name = f"{package}.ClickListener"
+        main.instructions.extend([
+            Instruction(op="new-instance", dest=f"v{reg}",
+                        literal=listener_name),
+            Instruction(op="invoke",
+                        target="android.view.View->setOnClickListener("
+                               "listener)",
+                        args=(f"v{reg}",)),
+        ])
+        reg += 1
+        listener = DexClass(name=listener_name,
+                            interfaces=("android.view.View$OnClickListener",))
+        on_click = Method(class_name=listener_name, name="onClick",
+                          params=("view",))
+        on_click.instructions = [Instruction(op="return")]
+        listener.add_method(on_click)
+        dex.add_class(listener)
+
+        service_name = f"{package}.SyncService"
+        main.instructions.extend([
+            Instruction(op="invoke", dest=f"v{reg}",
+                        target="android.content.Intent-><init>(context,cls)",
+                        literal=service_name),
+            Instruction(op="invoke",
+                        target="android.app.Activity->startService(intent)",
+                        args=(f"v{reg}",)),
+        ])
+        service = DexClass(name=service_name,
+                           superclass="android.app.Service")
+        on_start = Method(class_name=service_name, name="onStartCommand",
+                          params=("intent", "flags", "startId"))
+        on_start.instructions = [Instruction(op="return")]
+        service.add_method(on_start)
+        dex.add_class(service)
+
+    main.instructions.append(Instruction(op="return"))
+    activity.add_method(main)
+    dex.add_class(activity)
+
+    if needs_helper:
+        helper = DexClass(name=helper_name)
+        save = Method(class_name=helper_name, name="save",
+                      params=("value",))
+        sink = _LOG_SINK if plan.index % 2 == 0 else _FILE_SINK
+        save.instructions = [
+            Instruction(op="const-string", dest="v0", literal="TAG"),
+            Instruction(op="invoke", target=sink,
+                        args=("v0", "value") if sink == _LOG_SINK
+                        else ("value",)),
+            Instruction(op="return"),
+        ]
+        helper.add_method(save)
+        dex.add_class(helper)
+
+    # unreachable sensitive code
+    if plan.dead_collects:
+        dead = DexClass(name=f"{package}.Unused")
+        method = Method(class_name=f"{package}.Unused", name="legacy")
+        base = 0
+        for info in plan.dead_collects:
+            instructions, _reg = _collect_instructions(info, base)
+            method.instructions.extend(instructions)
+            base += 4
+            permission = INFO_SOURCES[info][2]
+            if permission:
+                permissions.add(permission)
+        dead.add_method(method)
+        dex.add_class(dead)
+
+    # third-party lib stubs (lib behaviour stays lib-attributed)
+    for lib_id in plan.lib_ids:
+        spec = LIB_REGISTRY[lib_id]
+        lib_class = DexClass(name=f"{spec.prefix}.Sdk")
+        init = Method(class_name=f"{spec.prefix}.Sdk", name="init")
+        init.instructions = [
+            Instruction(op="invoke", dest="v0",
+                        target="android.telephony.TelephonyManager->"
+                               "getDeviceId()"),
+            Instruction(op="return"),
+        ]
+        lib_class.add_method(init)
+        dex.add_class(lib_class)
+
+    # permissions the description analysis needs the manifest to hold
+    permissions.update(plan.desc_permissions)
+
+    manifest = AndroidManifest(package=package, permissions=permissions,
+                               main_activity=activity_name)
+    manifest.add_component(Component(name=activity_name, kind="activity"))
+    if plan.index % 4 == 0:
+        manifest.add_component(Component(name=f"{package}.SyncService",
+                                         kind="service"))
+
+    apk = Apk(manifest=manifest, dex=dex)
+    if plan.packed:
+        pack(apk)
+    return apk
+
+
+__all__ = ["INFO_SOURCES", "build_apk"]

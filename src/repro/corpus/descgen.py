@@ -1,0 +1,97 @@
+"""App-description generation.
+
+Each description gets category-flavored marketing sentences plus, for
+planted permissions, one sentence embedding the AutoCog-indicative
+phrase.  Background sentences are curated to avoid every phrase in
+:data:`repro.description.autocog.PERMISSION_PHRASES`, so clean apps
+never trip the description analysis.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.plans import PERMISSION_PLANT_PHRASES
+
+_CATEGORY_BLURBS: dict[str, tuple[str, ...]] = {
+    "weather": ("Beautiful forecasts presented simply.",
+                "Hourly and ten day outlooks for any place you choose."),
+    "maps": ("Offline maps for travelers.",
+             "Plan trips and explore new routes with ease."),
+    "games": ("An addictive arcade experience.",
+              "Compete with players around the world and climb the "
+              "leaderboard."),
+    "tools": ("A handy toolbox for everyday tasks.",
+              "Small, fast, and free."),
+    "social": ("Meet new people and keep up with friends.",
+               "Share moments that matter."),
+    "music": ("Millions of songs at your fingertips.",
+              "Create playlists and discover new artists."),
+    "news": ("Breaking stories from trusted sources.",
+             "Personalized reading built for speed."),
+    "shopping": ("Deals updated daily.",
+                 "Compare prices and save on every order."),
+    "travel": ("Book flights and hotels in seconds.",
+               "Travel smarter with curated guides."),
+    "finance": ("Track budgets and spending easily.",
+                "Bank-level security for peace of mind."),
+    "health": ("Reach your fitness goals.",
+               "Track workouts, sleep, and habits."),
+    "photography": ("Powerful editing made simple.",
+                    "Stunning filters and effects."),
+    "productivity": ("Get more done every day.",
+                     "Organize tasks, notes, and projects."),
+    "education": ("Learn anything, anywhere.",
+                  "Bite-size lessons from expert teachers."),
+    "sports": ("Live scores and highlights.",
+               "Follow every match of your favorite team."),
+    "books": ("A library in your pocket.",
+              "Thousands of classics, free."),
+    "lifestyle": ("Ideas for better living.",
+                  "Daily inspiration delivered fresh."),
+    "business": ("Work tools for modern teams.",
+                 "Collaborate securely from anywhere."),
+    "communication": ("Fast, reliable messaging.",
+                      "Crystal clear calls over any connection."),
+    "entertainment": ("Endless entertainment on demand.",
+                      "Watch, laugh, and share."),
+}
+
+#: one planted sentence per permission, embedding the model phrase.
+_PERMISSION_SENTENCES: dict[str, str] = {
+    "android.permission.ACCESS_FINE_LOCATION":
+        "The app uses gps for accurate positioning.",
+    "android.permission.ACCESS_COARSE_LOCATION":
+        "Get the local weather at a glance.",
+    "android.permission.READ_CONTACTS":
+        "This app synchronizes all birthdays with your contacts list.",
+    "android.permission.GET_ACCOUNTS":
+        "You can sign in with your google account to sync progress.",
+    "android.permission.CAMERA":
+        "Take photos and apply beautiful effects.",
+    "android.permission.READ_CALENDAR":
+        "Keeps your calendar organized with smart reminders.",
+    "android.permission.WRITE_CONTACTS":
+        "Quickly save to contacts any number you receive.",
+}
+
+
+def render_description(plan) -> str:
+    """The Play-store description of one app plan."""
+    blurbs = _CATEGORY_BLURBS.get(
+        plan.app_category, _CATEGORY_BLURBS["tools"]
+    )
+    parts = [
+        f"{plan.package.rsplit('.', 1)[-1]} is a {plan.app_category} "
+        "app you will love.",
+        blurbs[plan.index % len(blurbs)],
+    ]
+    for permission in plan.desc_permissions:
+        sentence = _PERMISSION_SENTENCES.get(permission)
+        if sentence is None:
+            phrase = PERMISSION_PLANT_PHRASES.get(permission, "")
+            sentence = f"This app makes use of {phrase}."
+        parts.append(sentence)
+    parts.append(blurbs[(plan.index + 1) % len(blurbs)])
+    return " ".join(parts)
+
+
+__all__ = ["render_description"]

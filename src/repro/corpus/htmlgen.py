@@ -1,0 +1,39 @@
+"""HTML rendering of generated policies.
+
+Real privacy policies arrive as web pages; rendering the corpus
+policies as HTML exercises the Step-1 extraction path (tag stripping,
+entity decoding, list handling) across the whole study.  The renderer
+is sentence-preserving: ``html_to_text`` recovers exactly the prose
+that the plain-text generator produced, so detector results are
+unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.sentences import split_sentences
+
+_TEMPLATES = (
+    # a minimal page
+    "<html><head><title>{title}</title>"
+    "<style>body {{ font: 14px sans-serif }}</style></head>"
+    "<body><h1>{title}</h1>{body}"
+    "<script>var analytics = 'ignored';</script>"
+    "</body></html>",
+    # a page with section headers
+    "<html><head><title>{title}</title></head><body>"
+    "<h1>{title}</h1><h2>Information we handle</h2>{body}"
+    "<!-- generated policy -->"
+    "</body></html>",
+)
+
+
+def policy_to_html(policy_text: str, title: str = "Privacy Policy",
+                   variant: int = 0) -> str:
+    """Wrap policy prose into an HTML page, one ``<p>`` per sentence."""
+    sentences = split_sentences(policy_text)
+    body = "".join(f"<p>{sentence}</p>" for sentence in sentences)
+    template = _TEMPLATES[variant % len(_TEMPLATES)]
+    return template.format(title=title, body=body)
+
+
+__all__ = ["policy_to_html"]

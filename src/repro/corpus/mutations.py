@@ -1,0 +1,99 @@
+"""Policy mutations for robustness testing.
+
+Systematic, semantics-preserving transformations of a policy document.
+The detector invariant: a mutated policy must produce the same
+resource sets as the original -- which the property tests and the
+robustness benchmark enforce over the corpus.
+
+Mutations:
+
+- ``shuffle_sentences``: statement order never matters;
+- ``inject_boilerplate``: extra no-op prose never matters;
+- ``swap_resource_alias``: replacing a resource phrase with an
+  ontology alias preserves *matching* (the sets differ textually but
+  cover the same information);
+- ``mangle_whitespace``: whitespace/casing noise;
+- ``rewrap_html``: a different HTML shell.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.htmlgen import policy_to_html
+from repro.nlp.sentences import split_sentences
+
+_EXTRA_BOILERPLATE = (
+    "Thank you for trusting us with your experience.",
+    "This document was last revised earlier this year.",
+    "Capitalized terms have the meaning given in the terms of "
+    "service.",
+    "Our commitment to transparency guides everything below.",
+)
+
+#: alias swaps that stay inside one ontology entry.
+ALIAS_SWAPS = {
+    "location": "geographic location",
+    "contacts": "address book",
+    "device id": "device identifier",
+    "phone number": "telephone number",
+    "email address": "e-mail address",
+}
+
+
+def shuffle_sentences(policy_text: str, seed: int = 0) -> str:
+    sentences = split_sentences(policy_text)
+    rng = random.Random(seed)
+    rng.shuffle(sentences)
+    return " ".join(sentences)
+
+
+def inject_boilerplate(policy_text: str, seed: int = 0) -> str:
+    sentences = split_sentences(policy_text)
+    rng = random.Random(seed)
+    out: list[str] = []
+    for sentence in sentences:
+        out.append(sentence)
+        if rng.random() < 0.4:
+            out.append(rng.choice(_EXTRA_BOILERPLATE))
+    return " ".join(out)
+
+
+def swap_resource_alias(policy_text: str) -> str:
+    out = policy_text
+    for original, alias in ALIAS_SWAPS.items():
+        out = out.replace(f"your {original}", f"your {alias}")
+    return out
+
+
+def mangle_whitespace(policy_text: str, seed: int = 0) -> str:
+    rng = random.Random(seed)
+    out: list[str] = []
+    for ch in policy_text:
+        out.append(ch)
+        if ch == " " and rng.random() < 0.2:
+            out.append("  "[: rng.randrange(1, 3)])
+    return "".join(out)
+
+
+def rewrap_html(policy_text: str, seed: int = 0) -> str:
+    return policy_to_html(policy_text, title="Mutated Policy",
+                          variant=seed)
+
+
+MUTATIONS = {
+    "shuffle": shuffle_sentences,
+    "boilerplate": inject_boilerplate,
+    "whitespace": mangle_whitespace,
+}
+
+
+__all__ = [
+    "ALIAS_SWAPS",
+    "MUTATIONS",
+    "shuffle_sentences",
+    "inject_boilerplate",
+    "swap_resource_alias",
+    "mangle_whitespace",
+    "rewrap_html",
+]

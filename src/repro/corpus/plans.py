@@ -1,0 +1,608 @@
+"""Per-app plans: what each synthetic app does, says, and hides.
+
+``build_plans()`` lays out 1,197 app plans whose planted problems are
+calibrated to the paper's findings:
+
+- 64 apps incomplete via description (Table III's permission counts),
+- 180 apps truly incomplete via code carrying 234 missed-information
+  records, 32 of them retention records (Fig. 13's distribution),
+  plus 15 false-positive apps whose policies cover the information in
+  a sentence the extractor mis-handles,
+- 4 truly incorrect apps (2 detectable via description + code, 2 via
+  retention) plus 2 context false positives,
+- 75 detectable truly inconsistent apps (41 collect/use/retain + 39
+  disclose, 5 in both rows), 7 false negatives (unmatched verbs), 9
+  ESA false positives, 20 disclaimer-suppressed apps (Table IV),
+- 19 apps both inconsistent and code-incomplete so the distinct
+  problem-app count lands at 282 of 1,197 (Section V-F),
+- 879 apps embedding at least one third-party lib (Section V-A).
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.android.libs import libs_by_category
+from repro.policy.verbs import VerbCategory
+from repro.semantics.resources import InfoType
+
+N_APPS = 1197
+DEFAULT_SEED = 2016
+
+#: Play-store categories used for package names and description flavor.
+APP_CATEGORIES = (
+    "weather", "maps", "games", "tools", "social", "music", "news",
+    "shopping", "travel", "finance", "health", "photography",
+    "productivity", "education", "sports", "books", "lifestyle",
+    "business", "communication", "entertainment",
+)
+
+# Table III: permission -> number of description-incomplete apps.
+TABLE3_PERMISSIONS: tuple[tuple[str, int], ...] = (
+    ("android.permission.ACCESS_FINE_LOCATION", 19),
+    ("android.permission.ACCESS_COARSE_LOCATION", 14),
+    ("android.permission.READ_CONTACTS", 12),
+    ("android.permission.GET_ACCOUNTS", 11),
+    ("android.permission.CAMERA", 6),
+    ("android.permission.READ_CALENDAR", 2),
+    ("android.permission.WRITE_CONTACTS", 1),
+)
+
+#: unique description phrase that implies each permission (AutoCog model).
+PERMISSION_PLANT_PHRASES: dict[str, str] = {
+    "android.permission.ACCESS_FINE_LOCATION": "gps",
+    "android.permission.ACCESS_COARSE_LOCATION": "local weather",
+    "android.permission.READ_CONTACTS": "your contacts",
+    "android.permission.GET_ACCOUNTS":
+        "sign in with your google account",
+    "android.permission.CAMERA": "take photos",
+    "android.permission.READ_CALENDAR": "your calendar",
+    "android.permission.WRITE_CONTACTS": "save to contacts",
+}
+
+# Fig. 13: (info, total missed records, retained records among them).
+FIG13_DISTRIBUTION: tuple[tuple[InfoType, int, int], ...] = (
+    (InfoType.LOCATION, 62, 10),
+    (InfoType.DEVICE_ID, 40, 6),
+    (InfoType.CONTACT, 30, 8),
+    (InfoType.ACCOUNT, 25, 0),
+    (InfoType.PHONE_NUMBER, 20, 4),
+    (InfoType.APP_LIST, 18, 4),
+    (InfoType.CAMERA, 12, 0),
+    (InfoType.CALENDAR, 10, 0),
+    (InfoType.SMS, 8, 0),
+    (InfoType.AUDIO, 5, 0),
+    (InfoType.IP_ADDRESS, 4, 0),
+)
+
+
+@dataclass(frozen=True)
+class DenialPlan:
+    """A negative policy statement to render."""
+
+    category: VerbCategory
+    resource: str
+    verb: str = ""            # override (e.g. the FN verbs)
+    sentence: str = ""        # fully custom sentence, overrides template
+
+
+@dataclass(frozen=True)
+class InconsistencyPlan:
+    """A planted app-vs-lib conflict (or FP/FN variant)."""
+
+    lib_id: str
+    category: VerbCategory
+    resource: str             # app-side denied resource phrase
+    truly_inconsistent: bool  # ground truth
+    fn_verb: str = ""         # app sentence uses this unmatchable verb
+
+
+@dataclass
+class AppPlan:
+    """The full specification of one synthetic app."""
+
+    index: int
+    package: str
+    app_category: str
+    # code behaviour
+    collects: tuple[InfoType, ...] = ()
+    retains: tuple[InfoType, ...] = ()
+    dead_collects: tuple[InfoType, ...] = ()
+    lib_ids: tuple[str, ...] = ()
+    packed: bool = False
+    # policy contents
+    covered: tuple[tuple[VerbCategory, InfoType], ...] = ()
+    tricky_covered: tuple[InfoType, ...] = ()
+    denials: tuple[DenialPlan, ...] = ()
+    disclaimer: bool = False
+    # description
+    desc_permissions: tuple[str, ...] = ()
+    # ground truth
+    gt_incomplete_desc: tuple[tuple[InfoType, str], ...] = ()
+    gt_incomplete_code: tuple[tuple[InfoType, bool], ...] = ()
+    gt_incorrect: bool = False
+    inconsistencies: tuple[InconsistencyPlan, ...] = ()
+
+    # -- derived ground-truth views --------------------------------------
+
+    @property
+    def gt_is_incomplete(self) -> bool:
+        return bool(self.gt_incomplete_desc or self.gt_incomplete_code)
+
+    @property
+    def gt_inconsistent_cur(self) -> bool:
+        return any(
+            p.truly_inconsistent and p.category is not VerbCategory.DISCLOSE
+            for p in self.inconsistencies
+        )
+
+    @property
+    def gt_inconsistent_d(self) -> bool:
+        return any(
+            p.truly_inconsistent and p.category is VerbCategory.DISCLOSE
+            for p in self.inconsistencies
+        )
+
+    @property
+    def gt_is_inconsistent(self) -> bool:
+        return self.gt_inconsistent_cur or self.gt_inconsistent_d
+
+    @property
+    def gt_has_problem(self) -> bool:
+        return (
+            self.gt_is_incomplete or self.gt_incorrect
+            or self.gt_is_inconsistent
+        )
+
+
+# ---------------------------------------------------------------------------
+# index layout
+# ---------------------------------------------------------------------------
+
+INC_DESC_ONLY = range(0, 42)          # 42 description-only incomplete
+INC_DESC_CODE = range(42, 64)         # 22 description + code incomplete
+INC_CODE_ONLY = range(64, 222)        # 158 code-only incomplete
+INC_CODE_FP = range(222, 237)         # 15 extraction false positives
+INCORRECT_TP = range(237, 241)        # 4 truly incorrect
+INCORRECT_FP = range(241, 243)        # 2 context false positives
+INCONSISTENT_NEW = range(243, 299)    # 56 inconsistent (detected, true)
+INCONSISTENT_FN = range(299, 306)     # 7 inconsistent the checker misses
+INCONSISTENT_FP = range(306, 315)     # 9 spurious matches
+DISCLAIMER_APPS = range(315, 335)     # 20 conflicts behind disclaimers
+BACKGROUND = range(335, N_APPS)       # clean apps
+#: the first 19 code-incomplete apps are also inconsistent (overlap
+#: that lands the distinct problem-app count at 282).
+INCONSISTENT_OVERLAP = range(64, 83)
+
+TOTAL_APPS_WITH_LIBS = 879
+
+
+def _package_for(index: int) -> tuple[str, str]:
+    category = APP_CATEGORIES[index % len(APP_CATEGORIES)]
+    return f"com.example.{category}.app{index:04d}", category
+
+
+def _fig13_records() -> list[tuple[InfoType, bool]]:
+    """The 234 (info, retained) records of Fig. 13."""
+    records: list[tuple[InfoType, bool]] = []
+    for info, total, retained in FIG13_DISTRIBUTION:
+        records.extend((info, True) for _ in range(retained))
+        records.extend((info, False) for _ in range(total - retained))
+    return records
+
+
+def _table3_assignments() -> list[tuple[int, str]]:
+    """(app index within 0..63, permission) pairs; 65 records, 64 apps."""
+    pairs: list[tuple[int, str]] = []
+    cursor = 0
+    for permission, count in TABLE3_PERMISSIONS:
+        if permission == "android.permission.WRITE_CONTACTS":
+            # the single WRITE_CONTACTS record shares an app with
+            # READ_CONTACTS (the paper counts permissions, not apps)
+            pairs.append((33, permission))
+            continue
+        for _ in range(count):
+            pairs.append((cursor, permission))
+            cursor += 1
+    return pairs
+
+
+def _inconsistency_specs() -> list[InconsistencyPlan]:
+    """The 75 detectable true conflicts, ordered for assignment."""
+    ad = [s.lib_id for s in libs_by_category("ad")]
+    social = [s.lib_id for s in libs_by_category("social")]
+    specs: list[InconsistencyPlan] = []
+    # 36 collect/use/retain-only conflicts
+    for k in range(15):
+        specs.append(InconsistencyPlan(
+            lib_id=ad[(2 * k) % len(ad)], category=VerbCategory.COLLECT,
+            resource="location", truly_inconsistent=True,
+        ))
+    for k in range(13):
+        specs.append(InconsistencyPlan(
+            lib_id=ad[(2 * k + 1) % len(ad)],
+            category=VerbCategory.COLLECT,
+            resource="device identifiers", truly_inconsistent=True,
+        ))
+    for k in range(8):
+        specs.append(InconsistencyPlan(
+            lib_id=social[k % len(social)], category=VerbCategory.COLLECT,
+            resource="contacts", truly_inconsistent=True,
+        ))
+    # 34 disclose-only conflicts
+    for k in range(17):
+        specs.append(InconsistencyPlan(
+            lib_id=ad[(2 * k + 1) % len(ad)],
+            category=VerbCategory.DISCLOSE,
+            resource="device identifiers", truly_inconsistent=True,
+        ))
+    for k in range(10):
+        specs.append(InconsistencyPlan(
+            lib_id=ad[(3 * k) % len(ad)], category=VerbCategory.DISCLOSE,
+            resource="personal information", truly_inconsistent=True,
+        ))
+    for k in range(7):
+        specs.append(InconsistencyPlan(
+            lib_id=ad[(5 * k) % len(ad)], category=VerbCategory.DISCLOSE,
+            resource="location", truly_inconsistent=True,
+        ))
+    return specs
+
+
+def _both_row_specs() -> list[tuple[InconsistencyPlan, InconsistencyPlan]]:
+    """5 apps appearing in both Table IV rows (odd-index libs both
+    collect and disclose device identifiers)."""
+    ad = [s.lib_id for s in libs_by_category("ad")]
+    out = []
+    for k in range(5):
+        lib = ad[(14 * k + 1) % len(ad)]
+        out.append((
+            InconsistencyPlan(lib, VerbCategory.COLLECT,
+                              "device identifiers", True),
+            InconsistencyPlan(lib, VerbCategory.DISCLOSE,
+                              "device identifiers", True),
+        ))
+    return out
+
+
+def _apply_inconsistency(
+    plan: AppPlan, spec_group: tuple[InconsistencyPlan, ...]
+) -> None:
+    plan.inconsistencies = plan.inconsistencies + spec_group
+    for spec in spec_group:
+        plan.lib_ids = tuple(dict.fromkeys(plan.lib_ids + (spec.lib_id,)))
+        plan.denials = plan.denials + (
+            DenialPlan(spec.category, spec.resource),
+        )
+
+
+_FN_SPECS: tuple[tuple[str, VerbCategory, str, str], ...] = (
+    # (lib, category, resource, fn verb): the app sentence uses a verb
+    # outside the extracted patterns -> PPChecker misses the conflict.
+    ("admob", VerbCategory.COLLECT, "location", "view"),
+    ("flurry", VerbCategory.COLLECT, "device identifiers", "view"),
+    ("inmobi", VerbCategory.COLLECT, "location", "harvest"),
+    ("mopub", VerbCategory.COLLECT, "device identifiers", "harvest"),
+    ("admob", VerbCategory.DISCLOSE, "device identifiers", "display"),
+    ("flurry", VerbCategory.DISCLOSE, "personal information", "display"),
+    ("chartboost", VerbCategory.DISCLOSE, "device identifiers", "display"),
+)
+
+#: FP apps: a generic "that information" denial that ESA wrongly
+#: matches against a lib's "personal information" statement.
+_FP_SPECS: tuple[tuple[str, VerbCategory], ...] = (
+    ("admob", VerbCategory.USE),
+    ("flurry", VerbCategory.USE),
+    ("inmobi", VerbCategory.USE),
+    ("mopub", VerbCategory.USE),
+    ("chartboost", VerbCategory.USE),
+    ("admob", VerbCategory.DISCLOSE),
+    ("flurry", VerbCategory.DISCLOSE),
+    ("inmobi", VerbCategory.DISCLOSE),
+    ("vungle", VerbCategory.DISCLOSE),
+)
+
+
+def _background_libs(rng: random.Random, index: int) -> tuple[str, ...]:
+    """Deterministic lib assignment for non-inconsistency apps."""
+    ad = [s.lib_id for s in libs_by_category("ad")]
+    devtools = [s.lib_id for s in libs_by_category("devtool")]
+    picks: list[str] = []
+    if rng.random() < 0.8:
+        picks.append(ad[index % len(ad)])
+    if rng.random() < 0.5:
+        picks.append(devtools[index % len(devtools)])
+    return tuple(dict.fromkeys(picks))
+
+
+def build_plans(seed: int = DEFAULT_SEED,
+                n_apps: int = N_APPS) -> list[AppPlan]:
+    """Build all app plans, deterministically.
+
+    With ``n_apps < 1197`` the corpus is a prefix of the full store:
+    planted groups whose index range falls beyond ``n_apps`` are
+    simply truncated (handy for fast tests).
+    """
+    rng = random.Random(seed)
+    plans: list[AppPlan] = []
+    for index in range(n_apps):
+        package, category = _package_for(index)
+        plans.append(AppPlan(index=index, package=package,
+                             app_category=category))
+
+    def clip(indices) -> list[int]:
+        return [idx for idx in indices if idx < n_apps]
+
+    # --- incomplete via description (Table III) --------------------------
+    for app_idx, permission in _table3_assignments():
+        if app_idx >= n_apps:
+            continue
+        plan = plans[app_idx]
+        infos = _permission_infos(permission)
+        plan.desc_permissions = plan.desc_permissions + (permission,)
+        plan.gt_incomplete_desc = plan.gt_incomplete_desc + tuple(
+            (info, permission) for info in infos
+        )
+
+    # --- incomplete via code (Fig. 13) ------------------------------------
+    records = _fig13_records()
+    rng.shuffle(records)
+    code_apps = clip(INC_DESC_CODE) + clip(INC_CODE_ONLY)  # 180 apps
+    per_app: dict[int, list[tuple[InfoType, bool]]] = {
+        idx: [] for idx in code_apps
+    }
+    cursor = 0
+    for idx in code_apps:  # one record each
+        per_app[idx].append(records[cursor])
+        cursor += 1
+    extras = code_apps[: max(0, min(len(records) - len(code_apps), 54))]
+    for idx in extras:  # 54 second records
+        # avoid duplicating the same info on one app
+        record = records[cursor]
+        if record[0] == per_app[idx][0][0]:
+            swap = cursor + 1 if cursor + 1 < len(records) else cursor - 1
+            records[cursor], records[swap] = records[swap], records[cursor]
+            record = records[cursor]
+        per_app[idx].append(record)
+        cursor += 1
+    for idx, recs in per_app.items():
+        plan = plans[idx]
+        plan.gt_incomplete_code = tuple(recs)
+        plan.collects = tuple(info for info, _ret in recs)
+        plan.retains = tuple(info for info, ret in recs if ret)
+
+    # --- incomplete-via-code false positives -------------------------------
+    fp_infos = ([InfoType.DEVICE_ID] * 8 + [InfoType.LOCATION] * 4
+                + [InfoType.CONTACT] * 3)
+    for idx, info in zip(clip(INC_CODE_FP), fp_infos):
+        plan = plans[idx]
+        plan.collects = (info,)
+        plan.tricky_covered = (info,)
+        # ground truth: the policy covers it; no gt_incomplete_code
+
+    # --- incorrect apps -----------------------------------------------------
+    if n_apps > INCORRECT_FP.stop:
+        _plant_incorrect(plans)
+
+    # --- inconsistent apps ---------------------------------------------------
+    # 75 detectable conflicts: 19 planted on code-incomplete apps (the
+    # overlap behind Section V-F's 282 distinct apps) + 56 on fresh apps.
+    all_specs: list[tuple[InconsistencyPlan, ...]] = [
+        (spec,) for spec in _inconsistency_specs()
+    ] + [pair for pair in _both_row_specs()]
+
+    def _conflicts(plan: AppPlan,
+                   spec_group: tuple[InconsistencyPlan, ...]) -> bool:
+        """A denial about info the app's code handles would trip the
+        incorrect detector; keep the plants orthogonal."""
+        from repro.semantics.resources import normalize_resource
+        code_infos = set(plan.collects) | set(plan.retains)
+        for spec in spec_group:
+            info = normalize_resource(spec.resource)
+            if info is not None and info in code_infos:
+                return True
+        return False
+
+    overlap_candidates = clip(INC_CODE_ONLY)
+    overlap_chosen: list[int] = []
+    spec_cursor = 0
+    for idx in overlap_candidates:
+        if len(overlap_chosen) >= 19 or spec_cursor >= len(all_specs):
+            break
+        if _conflicts(plans[idx], all_specs[spec_cursor]):
+            continue
+        _apply_inconsistency(plans[idx], all_specs[spec_cursor])
+        overlap_chosen.append(idx)
+        spec_cursor += 1
+    for idx in clip(INCONSISTENT_NEW):
+        if spec_cursor >= len(all_specs):
+            break
+        _apply_inconsistency(plans[idx], all_specs[spec_cursor])
+        spec_cursor += 1
+
+    for idx, (lib, cat, res, verb) in zip(clip(INCONSISTENT_FN),
+                                          _FN_SPECS):
+        plan = plans[idx]
+        plan.inconsistencies = (InconsistencyPlan(
+            lib, cat, res, truly_inconsistent=True, fn_verb=verb,
+        ),)
+        plan.lib_ids = (lib,)
+        plan.denials = (DenialPlan(cat, res, verb=verb),)
+
+    for idx, (lib, cat) in zip(clip(INCONSISTENT_FP), _FP_SPECS):
+        plan = plans[idx]
+        plan.inconsistencies = (InconsistencyPlan(
+            lib, cat, "information", truly_inconsistent=False,
+        ),)
+        plan.lib_ids = (lib,)
+        plan.denials = (DenialPlan(
+            cat, "information",
+            sentence=_generic_denial_sentence(cat),
+        ),)
+
+    for k, idx in enumerate(clip(DISCLAIMER_APPS)):
+        plan = plans[idx]
+        ad = [s.lib_id for s in libs_by_category("ad")]
+        lib = ad[(11 * k) % len(ad)]
+        plan.inconsistencies = (InconsistencyPlan(
+            lib, VerbCategory.COLLECT, "device identifiers",
+            truly_inconsistent=False,  # disclaimed -> not questionable
+        ),)
+        plan.lib_ids = (lib,)
+        plan.denials = (DenialPlan(VerbCategory.COLLECT,
+                                   "device identifiers"),)
+        plan.disclaimer = True
+
+    # --- coverage, libs, code for everyone ---------------------------------
+    _finalize_plans(plans, rng)
+    return plans
+
+
+def _permission_infos(permission: str) -> tuple[InfoType, ...]:
+    from repro.description.permission_map import info_for_permission
+    return info_for_permission(permission)
+
+
+def _generic_denial_sentence(category: VerbCategory) -> str:
+    if category is VerbCategory.USE:
+        return "We do not process that information on our servers."
+    return "We do not transmit that information over the internet."
+
+
+def _plant_incorrect(plans: list[AppPlan]) -> None:
+    idx = list(INCORRECT_TP)
+    # app 1: birthdaylist-style (description + code, collect denial)
+    plan = plans[idx[0]]
+    plan.collects = (InfoType.CONTACT,)
+    plan.covered = ((VerbCategory.USE, InfoType.CONTACT),)
+    plan.denials = (DenialPlan(
+        VerbCategory.COLLECT, "contacts",
+        sentence=("We are not collecting your date of birth, phone "
+                  "number, name or other personal information, nor "
+                  "those of your contacts."),
+    ),)
+    plan.desc_permissions = ("android.permission.READ_CONTACTS",)
+    plan.gt_incorrect = True
+    # app 2: ringtone-style (description + code, collect denial)
+    plan = plans[idx[1]]
+    plan.collects = (InfoType.CONTACT,)
+    plan.covered = ((VerbCategory.USE, InfoType.CONTACT),)
+    plan.denials = (DenialPlan(VerbCategory.COLLECT, "contacts"),)
+    plan.desc_permissions = ("android.permission.READ_CONTACTS",)
+    plan.gt_incorrect = True
+    # app 3: easyxapp-style (retention denial, contact -> log)
+    plan = plans[idx[2]]
+    plan.collects = (InfoType.CONTACT,)
+    plan.retains = (InfoType.CONTACT,)
+    plan.covered = ((VerbCategory.COLLECT, InfoType.CONTACT),)
+    plan.denials = (DenialPlan(
+        VerbCategory.RETAIN, "contacts",
+        sentence="We will not store your real phone number, name "
+                 "and contacts.",
+    ),)
+    plan.gt_incorrect = True
+    # app 4: myobservatory-style (retention denial, location -> log)
+    plan = plans[idx[3]]
+    plan.collects = (InfoType.LOCATION,)
+    plan.retains = (InfoType.LOCATION,)
+    plan.covered = ((VerbCategory.COLLECT, InfoType.LOCATION),)
+    plan.denials = (DenialPlan(
+        VerbCategory.RETAIN, "location",
+        sentence="Your location will not be stored by the app.",
+    ),)
+    plan.gt_incorrect = True
+
+    # context false positives (zoho-style): denial, but the policy
+    # grants the behaviour elsewhere; ground truth says correct.
+    for fp_idx in INCORRECT_FP:
+        plan = plans[fp_idx]
+        plan.collects = (InfoType.ACCOUNT,)
+        plan.covered = ((VerbCategory.COLLECT, InfoType.ACCOUNT),)
+        plan.denials = (DenialPlan(
+            VerbCategory.USE, "contents of your user account",
+            sentence="We also do not process the contents of your "
+                     "user account for serving targeted advertisements.",
+        ),)
+        plan.gt_incorrect = False
+
+
+def _finalize_plans(plans: list[AppPlan], rng: random.Random) -> None:
+    """Coverage sentences, background libs, packing, dead code."""
+    libful = sum(1 for p in plans if p.lib_ids)
+    for plan in plans:
+        # positive coverage for everything the code does that is not a
+        # planted gap and not a tricky FP cover
+        missed = {info for info, _ret in plan.gt_incomplete_code}
+        covered = list(plan.covered)
+        for info in plan.collects:
+            if info in missed or info in plan.tricky_covered:
+                continue
+            if not any(c_info is info for _cat, c_info in covered):
+                covered.append((VerbCategory.COLLECT, info))
+        for info in plan.retains:
+            if info in missed or info in plan.tricky_covered:
+                continue
+            if not any(
+                cat is VerbCategory.RETAIN and c_info is info
+                for cat, c_info in covered
+            ):
+                covered.append((VerbCategory.RETAIN, info))
+        plan.covered = tuple(covered)
+
+        # background behaviour: some clean apps collect covered info
+        if plan.index in BACKGROUND:
+            roll = rng.random()
+            if roll < 0.35:
+                info = (InfoType.DEVICE_ID, InfoType.LOCATION,
+                        InfoType.ACCOUNT)[plan.index % 3]
+                plan.collects = plan.collects + (info,)
+                plan.covered = plan.covered + (
+                    (VerbCategory.COLLECT, info),
+                )
+            # unreachable sensitive code in a third of all apps
+            if roll < 0.3:
+                plan.dead_collects = (InfoType.CONTACT,)
+
+        # packing: every 20th app ships packed
+        plan.packed = plan.index % 20 == 7
+
+    # libs for apps that have none yet, until 879 apps carry >= 1 lib
+    for plan in plans:
+        if libful >= TOTAL_APPS_WITH_LIBS:
+            break
+        if plan.lib_ids:
+            continue
+        picks = _background_libs(rng, plan.index)
+        if picks:
+            plan.lib_ids = picks
+            libful += 1
+
+
+__all__ = [
+    "AppPlan",
+    "DenialPlan",
+    "InconsistencyPlan",
+    "build_plans",
+    "N_APPS",
+    "DEFAULT_SEED",
+    "APP_CATEGORIES",
+    "TABLE3_PERMISSIONS",
+    "PERMISSION_PLANT_PHRASES",
+    "FIG13_DISTRIBUTION",
+    "INC_DESC_ONLY",
+    "INC_DESC_CODE",
+    "INC_CODE_ONLY",
+    "INC_CODE_FP",
+    "INCORRECT_TP",
+    "INCORRECT_FP",
+    "INCONSISTENT_NEW",
+    "INCONSISTENT_FN",
+    "INCONSISTENT_FP",
+    "INCONSISTENT_OVERLAP",
+    "DISCLAIMER_APPS",
+    "BACKGROUND",
+    "TOTAL_APPS_WITH_LIBS",
+]

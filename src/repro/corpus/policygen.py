@@ -1,0 +1,234 @@
+"""Privacy-policy text generation.
+
+Renders an :class:`repro.corpus.plans.AppPlan`'s policy contents --
+positive coverage, denials, tricky sentences, disclaimers -- into
+policy prose, plus the third-party lib policies.  Template choices are
+deterministic per (package, resource) so the corpus is reproducible.
+
+Boilerplate sentences are curated to avoid the four main-verb
+categories with extractable personal-information objects, so clean
+policies produce no spurious statements.
+"""
+
+from __future__ import annotations
+
+from repro.policy.verbs import VerbCategory
+from repro.semantics.resources import InfoType
+
+#: phrase used in policy text for each information type (an exact
+#: ontology alias, so coverage matching is deterministic).
+INFO_PHRASES: dict[InfoType, tuple[str, ...]] = {
+    InfoType.LOCATION: ("location", "location information",
+                        "precise location"),
+    InfoType.DEVICE_ID: ("device id", "device identifier",
+                         "unique device identifier"),
+    InfoType.IP_ADDRESS: ("ip address",),
+    InfoType.COOKIE: ("cookies",),
+    InfoType.CONTACT: ("contacts", "contact list", "address book"),
+    InfoType.ACCOUNT: ("account information", "account"),
+    InfoType.CALENDAR: ("calendar",),
+    InfoType.PHONE_NUMBER: ("phone number", "telephone number"),
+    InfoType.CAMERA: ("photos", "camera"),
+    InfoType.AUDIO: ("microphone", "audio"),
+    InfoType.APP_LIST: ("installed applications", "app list"),
+    InfoType.SMS: ("sms", "text messages"),
+    InfoType.EMAIL_ADDRESS: ("email address",),
+    InfoType.PERSON_NAME: ("name",),
+    InfoType.BIRTHDAY: ("birthday", "date of birth"),
+    InfoType.BROWSER_HISTORY: ("browser history",),
+}
+
+POSITIVE_TEMPLATES: dict[VerbCategory, tuple[str, ...]] = {
+    VerbCategory.COLLECT: (
+        "We may collect your {res}.",
+        "When you use the app, we collect your {res}.",
+        "We are allowed to access your {res}.",
+        "Your {res} will be collected to provide the service.",
+        "We may receive your {res} from your device.",
+        "We are able to obtain your {res}.",
+    ),
+    VerbCategory.USE: (
+        "We use your {res} to provide and improve the service.",
+        "Your {res} may be processed for analytics purposes.",
+        "We may use your {res} to personalize your experience.",
+    ),
+    VerbCategory.RETAIN: (
+        "We will store your {res} on our servers.",
+        "Your {res} may be retained for as long as necessary.",
+        "We may keep your {res} to speed up the app.",
+    ),
+    VerbCategory.DISCLOSE: (
+        "We may share your {res} with our partners.",
+        "Your {res} may be disclosed to third party companies.",
+        "We may provide your {res} to advertisers.",
+    ),
+}
+
+NEGATIVE_TEMPLATES: dict[VerbCategory, tuple[str, ...]] = {
+    VerbCategory.COLLECT: (
+        "We will not collect your {res}.",
+        "We do not gather your {res}.",
+        "Your {res} will never be collected.",
+    ),
+    VerbCategory.USE: (
+        "We will not use your {res}.",
+        "We do not process your {res}.",
+    ),
+    VerbCategory.RETAIN: (
+        "We will not store your {res}.",
+        "We do not retain your {res}.",
+    ),
+    VerbCategory.DISCLOSE: (
+        "We will not share your {res} with third parties.",
+        "We will never disclose your {res}.",
+    ),
+}
+
+#: denial with an overridden verb (the inconsistency false negatives).
+FN_VERB_TEMPLATE = "We will never {verb} your {res}."
+
+#: the extraction-breaking "coverage" sentence (Section V-C's false
+#: positives): the covered resource hides in a fronted prepositional
+#: phrase, so the extractor only sees the direct object.
+TRICKY_TEMPLATES: tuple[str, ...] = (
+    "In addition to your {res}, we may also collect the nickname you "
+    "have chosen for your device.",
+    "Apart from your {res}, we may also collect the nickname shown on "
+    "your profile.",
+)
+
+BOILERPLATE: tuple[str, ...] = (
+    "This privacy policy applies to all users of the app.",
+    "We respect your privacy and work hard to safeguard it.",
+    "By installing the app you accept the terms below.",
+    "We may update this policy from time to time.",
+    "If you have any questions about this policy, please contact us.",
+    "Your continued use of the app constitutes acceptance of these "
+    "terms.",
+)
+
+DISCLAIMER_TEXT = (
+    "We encourage you to review the privacy practices of these third "
+    "parties before disclosing any personally identifiable "
+    "information, as we are not responsible for the privacy practices "
+    "of those sites."
+)
+
+LIB_POINTER_TEXT = (
+    "The app embeds third party components whose conduct is governed "
+    "by their own policies."
+)
+
+
+def _pick(options: tuple[str, ...], key: str) -> str:
+    return options[_stable_hash(key) % len(options)]
+
+
+def _stable_hash(text: str) -> int:
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_000_007
+    return value
+
+
+def info_phrase(info: InfoType, key: str) -> str:
+    return _pick(INFO_PHRASES[info], key)
+
+
+def positive_sentence(category: VerbCategory, resource: str,
+                      key: str) -> str:
+    return _pick(POSITIVE_TEMPLATES[category], key).format(res=resource)
+
+
+def negative_sentence(category: VerbCategory, resource: str,
+                      key: str) -> str:
+    return _pick(NEGATIVE_TEMPLATES[category], key).format(res=resource)
+
+
+def render_app_policy(plan) -> str:
+    """The full policy document of one app plan."""
+    package = plan.package
+    parts: list[str] = [
+        f"Privacy Policy for {package}.",
+        BOILERPLATE[_stable_hash(package) % len(BOILERPLATE)],
+        BOILERPLATE[(_stable_hash(package) + 3) % len(BOILERPLATE)],
+    ]
+
+    for category, info in plan.covered:
+        resource = info_phrase(info, package + info.value)
+        parts.append(positive_sentence(category, resource,
+                                       package + info.value))
+
+    for info in plan.tricky_covered:
+        resource = info_phrase(info, package + "tricky")
+        template = _pick(TRICKY_TEMPLATES, package)
+        parts.append(template.format(res=resource))
+
+    for denial in plan.denials:
+        if denial.sentence:
+            parts.append(denial.sentence)
+        elif denial.verb:
+            parts.append(FN_VERB_TEMPLATE.format(verb=denial.verb,
+                                                 res=denial.resource))
+        else:
+            parts.append(negative_sentence(
+                denial.category, denial.resource,
+                package + denial.resource,
+            ))
+
+    if plan.lib_ids:
+        parts.append(LIB_POINTER_TEXT)
+    if plan.disclaimer:
+        parts.append(DISCLAIMER_TEXT)
+    parts.append("If you have questions you may reach us at "
+                 "privacy@example.com.")
+    return " ".join(parts)
+
+
+_LIB_POSITIVE_TEMPLATES: dict[VerbCategory, tuple[str, ...]] = {
+    VerbCategory.COLLECT: (
+        "We may collect your {res}.",
+        "We may receive your {res} from the apps that embed our sdk.",
+    ),
+    VerbCategory.USE: (
+        "We may use your {res} to serve relevant advertising.",
+        "Your {res} may be processed to measure performance.",
+    ),
+    VerbCategory.RETAIN: (
+        "We will store your {res} for a limited period.",
+    ),
+    VerbCategory.DISCLOSE: (
+        "We will share your {res} with companies we work with.",
+        "We may share your {res} with our advertising partners.",
+    ),
+}
+
+
+def render_lib_policy(lib_id: str, behaviors) -> str:
+    """The policy document of one third-party library."""
+    parts: list[str] = [
+        f"Privacy Policy of the {lib_id} sdk.",
+        "This policy explains our data practices.",
+    ]
+    for category, resource in behaviors:
+        template = _pick(_LIB_POSITIVE_TEMPLATES[category],
+                         lib_id + resource + category.value)
+        parts.append(template.format(res=resource))
+    parts.append("Contact privacy@" + lib_id + ".example.com with "
+                 "questions.")
+    return " ".join(parts)
+
+
+__all__ = [
+    "INFO_PHRASES",
+    "POSITIVE_TEMPLATES",
+    "NEGATIVE_TEMPLATES",
+    "TRICKY_TEMPLATES",
+    "BOILERPLATE",
+    "DISCLAIMER_TEXT",
+    "info_phrase",
+    "positive_sentence",
+    "negative_sentence",
+    "render_app_policy",
+    "render_lib_policy",
+]

@@ -1,0 +1,240 @@
+"""Labelled policy-sentence corpus for pattern bootstrapping (Fig. 12).
+
+The paper trains its bootstrapping on real-policy sentences and scores
+patterns against a manually-verified set of 250 positive + 250
+negative sentences drawn from 100 policies.  We generate an equivalent
+labelled corpus:
+
+- *positive* sentences assert collection/usage/retention/disclosure
+  through ~330 distinct syntactic chains (direct verbs, "allowed to",
+  "able to", and other control constructions) with a zipf-like
+  frequency profile, so bootstrapped patterns have a long tail and the
+  top-n sweep of Fig. 12 has a knee;
+- a slice of validation positives uses constructions absent from
+  training (the paper's irreducible 12% false-negative floor);
+- *negative* sentences describe user actions, service marketing, and
+  boilerplate; a few are crafted traps that lexically match learned
+  patterns (the paper's 2.8% false-positive rate).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policy.bootstrap import LabeledSentence
+from repro.policy.verbs import (
+    COLLECT_VERBS,
+    DISCLOSE_VERBS,
+    RETAIN_VERBS,
+    USE_VERBS,
+    VerbCategory,
+)
+
+_CONTROLS = ("allow", "able", "permit", "need", "continue", "choose",
+             "decide", "help", "authorize", "consent")
+
+_RESOURCES = (
+    "location", "location information", "device identifiers",
+    "ip address", "cookies", "contacts", "account information",
+    "calendar", "phone number", "photos", "audio recordings",
+    "installed applications", "email address", "personal information",
+    "name", "browsing history", "usage data",
+)
+
+_SUBJECTS = ("we", "the app", "our service", "the company")
+
+#: sentence shapes per chain; {subj}/{ctrl}/{verb}/{res} placeholders.
+_DIRECT_SHAPES = (
+    "{subj} may {verb} your {res}.",
+    "{subj} will {verb} your {res} when you use the app.",
+    "your {res} will be {verbed} by {subj}.",
+)
+_CONTROL_SHAPES = {
+    "allow": "{subj} are allowed to {verb} your {res}.",
+    "able": "{subj} are able to {verb} your {res}.",
+    "permit": "{subj} are permitted to {verb} your {res}.",
+    "need": "{subj} need to {verb} your {res} to operate.",
+    "continue": "{subj} continue to {verb} your {res}.",
+    "choose": "{subj} may choose to {verb} your {res}.",
+    "decide": "{subj} may decide to {verb} your {res}.",
+    "help": "{subj} help to {verb} your {res} responsibly.",
+    "authorize": "{subj} are authorized to {verb} your {res}.",
+    "consent": "{subj} consent to {verb} your {res}.",
+}
+
+_NEGATIVE_SENTENCES = (
+    "you can manage your preferences in the settings menu.",
+    "you may visit our website for more details.",
+    "users are responsible for keeping their passwords safe.",
+    "this policy applies to all versions of the app.",
+    "the terms below govern your relationship with us.",
+    "you should review this page periodically.",
+    "our team works hard on a great experience.",
+    "the game features dozens of challenging levels.",
+    "you agree to the terms by installing the app.",
+    "children under thirteen may not register.",
+    "our support staff answers questions quickly.",
+    "the service comes free of charge.",
+    "updates arrive on a monthly basis.",
+    "you may remove the app at any time.",
+    "the terms deserve a careful look.",
+    "our offices sit in several countries.",
+    "the policy changed earlier this year.",
+    "security remains a priority for our engineers.",
+    "the app requires an internet connection.",
+    "you can ask for a copy of this document.",
+)
+
+#: negatives that lexically match learnable chains (FP traps); the
+#: first few hit frequent chains, the last ones hit rare chains so the
+#: false-positive rate creeps up as n grows (Fig. 12's upper curve).
+_TRAP_SENTENCES = (
+    "we collect feedback to shape the roadmap.",
+    "we use modern technology to build the app.",
+    "we share our passion for great design.",
+    "we keep our promises to the community.",
+    "we provide excellent entertainment and fun games.",
+    "we are authorized to keep our standards high.",
+    "we consent to share the stage with our community.",
+)
+
+#: constructions never seen in training (the FN floor of Fig. 12).
+_HARD_POSITIVE_SHAPES = (
+    "we will never display your {res} to strangers.",
+    "your {res} is among the things we may come to know.",
+    "{res} of yours might end up with our affiliates.",
+    "we have an interest in your {res} and act on it.",
+    "rest assured that your {res} helps our mission.",
+)
+
+
+def _category_verbs() -> list[tuple[str, VerbCategory]]:
+    pairs: list[tuple[str, VerbCategory]] = []
+    for verbs, category in (
+        (COLLECT_VERBS, VerbCategory.COLLECT),
+        (USE_VERBS, VerbCategory.USE),
+        (RETAIN_VERBS, VerbCategory.RETAIN),
+        (DISCLOSE_VERBS, VerbCategory.DISCLOSE),
+    ):
+        pairs.extend((verb, category) for verb in sorted(verbs))
+    return pairs
+
+
+def _past_participle(verb: str) -> str:
+    irregular = {"keep": "kept", "hold": "held", "give": "given",
+                 "take": "taken", "get": "gotten", "send": "sent",
+                 "sell": "sold", "read": "read", "know": "known",
+                 "see": "seen", "tell": "told", "pass": "passed"}
+    if verb in irregular:
+        return irregular[verb]
+    if verb.endswith("e"):
+        return verb + "d"
+    if verb.endswith("y") and verb[-2] not in "aeiou":
+        return verb[:-1] + "ied"
+    if verb in ("log", "stop", "permit", "transmit", "submit"):
+        return verb + verb[-1] + "ed"
+    return verb + "ed"
+
+
+def _chain_inventory() -> list[tuple[tuple[str, ...], VerbCategory, int]]:
+    """(chain, category, training frequency), zipf-like.
+
+    The frequency profile keeps chains up to roughly rank 230 at
+    frequency >= 2 (the paper's chosen n), with a long frequency-1
+    tail beyond, so the Fig. 12 sweep has its knee near n = 230.
+    """
+    chains: list[tuple[tuple[str, ...], VerbCategory, int]] = []
+    rank = 0
+    for verb, category in _category_verbs():
+        rank += 1
+        chains.append(((verb,), category, max(2, 60 // rank)))
+    for ctrl_idx, ctrl in enumerate(_CONTROLS):
+        for verb_idx, (verb, category) in enumerate(_category_verbs()):
+            # thin the grid deterministically to ~280 two-chains
+            if (verb_idx + ctrl_idx) % 2 == 1:
+                continue
+            rank += 1
+            chains.append(((ctrl, verb), category,
+                           max(1, 460 // rank) if rank <= 230 else 1))
+    return chains
+
+
+def _render(chain: tuple[str, ...], resource: str, subject: str,
+            shape_idx: int) -> str:
+    if len(chain) == 1:
+        verb = chain[0]
+        shape = _DIRECT_SHAPES[shape_idx % len(_DIRECT_SHAPES)]
+        return shape.format(subj=subject, verb=verb,
+                            verbed=_past_participle(verb), res=resource)
+    ctrl, verb = chain
+    return _CONTROL_SHAPES[ctrl].format(subj=subject, verb=verb,
+                                        res=resource)
+
+
+def generate_labeled_sentences(
+    seed: int = 7,
+    n_validation_positive: int = 250,
+    n_validation_negative: int = 250,
+) -> tuple[list[LabeledSentence], list[LabeledSentence]]:
+    """(training corpus, validation corpus), both labelled."""
+    rng = random.Random(seed)
+    chains = _chain_inventory()
+
+    training: list[LabeledSentence] = []
+    for chain, category, freq in chains:
+        for k in range(freq):
+            training.append(LabeledSentence(
+                text=_render(
+                    chain,
+                    _RESOURCES[(k * 7 + len(chain)) % len(_RESOURCES)],
+                    _SUBJECTS[k % len(_SUBJECTS)],
+                    k,
+                ),
+                positive=True,
+                category=category,
+            ))
+    for k in range(len(training) // 3):
+        training.append(LabeledSentence(
+            text=_NEGATIVE_SENTENCES[k % len(_NEGATIVE_SENTENCES)],
+            positive=False,
+        ))
+    rng.shuffle(training)
+
+    validation: list[LabeledSentence] = []
+    # weighted positive sample + a ~12% hard floor (the paper's false-
+    # negative rate at the chosen n); frequency-1 tail chains receive
+    # zero sampling weight so top-230 patterns cover the rest
+    n_hard = max(1, n_validation_positive * 12 // 100)
+    weights = [freq if freq >= 2 else 0
+               for _chain, _cat, freq in chains]
+    for k in range(n_validation_positive - n_hard):
+        chain, category, _freq = rng.choices(chains, weights=weights)[0]
+        validation.append(LabeledSentence(
+            text=_render(chain, rng.choice(_RESOURCES),
+                         rng.choice(_SUBJECTS), rng.randrange(3)),
+            positive=True,
+            category=category,
+        ))
+    for k in range(n_hard):
+        shape = _HARD_POSITIVE_SHAPES[k % len(_HARD_POSITIVE_SHAPES)]
+        validation.append(LabeledSentence(
+            text=shape.format(res=rng.choice(_RESOURCES)),
+            positive=True,
+            category=VerbCategory.COLLECT,
+        ))
+    n_traps = max(1, n_validation_negative * 3 // 100)
+    for k in range(n_validation_negative - n_traps):
+        validation.append(LabeledSentence(
+            text=_NEGATIVE_SENTENCES[k % len(_NEGATIVE_SENTENCES)],
+            positive=False,
+        ))
+    for k in range(n_traps):
+        validation.append(LabeledSentence(
+            text=_TRAP_SENTENCES[k % len(_TRAP_SENTENCES)],
+            positive=False,
+        ))
+    rng.shuffle(validation)
+    return training, validation
+
+
+__all__ = ["generate_labeled_sentences"]

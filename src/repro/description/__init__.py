@@ -1,0 +1,24 @@
+"""Description-analysis module (Section III-D).
+
+The paper uses AutoCog to map an app's Google-Play description to
+permissions, then maps permissions to private information via the
+official documentation.  :mod:`repro.description.autocog` reimplements
+the description->permission inference (semantic phrase model + ESA);
+:mod:`repro.description.permission_map` holds the permission->
+information mapping.
+"""
+
+from repro.description.autocog import AutoCog, infer_permissions
+from repro.description.permission_map import (
+    PERMISSION_INFO,
+    info_for_permission,
+    permissions_for_info,
+)
+
+__all__ = [
+    "AutoCog",
+    "infer_permissions",
+    "PERMISSION_INFO",
+    "info_for_permission",
+    "permissions_for_info",
+]

@@ -1,0 +1,77 @@
+"""Permission -> private-information mapping (Section III-D).
+
+"We map the permissions to private information by analyzing the
+official document.  For example, permission ACCESS_FINE_LOCATION is
+mapped to 'location', 'latitude', 'longitude'."
+"""
+
+from __future__ import annotations
+
+from repro.semantics.resources import InfoType
+
+#: permission -> the information types it guards.
+PERMISSION_INFO: dict[str, tuple[InfoType, ...]] = {
+    "android.permission.ACCESS_FINE_LOCATION": (InfoType.LOCATION,),
+    "android.permission.ACCESS_COARSE_LOCATION": (InfoType.LOCATION,),
+    "android.permission.READ_PHONE_STATE": (
+        InfoType.DEVICE_ID, InfoType.PHONE_NUMBER,
+    ),
+    "android.permission.READ_CONTACTS": (InfoType.CONTACT,),
+    "android.permission.WRITE_CONTACTS": (InfoType.CONTACT,),
+    "android.permission.GET_ACCOUNTS": (InfoType.ACCOUNT,),
+    "android.permission.READ_CALENDAR": (InfoType.CALENDAR,),
+    "android.permission.WRITE_CALENDAR": (InfoType.CALENDAR,),
+    "android.permission.CAMERA": (InfoType.CAMERA,),
+    "android.permission.RECORD_AUDIO": (InfoType.AUDIO,),
+    "android.permission.READ_SMS": (InfoType.SMS,),
+    "android.permission.RECEIVE_SMS": (InfoType.SMS,),
+    "android.permission.READ_CALL_LOG": (InfoType.PHONE_NUMBER,),
+    "com.android.browser.permission.READ_HISTORY_BOOKMARKS": (
+        InfoType.BROWSER_HISTORY,
+    ),
+}
+
+#: natural-language surface of each information type, used when a
+#: permission-derived info is compared against policy phrases.
+INFO_SURFACE: dict[InfoType, tuple[str, ...]] = {
+    InfoType.LOCATION: ("location", "latitude", "longitude"),
+    InfoType.DEVICE_ID: ("device id", "device identifier"),
+    InfoType.PHONE_NUMBER: ("phone number",),
+    InfoType.CONTACT: ("contact", "contacts"),
+    InfoType.ACCOUNT: ("account",),
+    InfoType.CALENDAR: ("calendar",),
+    InfoType.CAMERA: ("camera", "photo"),
+    InfoType.AUDIO: ("audio", "microphone"),
+    InfoType.SMS: ("sms", "text message"),
+    InfoType.BROWSER_HISTORY: ("browser history",),
+    InfoType.IP_ADDRESS: ("ip address",),
+    InfoType.COOKIE: ("cookie",),
+    InfoType.APP_LIST: ("app list", "installed applications"),
+    InfoType.EMAIL_ADDRESS: ("email address",),
+    InfoType.PERSON_NAME: ("name",),
+    InfoType.BIRTHDAY: ("birthday", "date of birth"),
+    InfoType.PAYMENT: ("payment information", "credit card"),
+    InfoType.HEALTH: ("health data", "fitness data"),
+    InfoType.GOVERNMENT_ID: ("government id",
+                             "social security number"),
+}
+
+
+def info_for_permission(permission: str) -> tuple[InfoType, ...]:
+    return PERMISSION_INFO.get(permission, ())
+
+
+def permissions_for_info(info: InfoType) -> tuple[str, ...]:
+    return tuple(
+        permission
+        for permission, infos in PERMISSION_INFO.items()
+        if info in infos
+    )
+
+
+__all__ = [
+    "PERMISSION_INFO",
+    "INFO_SURFACE",
+    "info_for_permission",
+    "permissions_for_info",
+]

@@ -1,0 +1,49 @@
+"""English NLP substrate for privacy-policy analysis.
+
+PPChecker (DSN 2016) used NLTK for sentence splitting and the Stanford
+Parser for syntactic analysis.  Neither is available offline, so this
+package implements the parts PPChecker actually consumes:
+
+- :mod:`repro.nlp.tokenizer` -- word tokenization with lemmatization,
+- :mod:`repro.nlp.sentences` -- sentence splitting, including the paper's
+  fix for enumeration lists broken at ";" / ",",
+- :mod:`repro.nlp.postag`   -- lexicon + rule part-of-speech tagger,
+- :mod:`repro.nlp.parser`   -- a deterministic dependency parser emitting
+  the typed relations PPChecker queries (root, nsubj, dobj, nsubjpass,
+  auxpass, xcomp, advcl, prep, pobj, conj, neg, ...),
+- :mod:`repro.nlp.chunker`  -- noun-phrase chunking used for resource
+  extraction,
+- :mod:`repro.nlp.negation` -- the negation-word list of Text2Policy and
+  subject/verb negation analysis.
+"""
+
+from repro.nlp.tokenizer import Token, tokenize, lemmatize
+from repro.nlp.sentences import split_sentences
+from repro.nlp.postag import pos_tag
+from repro.nlp.deptree import Arc, DependencyTree
+from repro.nlp.parser import parse
+from repro.nlp.chunker import NounPhrase, chunk_noun_phrases
+from repro.nlp.negation import NEGATION_WORDS, is_negated
+from repro.nlp.constituency import (
+    PhraseNode,
+    build_constituency,
+    subtree_starting_with,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "lemmatize",
+    "split_sentences",
+    "pos_tag",
+    "Arc",
+    "DependencyTree",
+    "parse",
+    "NounPhrase",
+    "chunk_noun_phrases",
+    "NEGATION_WORDS",
+    "is_negated",
+    "PhraseNode",
+    "build_constituency",
+    "subtree_starting_with",
+]

@@ -1,0 +1,115 @@
+"""Noun-phrase chunking.
+
+A maximal-munch NP chunker over POS tags.  Resource extraction (Step 6)
+and subject/object attachment in the parser both operate on NP chunks:
+the chunk head is the last nominal token, pre-head tokens become det /
+amod / poss / nn dependents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.tokenizer import Token
+
+_NP_HEAD_TAGS = {"NN", "NNS", "NNP", "NNPS", "PRP", "CD", "VBG"}
+_NP_MOD_TAGS = {"DT", "PDT", "PRP$", "JJ", "JJR", "JJS", "CD", "POS",
+                "NN", "NNS", "NNP", "NNPS"}
+
+
+@dataclass
+class NounPhrase:
+    """A contiguous noun phrase: token span [start, end] with head index."""
+
+    start: int
+    end: int  # inclusive
+    head: int
+
+    def indices(self) -> range:
+        return range(self.start, self.end + 1)
+
+    def text(self, tokens: list[Token]) -> str:
+        return " ".join(tokens[i].text for i in self.indices())
+
+
+def chunk_noun_phrases(
+    tokens: list[Token],
+    exclude: set[int] | None = None,
+) -> list[NounPhrase]:
+    """Find maximal NP chunks left-to-right.
+
+    A chunk is a run of modifier tags ending at one or more nominal
+    tags; the head is the final nominal.  Pronouns form single-token
+    chunks.  A possessive 's continues the chunk ("the user's name").
+    ``exclude`` marks indices that may not join any chunk (the parser
+    passes verb-group tokens, so a VBG main verb is never mistaken for
+    a gerund chunk head).
+    """
+    banned = exclude or set()
+    chunks: list[NounPhrase] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if i in banned:
+            i += 1
+            continue
+        tag = tokens[i].pos
+        if tag == "PRP":
+            chunks.append(NounPhrase(i, i, i))
+            i += 1
+            continue
+        if tag in _NP_MOD_TAGS or tag in _NP_HEAD_TAGS:
+            start = i
+            last_head = -1
+            j = i
+            while j < n:
+                if j in banned:
+                    break
+                t = tokens[j].pos
+                if t in _NP_HEAD_TAGS and t != "VBG":
+                    last_head = j
+                    j += 1
+                    continue
+                if t == "VBG" and last_head == -1:
+                    # gerund heading a chunk only if followed by nothing
+                    # nominal ("tracking" in "ad tracking")
+                    last_head = j
+                    j += 1
+                    continue
+                if t in _NP_MOD_TAGS:
+                    j += 1
+                    continue
+                if t == "POS" and last_head != -1:
+                    j += 1
+                    continue
+                break
+            if last_head == -1:
+                # a bare demonstrative or quantifier heads its own
+                # chunk ("nor those of your contacts", "any of your
+                # personal information" -- the PP supplies the content)
+                if tokens[i].lower in ("those", "these", "this", "that",
+                                       "any", "all", "some", "none",
+                                       "each", "both", "either",
+                                       "neither"):
+                    chunks.append(NounPhrase(i, i, i))
+                i += 1
+                continue
+            # trim trailing modifiers after the last head
+            end = last_head
+            # possessive continuation: "user 's name"
+            chunks.append(NounPhrase(start, end, last_head))
+            i = j if j > last_head else last_head + 1
+            continue
+        i += 1
+    return chunks
+
+
+def chunk_covering(chunks: list[NounPhrase], index: int) -> NounPhrase | None:
+    """The chunk whose span covers *index*, if any."""
+    for chunk in chunks:
+        if chunk.start <= index <= chunk.end:
+            return chunk
+    return None
+
+
+__all__ = ["NounPhrase", "chunk_noun_phrases", "chunk_covering"]

@@ -1,0 +1,177 @@
+"""Shallow constituency trees (the paper's Fig. 6, left side).
+
+Step 2 of the policy pipeline produces both a parse tree and typed
+dependencies.  The dependency side drives extraction; the parse tree
+is what Fig. 6 renders ("each phrase occupies one line") and what the
+paper's constraint extraction reads ("extract the sub-tree that starts
+with these words").  This module derives the constituency view from
+the pieces the deterministic parser already computes: NP chunks, verb
+groups, prepositional phrases, and subordinate clauses.
+
+The node inventory: S, NP, VP, PP, SBAR, and pre-terminal POS nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.chunker import chunk_noun_phrases
+from repro.nlp.parser import _find_subordinate_spans, _find_verb_groups
+from repro.nlp.postag import pos_tag
+from repro.nlp.tokenizer import Token, tokenize
+
+
+@dataclass
+class PhraseNode:
+    """A constituency node: a label over a token span."""
+
+    label: str
+    start: int
+    end: int  # inclusive
+    children: list["PhraseNode"] = field(default_factory=list)
+    token: Token | None = None  # pre-terminals only
+
+    def is_leaf(self) -> bool:
+        return self.token is not None
+
+    def text(self, tokens: list[Token]) -> str:
+        return " ".join(t.text for t in tokens[self.start:self.end + 1])
+
+    def pretty(self, tokens: list[Token], indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_leaf():
+            return f"{pad}({self.label} {self.token.text})"
+        lines = [f"{pad}({self.label}"]
+        for child in self.children:
+            lines.append(child.pretty(tokens, indent + 1))
+        lines.append(f"{pad})")
+        return "\n".join(lines)
+
+    def find(self, label: str) -> list["PhraseNode"]:
+        """All descendants (and self) with the given label."""
+        found = [self] if self.label == label else []
+        for child in self.children:
+            found.extend(child.find(label))
+        return found
+
+
+def _leaf(token: Token) -> PhraseNode:
+    return PhraseNode(label=token.pos or "X", start=token.index,
+                      end=token.index, token=token)
+
+
+def build_constituency(sentence: str | list[Token]) -> tuple[
+    PhraseNode, list[Token]
+]:
+    """Build the shallow parse tree of one sentence."""
+    if isinstance(sentence, str):
+        tokens = tokenize(sentence)
+    else:
+        tokens = sentence
+    if tokens and not tokens[0].pos:
+        pos_tag(tokens)
+
+    n = len(tokens)
+    root = PhraseNode(label="S", start=0, end=max(0, n - 1))
+    if n == 0:
+        return root, tokens
+
+    groups = _find_verb_groups(tokens)
+    group_spans = [(g.start, g.end) for g in groups]
+    in_group = {
+        idx for start, end in group_spans
+        for idx in range(start, end + 1)
+    }
+    chunks = {
+        c.start: c for c in chunk_noun_phrases(tokens, exclude=in_group)
+    }
+    sub_spans = {(s.start, s.end) for s in
+                 _find_subordinate_spans(tokens)}
+
+    def build_range(start: int, stop: int) -> list[PhraseNode]:
+        nodes: list[PhraseNode] = []
+        i = start
+        while i <= stop:
+            # subordinate clause -> SBAR
+            span = next(
+                ((s, e) for s, e in sub_spans if s == i and e <= stop),
+                None,
+            )
+            if span is not None:
+                sbar = PhraseNode(label="SBAR", start=span[0],
+                                  end=span[1])
+                sbar.children.append(_leaf(tokens[span[0]]))
+                sbar.children.extend(
+                    build_range(span[0] + 1, span[1])
+                )
+                nodes.append(sbar)
+                i = span[1] + 1
+                continue
+            # verb group -> VP (spanning to the next top-level break)
+            group = next((g for g in groups if g.start == i), None)
+            if group is not None:
+                vp_end = stop
+                for s, _e in sub_spans:
+                    if s > group.end:
+                        vp_end = min(vp_end, s - 1)
+                vp = PhraseNode(label="VP", start=group.start,
+                                end=vp_end)
+                for k in range(group.start, group.end + 1):
+                    vp.children.append(_leaf(tokens[k]))
+                vp.children.extend(
+                    build_range(group.end + 1, vp_end)
+                )
+                nodes.append(vp)
+                i = vp_end + 1
+                continue
+            # NP chunk
+            chunk = chunks.get(i)
+            if chunk is not None and chunk.end <= stop:
+                np = PhraseNode(label="NP", start=chunk.start,
+                                end=chunk.end)
+                for k in chunk.indices():
+                    np.children.append(_leaf(tokens[k]))
+                nodes.append(np)
+                i = chunk.end + 1
+                continue
+            # preposition heading a PP
+            if tokens[i].pos in ("IN", "TO") and i + 1 <= stop and \
+                    (i + 1) in chunks:
+                inner = chunks[i + 1]
+                pp = PhraseNode(label="PP", start=i,
+                                end=min(inner.end, stop))
+                pp.children.append(_leaf(tokens[i]))
+                pp.children.extend(build_range(i + 1, pp.end))
+                nodes.append(pp)
+                i = pp.end + 1
+                continue
+            nodes.append(_leaf(tokens[i]))
+            i += 1
+        return nodes
+
+    root.children = build_range(0, n - 1)
+    return root, tokens
+
+
+def subtree_starting_with(
+    root: PhraseNode, tokens: list[Token], words: tuple[str, ...]
+) -> PhraseNode | None:
+    """The paper's constraint lookup: the phrase node whose first
+    token is one of *words* ("if", "when", "unless", ...)."""
+    targets = {w.lower() for w in words}
+    best: PhraseNode | None = None
+
+    def visit(node: PhraseNode) -> None:
+        nonlocal best
+        first = tokens[node.start]
+        if not node.is_leaf() and first.lower in targets:
+            if best is None or node.start < best.start:
+                best = node
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    return best
+
+
+__all__ = ["PhraseNode", "build_constituency", "subtree_starting_with"]

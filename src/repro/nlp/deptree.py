@@ -1,0 +1,135 @@
+"""Typed dependency tree structures.
+
+The relation inventory follows the Stanford typed dependencies that
+PPChecker consumes: ``root``, ``nsubj``, ``nsubjpass``, ``dobj``,
+``auxpass``, ``aux``, ``cop``, ``xcomp``, ``advcl``, ``mark``, ``neg``,
+``prep``, ``pobj``, ``conj``, ``cc``, ``det``, ``amod``, ``poss``,
+``nn``, ``rcmod``, ``dep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.tokenizer import Token
+
+ROOT_INDEX = -1
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A typed dependency arc ``rel(head, dependent)``.
+
+    ``head`` is ``ROOT_INDEX`` (-1) for the virtual ROOT-0 node.
+    """
+
+    head: int
+    dep: int
+    rel: str
+
+
+@dataclass
+class DependencyTree:
+    """Tokens plus typed dependency arcs for one sentence."""
+
+    tokens: list[Token]
+    arcs: list[Arc] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, head: int, dep: int, rel: str) -> None:
+        if self.head_of(dep) is not None:
+            return  # single-head invariant: first attachment wins
+        self.arcs.append(Arc(head, dep, rel))
+
+    # -- queries ----------------------------------------------------------
+
+    def root(self) -> int | None:
+        """Index of the root token, or None for an empty parse."""
+        for arc in self.arcs:
+            if arc.rel == "root":
+                return arc.dep
+        return None
+
+    def root_token(self) -> Token | None:
+        idx = self.root()
+        return self.tokens[idx] if idx is not None else None
+
+    def head_of(self, index: int) -> Arc | None:
+        for arc in self.arcs:
+            if arc.dep == index:
+                return arc
+        return None
+
+    def rel_of(self, index: int) -> str | None:
+        arc = self.head_of(index)
+        return arc.rel if arc else None
+
+    def children(self, index: int, rel: str | None = None) -> list[int]:
+        return [
+            a.dep
+            for a in self.arcs
+            if a.head == index and (rel is None or a.rel == rel)
+        ]
+
+    def child(self, index: int, rel: str) -> int | None:
+        kids = self.children(index, rel)
+        return kids[0] if kids else None
+
+    def has_relation(self, index: int, rel: str) -> bool:
+        return bool(self.children(index, rel))
+
+    def subtree(self, index: int) -> list[int]:
+        """All indices in the subtree rooted at *index* (sorted)."""
+        seen = {index}
+        frontier = [index]
+        while frontier:
+            node = frontier.pop()
+            for kid in self.children(node):
+                if kid not in seen:
+                    seen.add(kid)
+                    frontier.append(kid)
+        return sorted(seen)
+
+    def subtree_text(self, index: int) -> str:
+        return " ".join(self.tokens[i].text for i in self.subtree(index))
+
+    def token(self, index: int) -> Token:
+        return self.tokens[index]
+
+    # -- invariants (used by property tests) -------------------------------
+
+    def is_single_headed(self) -> bool:
+        heads: dict[int, int] = {}
+        for arc in self.arcs:
+            if arc.dep in heads:
+                return False
+            heads[arc.dep] = arc.head
+        return True
+
+    def is_acyclic(self) -> bool:
+        heads = {a.dep: a.head for a in self.arcs}
+        for start in heads:
+            node = start
+            seen = set()
+            while node in heads and node != ROOT_INDEX:
+                if node in seen:
+                    return False
+                seen.add(node)
+                node = heads[node]
+        return True
+
+    def to_conll(self) -> str:
+        """CoNLL-style rendering, handy for debugging and golden tests."""
+        heads = {a.dep: (a.head, a.rel) for a in self.arcs}
+        lines = []
+        for tok in self.tokens:
+            head, rel = heads.get(tok.index, (ROOT_INDEX, "dep"))
+            lines.append(
+                f"{tok.index + 1}\t{tok.text}\t{tok.lemma}\t{tok.pos}"
+                f"\t{head + 1}\t{rel}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["Arc", "DependencyTree", "ROOT_INDEX"]

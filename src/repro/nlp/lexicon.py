@@ -1,0 +1,247 @@
+"""Part-of-speech lexicon.
+
+Closed-class words are enumerated exhaustively; the open classes carry
+the vocabulary that actually occurs in privacy policies, app
+descriptions, and our corpus generator.  Unknown words fall back to the
+suffix heuristics in :mod:`repro.nlp.postag`.
+
+Tags are Penn Treebank: NN NNS NNP VB VBP VBZ VBD VBN VBG MD DT PDT PRP
+PRP$ IN TO CC JJ JJR JJS RB RBR WDT WP WRB CD EX UH POS.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Closed classes
+# ---------------------------------------------------------------------------
+
+DETERMINERS = {
+    "the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+    "these": "DT", "those": "DT", "any": "DT", "some": "DT", "no": "DT",
+    "every": "DT", "each": "DT", "all": "PDT", "both": "PDT",
+    "such": "PDT", "another": "DT", "either": "DT", "neither": "DT",
+    "certain": "JJ",
+}
+
+PRONOUNS = {
+    "i": "PRP", "you": "PRP", "he": "PRP", "she": "PRP", "it": "PRP",
+    "we": "PRP", "they": "PRP", "me": "PRP", "him": "PRP", "her": "PRP",
+    "us": "PRP", "them": "PRP", "itself": "PRP", "themselves": "PRP",
+    "yourself": "PRP", "ourselves": "PRP", "myself": "PRP",
+    "anyone": "NN", "someone": "NN", "everyone": "NN", "nobody": "NN",
+    "anything": "NN", "something": "NN", "everything": "NN",
+    "nothing": "NN", "none": "NN",
+    "my": "PRP$", "your": "PRP$", "his": "PRP$", "its": "PRP$",
+    "our": "PRP$", "their": "PRP$",
+}
+
+MODALS = {
+    "will": "MD", "would": "MD", "can": "MD", "could": "MD",
+    "may": "MD", "might": "MD", "shall": "MD", "should": "MD",
+    "must": "MD", "'ll": "MD", "'d": "MD",
+}
+
+PREPOSITIONS = {
+    "of": "IN", "in": "IN", "on": "IN", "at": "IN", "by": "IN",
+    "for": "IN", "with": "IN", "from": "IN", "about": "IN",
+    "into": "IN", "through": "IN", "during": "IN", "without": "IN",
+    "within": "IN", "between": "IN", "under": "IN", "over": "IN",
+    "after": "IN", "before": "IN", "since": "IN", "until": "IN",
+    "upon": "IN", "via": "IN", "per": "IN", "regarding": "IN",
+    "concerning": "IN", "including": "IN", "against": "IN",
+    "among": "IN", "across": "IN", "towards": "IN", "toward": "IN",
+    "if": "IN", "unless": "IN", "because": "IN", "while": "IN",
+    "whereas": "IN", "although": "IN", "though": "IN", "as": "IN",
+    "than": "IN", "except": "IN", "besides": "IN", "despite": "IN",
+    "onto": "IN", "out": "IN", "off": "IN", "so": "IN", "that": "IN",
+}
+
+CONJUNCTIONS = {"and": "CC", "or": "CC", "but": "CC", "nor": "CC",
+                "yet": "CC", "plus": "CC", "&": "CC"}
+
+WH_WORDS = {
+    "who": "WP", "whom": "WP", "what": "WP", "which": "WDT",
+    "whose": "WP$", "when": "WRB", "where": "WRB", "why": "WRB",
+    "how": "WRB", "whenever": "WRB", "wherever": "WRB",
+}
+
+ADVERBS = {
+    "not": "RB", "never": "RB", "always": "RB", "also": "RB",
+    "only": "RB", "just": "RB", "very": "RB", "too": "RB",
+    "however": "RB", "therefore": "RB", "moreover": "RB",
+    "furthermore": "RB", "otherwise": "RB", "additionally": "RB",
+    "here": "RB", "there": "EX", "now": "RB", "then": "RB",
+    "again": "RB", "already": "RB", "still": "RB", "yet": "RB",
+    "hardly": "RB", "rarely": "RB", "seldom": "RB", "barely": "RB",
+    "sometimes": "RB", "often": "RB", "usually": "RB",
+    "automatically": "RB", "directly": "RB", "anonymously": "RB",
+    "securely": "RB", "periodically": "RB", "immediately": "RB",
+    "solely": "RB", "merely": "RB", "together": "RB",
+    "please": "RB", "instead": "RB", "thereby": "RB", "hence": "RB",
+    "thus": "RB", "accordingly": "RB", "further": "RB",
+}
+
+AUXILIARIES = {
+    "be": "VB", "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD",
+    "were": "VBD", "been": "VBN", "being": "VBG",
+    "have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG",
+    "do": "VBP", "does": "VBZ", "did": "VBD",
+    "'re": "VBP", "'m": "VBP", "'ve": "VBP",
+}
+
+# ---------------------------------------------------------------------------
+# Open classes: verbs of the privacy domain.
+# Base form listed; inflections are derived by the tagger via lemma.
+# ---------------------------------------------------------------------------
+
+VERBS = {
+    # collect-category and friends
+    "collect", "gather", "obtain", "acquire", "receive", "access",
+    "record", "track", "monitor", "read", "request", "check", "know",
+    "get", "take",
+    # use-category
+    "use", "process", "utilize", "employ", "analyze", "combine",
+    "aggregate", "personalize", "customize", "serve",
+    # retain-category
+    "retain", "store", "keep", "save", "hold", "preserve", "cache",
+    "log", "archive", "maintain",
+    # disclose-category
+    "disclose", "share", "transfer", "provide", "send", "transmit",
+    "sell", "rent", "trade", "release", "distribute", "disseminate",
+    "give", "report", "supply", "display", "expose", "forward",
+    "upload", "post", "deliver", "pass", "reveal", "submit",
+    # general verbs of policies & descriptions
+    "agree", "allow", "permit", "enable", "disable", "require",
+    "need", "want", "wish", "ask", "tell", "inform", "notify",
+    "contact", "visit", "review", "update", "change", "modify",
+    "delete", "remove", "erase", "correct", "opt", "choose",
+    "consent", "help", "protect", "secure", "encrypt", "identify",
+    "improve", "enhance", "develop", "create", "make", "offer",
+    "include", "exclude", "contain", "apply", "comply", "govern",
+    "describe", "explain", "state", "declare", "mention", "cover",
+    "limit", "restrict", "prevent", "avoid", "stop", "cease",
+    "install", "download", "register", "sign", "login", "logout",
+    "click", "tap", "enter", "type", "browse", "navigate", "search",
+    "find", "locate", "show", "view", "see", "play", "run",
+    "manage", "operate", "work", "function", "perform", "conduct",
+    "link", "connect", "integrate", "embed", "incorporate",
+    "synchronize", "sync", "backup", "restore", "export", "import",
+    "measure", "count", "calculate", "estimate", "determine",
+    "respond", "reply", "answer", "support", "assist", "enable",
+    "become", "remain", "continue", "begin", "start", "end",
+    "terminate", "expire", "occur", "happen", "result", "lead",
+    "refer", "relate", "associate", "correspond", "depend",
+    "believe", "think", "consider", "regard", "treat", "deem",
+    "encourage", "recommend", "suggest", "advise", "urge",
+    "learn", "discover", "detect", "recognize", "understand",
+    "accept", "reject", "decline", "refuse", "deny",
+    "transmit", "broadcast", "stream", "sample", "capture",
+    "scan", "photograph", "film", "say", "come", "go",
+    # synonym-expansion vocabulary (repro.policy.synonyms)
+    "harvest", "mine", "intercept", "extract", "retrieve", "fetch",
+    "query", "solicit", "leverage", "exploit", "consume", "evaluate",
+    "examine", "stash", "warehouse", "persist", "memorize", "publish",
+    "leak", "surrender", "divulge", "present",
+}
+
+NOUNS = {
+    # private-information resources
+    "information", "data", "datum", "detail", "content",
+    "location", "position", "latitude", "longitude", "geolocation",
+    "address", "name", "username", "nickname", "surname",
+    "email", "e-mail", "phone", "telephone", "number", "contact",
+    "contacts", "calendar", "account", "password", "credential",
+    "identifier", "id", "imei", "imsi", "iccid", "udid", "guid",
+    "device", "hardware", "model", "manufacturer", "serial",
+    "ip", "mac", "cookie", "beacon", "pixel", "token",
+    "camera", "photo", "picture", "image", "video", "microphone",
+    "audio", "voice", "recording", "sound", "photograph",
+    "sms", "message", "text", "call", "history", "browser",
+    "age", "gender", "birthday", "birthdate", "birth", "date",
+    "profile", "preference", "interest", "demographic",
+    "app", "application", "list", "package", "software",
+    "wifi", "network", "carrier", "operator", "bluetooth", "gps",
+    # policy vocabulary
+    "policy", "privacy", "party", "user", "visitor", "customer",
+    "member", "child", "person", "individual", "consumer",
+    "service", "website", "site", "page", "server", "platform",
+    "purpose", "reason", "time", "period", "duration", "law",
+    "regulation", "right", "consent", "permission", "notice",
+    "security", "safety", "protection", "measure", "practice",
+    "advertiser", "advertising", "advertisement", "ad", "analytics",
+    "partner", "affiliate", "subsidiary", "vendor", "provider",
+    "company", "organization", "business", "entity", "agency",
+    "government", "authority", "court", "order", "request",
+    "section", "term", "condition", "agreement", "statement",
+    "question", "feedback", "support", "contact", "change",
+    "update", "amendment", "modification", "version", "effect",
+    "library", "lib", "sdk", "kit", "tool", "feature", "function",
+    "game", "player", "score", "level", "achievement",
+    "weather", "map", "route", "navigation", "traffic", "forecast",
+    "news", "music", "radio", "podcast", "book", "reader",
+    "fitness", "health", "step", "workout", "heart", "rate",
+    "shopping", "cart", "product", "item", "price", "payment",
+    "transaction", "purchase", "order", "delivery", "wallet",
+    "task", "reminder", "note", "document", "file", "folder",
+    "storage", "backup", "cloud", "database", "record",
+    "field", "force", "way", "thing", "part", "kind", "type",
+    "example", "instance", "case", "basis", "behalf", "accordance",
+    "usage", "behavior", "activity", "session", "event", "crash",
+    "error", "diagnostic", "performance", "quality", "experience",
+    "ringtone", "wallpaper", "theme", "widget", "keyboard",
+    "flashlight", "scanner", "editor", "filter", "sticker",
+    "identity", "signal", "internet", "world", "emergency",
+}
+
+ADJECTIVES = {
+    "personal", "private", "sensitive", "confidential", "anonymous",
+    "aggregate", "aggregated", "statistical", "demographic",
+    "third", "third-party", "first", "second", "new", "old",
+    "certain", "specific", "general", "various", "other", "same",
+    "similar", "different", "additional", "further", "following",
+    "above", "below", "applicable", "relevant", "necessary",
+    "appropriate", "reasonable", "legal", "lawful", "unlawful",
+    "free", "paid", "premium", "mobile", "online", "offline",
+    "able", "unable", "available", "unavailable", "responsible",
+    "liable", "subject", "effective", "current", "future", "prior",
+    "precise", "coarse", "fine", "approximate", "exact", "real",
+    "unique", "non-personal", "identifiable", "de-identified",
+    "technical", "automatic", "optional", "mandatory", "required",
+    "important", "best", "better", "easy", "simple", "quick",
+    "fast", "smart", "popular", "local", "global", "social",
+    "many", "few", "several", "own", "more", "most", "less",
+    "least", "full", "complete", "entire", "whole", "limited",
+    "great", "good",
+}
+
+# Words that are both noun and verb; the tagger disambiguates by context.
+NOUN_VERB_AMBIGUOUS = {
+    "use", "access", "record", "share", "request", "contact",
+    "track", "log", "store", "process", "report", "need", "help",
+    "support", "change", "update", "review", "display", "name",
+    "email", "call", "text", "search", "backup", "cache", "order",
+    "consent", "limit", "transfer", "release", "post", "note",
+    "sign", "type", "filter", "measure", "purchase", "cover",
+}
+
+
+def closed_class_tag(word_lower: str) -> str | None:
+    """Return the tag for a closed-class word, or None."""
+    for table in (MODALS, PRONOUNS, CONJUNCTIONS, WH_WORDS, ADVERBS,
+                  AUXILIARIES, DETERMINERS, PREPOSITIONS):
+        if word_lower in table:
+            return table[word_lower]
+    if word_lower == "to":
+        return "TO"
+    if word_lower == "'s":
+        return "POS"
+    if word_lower == "'":
+        return "POS"
+    return None
+
+
+__all__ = [
+    "DETERMINERS", "PRONOUNS", "MODALS", "PREPOSITIONS", "CONJUNCTIONS",
+    "WH_WORDS", "ADVERBS", "AUXILIARIES", "VERBS", "NOUNS", "ADJECTIVES",
+    "NOUN_VERB_AMBIGUOUS", "closed_class_tag",
+]

@@ -1,0 +1,95 @@
+"""Negation analysis (Step 5 of the policy-analysis pipeline).
+
+PPChecker checks for negation in two places (following Text2Policy):
+
+1. the *subject* ("nothing will be collected"), and
+2. the modifiers of the *root verb* ("we will not collect information").
+
+The negation-word list follows the paper's source [32] and contains
+negative verbs, adverbs, adjectives, and determiners.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.deptree import DependencyTree
+
+#: Negation words, grouped as in Text2Policy's list.
+NEGATIVE_VERBS = {
+    "prevent", "prohibit", "forbid", "refuse", "decline", "deny",
+    "avoid", "cease", "stop", "ban", "bar", "oppose", "reject",
+}
+NEGATIVE_ADVERBS = {
+    "not", "never", "n't", "hardly", "rarely", "seldom", "barely",
+    "scarcely", "neither", "nor", "no-longer",
+}
+NEGATIVE_ADJECTIVES = {
+    "unable", "unwilling", "unauthorized", "impossible", "unlawful",
+}
+NEGATIVE_DETERMINERS = {"no", "none", "neither", "nothing", "nobody"}
+
+NEGATION_WORDS = (
+    NEGATIVE_VERBS | NEGATIVE_ADVERBS | NEGATIVE_ADJECTIVES
+    | NEGATIVE_DETERMINERS
+)
+
+
+def subject_is_negative(tree: DependencyTree) -> bool:
+    """True when the (passive) subject itself is a negative word.
+
+    Catches "nothing will be collected", "no information is shared".
+    """
+    root = tree.root()
+    if root is None:
+        return False
+    for rel in ("nsubj", "nsubjpass"):
+        subj = tree.child(root, rel)
+        if subj is None:
+            continue
+        tok = tree.token(subj)
+        if tok.lemma in NEGATIVE_DETERMINERS or tok.lower in NEGATIVE_DETERMINERS:
+            return True
+        for kid in tree.children(subj, "det"):
+            if tree.token(kid).lower in NEGATIVE_DETERMINERS:
+                return True
+    return False
+
+
+def verb_is_negated(tree: DependencyTree, verb: int | None = None) -> bool:
+    """True when the root verb (or *verb*) carries a negation modifier."""
+    target = verb if verb is not None else tree.root()
+    if target is None:
+        return False
+    for kid in tree.children(target, "neg"):
+        if tree.token(kid).lemma in NEGATIVE_ADVERBS or tree.token(
+            kid
+        ).lower in NEGATIVE_ADVERBS:
+            return True
+    # negative root lemma itself ("we refuse to collect ...") negates the
+    # complement verb, and negative adverb attached as plain RB
+    tok = tree.token(target)
+    if tok.lemma in NEGATIVE_VERBS:
+        return True
+    if tok.lemma in NEGATIVE_ADJECTIVES or tok.lower in NEGATIVE_ADJECTIVES:
+        return True
+    # a negated governor propagates to its xcomp verb
+    arc = tree.head_of(target)
+    if arc is not None and arc.rel == "xcomp":
+        return verb_is_negated(tree, arc.head)
+    return False
+
+
+def is_negated(tree: DependencyTree, verb: int | None = None) -> bool:
+    """Paper's Step 5: negative subject OR negated root verb."""
+    return subject_is_negative(tree) or verb_is_negated(tree, verb)
+
+
+__all__ = [
+    "NEGATION_WORDS",
+    "NEGATIVE_VERBS",
+    "NEGATIVE_ADVERBS",
+    "NEGATIVE_ADJECTIVES",
+    "NEGATIVE_DETERMINERS",
+    "subject_is_negative",
+    "verb_is_negated",
+    "is_negated",
+]

@@ -1,0 +1,203 @@
+"""Lexicon + rule part-of-speech tagger.
+
+A two-pass tagger in the spirit of Brill (1992): a lexical pass assigns
+the most likely tag from the lexicon / suffix heuristics, then a small
+set of contextual rules repairs the ambiguities that matter for
+dependency parsing of privacy-policy prose (noun/verb ambiguity, "that",
+participles after auxiliaries).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.nlp import lexicon
+from repro.nlp.tokenizer import Token, lemmatize
+
+_PUNCT_TAGS = {
+    ".": ".", "!": ".", "?": ".", ",": ",", ";": ":", ":": ":",
+    "(": "-LRB-", ")": "-RRB-", "\"": "``", "'": "''", "`": "``",
+    "-": ":", "–": ":", "—": ":", "/": ":", "%": "NN", "$": "$",
+    "“": "``", "”": "''", "‘": "``", "’": "''", "[": "-LRB-",
+    "]": "-RRB-", "#": "#", "&": "CC", "*": ":", "•": ":",
+}
+
+_NUMBER_RE = re.compile(r"^\d[\d,.]*$")
+_URLISH_RE = re.compile(r"(?:https?://|www\.|@.+\.)", re.IGNORECASE)
+
+
+def _verb_tag_for_form(text_lower: str, lemma: str) -> str:
+    """Morphology-based verb tag for a known verb lemma."""
+    if text_lower == lemma:
+        return "VBP"  # may be repaired to VB by context rules
+    if text_lower.endswith("ing"):
+        return "VBG"
+    if text_lower.endswith("ed") or text_lower in ("kept", "held", "sent",
+                                                   "sold", "told", "given",
+                                                   "taken", "known", "seen",
+                                                   "made", "written", "done",
+                                                   "gotten", "chosen"):
+        return "VBN"  # repaired to VBD when used finitely
+    if text_lower.endswith("s"):
+        return "VBZ"
+    return "VBP"
+
+
+def _lexical_tag(tok: Token) -> str:
+    low = tok.lower
+    if low in _PUNCT_TAGS:
+        return _PUNCT_TAGS[low]
+    if _NUMBER_RE.match(low):
+        return "CD"
+    if _URLISH_RE.search(tok.text):
+        return "NN"
+    closed = lexicon.closed_class_tag(low)
+    if closed is not None:
+        return closed
+
+    lemma = tok.lemma or lemmatize(tok.text)
+    in_verbs = lemma in lexicon.VERBS
+    in_nouns = lemma in lexicon.NOUNS or low in lexicon.NOUNS
+    in_adjs = low in lexicon.ADJECTIVES or lemma in lexicon.ADJECTIVES
+
+    if in_adjs and not in_verbs:
+        return "JJ"
+    if in_verbs and in_nouns:
+        # Ambiguous; default to noun, contextual rules promote to verb.
+        return "NNS" if low.endswith("s") and low != lemma else "NN"
+    if in_verbs:
+        return _verb_tag_for_form(low, lemma)
+    if in_nouns:
+        return "NNS" if low.endswith("s") and lemma != low else "NN"
+
+    # Suffix heuristics for unknown words.
+    if low.endswith("ly"):
+        return "RB"
+    if low.endswith(("tion", "sion", "ment", "ness", "ance", "ence",
+                     "ship", "ism", "ist", "ery", "age", "dom")):
+        return "NN"
+    if low.endswith(("ous", "ful", "ive", "ic", "ical", "able", "ible",
+                     "ary", "ish", "less")):
+        return "JJ"
+    if low.endswith("ing"):
+        return "VBG"
+    if low.endswith("ed"):
+        return "VBN"
+    if tok.text[:1].isupper() and tok.index > 0:
+        return "NNP"
+    if low.endswith("s") and len(low) > 3 and not low.endswith("ss"):
+        return "NNS"
+    return "NN"
+
+
+_BE_FORMS = {"be", "am", "is", "are", "was", "were", "been", "being",
+             "'re", "'m"}
+_HAVE_FORMS = {"have", "has", "had", "'ve"}
+_NOMINAL = {"NN", "NNS", "NNP", "NNPS", "PRP", "CD"}
+_VERBAL = {"VB", "VBP", "VBZ", "VBD", "VBN", "VBG", "MD"}
+
+
+def _is_ambiguous(tok: Token) -> bool:
+    lemma = tok.lemma or lemmatize(tok.text)
+    return lemma in lexicon.NOUN_VERB_AMBIGUOUS or (
+        lemma in lexicon.VERBS and (lemma in lexicon.NOUNS or tok.lower in lexicon.NOUNS)
+    )
+
+
+def pos_tag(tokens: list[Token]) -> list[Token]:
+    """Tag *tokens* in place (and return them)."""
+    if not tokens:
+        return tokens
+    tags = [_lexical_tag(t) for t in tokens]
+
+    # ---------------- contextual repair rules ----------------
+    for i, tok in enumerate(tokens):
+        low = tok.lower
+        lemma = tok.lemma or lemmatize(tok.text)
+        prev_tag = tags[i - 1] if i > 0 else "<S>"
+        prev_low = tokens[i - 1].lower if i > 0 else ""
+        # skip intervening adverbs when looking back
+        j = i - 1
+        while j >= 0 and tags[j] == "RB":
+            j -= 1
+        back_tag = tags[j] if j >= 0 else "<S>"
+        back_low = tokens[j].lower if j >= 0 else ""
+
+        # "that": relativizer after a nominal, demonstrative before a
+        # nominal ("process that information"), complementizer before a
+        # new clause ("believe that we ...").
+        if low == "that":
+            nxt = tags[i + 1] if i + 1 < len(tokens) else "<E>"
+            if prev_tag in _NOMINAL:
+                tags[i] = "WDT"
+            elif nxt in ("NN", "NNS", "NNP", "JJ"):
+                tags[i] = "DT"
+            elif prev_tag in _VERBAL or nxt in ("PRP", "DT", "PRP$"):
+                tags[i] = "IN"
+            else:
+                tags[i] = "DT"
+            continue
+
+        # Ambiguous noun/verb resolution.
+        if _is_ambiguous(tok):
+            if back_tag == "MD" or back_low in ("do", "does", "did",
+                                                "don't", "n't", "not"):
+                tags[i] = "VB"
+            elif back_tag == "TO":
+                tags[i] = "VB"
+            elif back_low in _BE_FORMS:
+                if low.endswith("ing"):
+                    tags[i] = "VBG"
+                elif low.endswith("ed") or _verb_tag_for_form(low, lemma) == "VBN":
+                    tags[i] = "VBN"
+            elif back_low in _HAVE_FORMS and (
+                low.endswith("ed") or _verb_tag_for_form(low, lemma) == "VBN"
+            ):
+                tags[i] = "VBN"
+            elif back_tag == "PRP" and tags[i] in ("NN", "NNS"):
+                tags[i] = _verb_tag_for_form(low, lemma)
+            elif back_tag in ("DT", "PRP$", "JJ", "POS") :
+                tags[i] = "NNS" if low.endswith("s") and low != lemma else "NN"
+            continue
+
+        # Base/VBP verbs after modal / "to" / do-support become VB.
+        if tags[i] in ("VBP", "VBZ", "VBD", "VBN"):
+            if back_tag == "MD" or back_tag == "TO" or back_low in (
+                "do", "does", "did"
+            ):
+                tags[i] = "VB"
+            elif back_low in _BE_FORMS and tags[i] in ("VBD", "VBN"):
+                tags[i] = "VBN"
+            elif back_low in _HAVE_FORMS and tags[i] in ("VBD", "VBN"):
+                tags[i] = "VBN"
+            elif tags[i] == "VBN":
+                # VBN used finitely ("we collected your data") -> VBD,
+                # unless preceded by be/have (handled above) or used as a
+                # pre-nominal modifier ("collected data").
+                nxt = tags[i + 1] if i + 1 < len(tokens) else "<E>"
+                if back_tag in _NOMINAL and nxt != "IN" or nxt in ("DT", "PRP$"):
+                    tags[i] = "VBD"
+
+        # VBG directly after DT/PRP$/IN heading a nominal -> gerund noun
+        # use stays VBG for the parser; nothing to do.
+
+        # Participial modifier before a noun: "collected data",
+        # "sell aggregated statistics".  A VBN after an auxiliary
+        # (have/be/modal) stays verbal ("have collected data").
+        if tags[i] in ("VBN", "VBG") and i + 1 < len(tokens) and tags[i + 1] in (
+            "NN", "NNS"
+        ):
+            aux_before = (prev_low in _BE_FORMS or prev_low in _HAVE_FORMS
+                          or prev_tag == "MD" or prev_tag == "TO")
+            if not aux_before and (
+                prev_tag in ("DT", "PRP$", "JJ", "IN", "<S>", ",")
+                or prev_tag in _VERBAL
+            ):
+                tags[i] = "JJ"
+
+    for tok, tag in zip(tokens, tags):
+        tok.pos = tag
+    return tokens
+
+
+__all__ = ["pos_tag"]

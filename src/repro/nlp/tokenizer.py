@@ -1,0 +1,318 @@
+"""Word tokenization and lemmatization.
+
+The tokenizer is deliberately simple and deterministic: privacy policies
+are edited prose, not tweets.  It handles contractions ("don't" ->
+"do" + "n't"), possessives ("user's" -> "user" + "'s"), hyphenated
+compounds (kept whole: "third-party"), URLs and e-mail addresses (kept
+whole), and trailing/leading punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Token
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Token:
+    """A single token of a sentence.
+
+    Attributes:
+        index: 0-based position within the sentence.
+        text:  surface form as it appeared (case preserved).
+        lemma: lower-cased dictionary form.
+        pos:   Penn-Treebank part-of-speech tag ("" until tagged).
+    """
+
+    index: int
+    text: str
+    lemma: str = ""
+    pos: str = ""
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.text}/{self.pos or '?'}"
+
+
+# ---------------------------------------------------------------------------
+# Tokenization
+# ---------------------------------------------------------------------------
+
+_URL_RE = re.compile(r"""(?:https?://|www\.)[^\s<>"']+""", re.IGNORECASE)
+_EMAIL_RE = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
+_NUMBER_RE = re.compile(r"\d+(?:[,.]\d+)+")
+# Word: letters/digits with internal hyphens, dots (e.g. package names) or
+# slashes are split, but "e-mail"-style hyphenations are kept whole.
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[-'][A-Za-z0-9]+)*")
+
+_CONTRACTIONS = {
+    "n't": ("n't",),
+    "'ll": ("'ll",),
+    "'re": ("'re",),
+    "'ve": ("'ve",),
+    "'d": ("'d",),
+    "'m": ("'m",),
+    "'s": ("'s",),
+}
+
+# Irregular contraction expansions handled as whole words.
+_SPECIAL_CONTRACTIONS = {
+    "can't": ["can", "n't"],
+    "won't": ["will", "n't"],
+    "shan't": ["shall", "n't"],
+    "cannot": ["can", "not"],
+    "don't": ["do", "n't"],
+    "doesn't": ["does", "n't"],
+    "didn't": ["did", "n't"],
+    "isn't": ["is", "n't"],
+    "aren't": ["are", "n't"],
+    "wasn't": ["was", "n't"],
+    "weren't": ["were", "n't"],
+    "hasn't": ["has", "n't"],
+    "haven't": ["have", "n't"],
+    "hadn't": ["had", "n't"],
+    "shouldn't": ["should", "n't"],
+    "wouldn't": ["would", "n't"],
+    "couldn't": ["could", "n't"],
+    "mustn't": ["must", "n't"],
+}
+
+
+def _split_word(word: str) -> list[str]:
+    """Split a raw word into tokens, peeling contractions."""
+    low = word.lower()
+    if low in _SPECIAL_CONTRACTIONS:
+        parts = _SPECIAL_CONTRACTIONS[low]
+        # Preserve original capitalisation of the first piece.
+        if word[0].isupper():
+            return [parts[0].capitalize()] + list(parts[1:])
+        return list(parts)
+    for suffix in ("n't", "'ll", "'re", "'ve", "'d", "'m", "'s"):
+        if low.endswith(suffix) and len(word) > len(suffix):
+            return [word[: -len(suffix)], word[-len(suffix):]]
+    return [word]
+
+
+def tokenize(sentence: str) -> list[Token]:
+    """Tokenize one sentence into :class:`Token` objects (lemmas filled)."""
+    raw: list[str] = []
+    pos = 0
+    text = sentence.strip()
+    while pos < len(text):
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        m = (_URL_RE.match(text, pos) or _EMAIL_RE.match(text, pos)
+             or _NUMBER_RE.match(text, pos))
+        if m:
+            raw.append(m.group(0))
+            pos = m.end()
+            continue
+        m = _WORD_RE.match(text, pos)
+        if m:
+            word = m.group(0)
+            # Re-attach an apostrophe suffix the regex may have missed
+            # ("users'" possessive plural).
+            end = m.end()
+            if end < len(text) and text[end] in "'’" and (
+                end + 1 >= len(text) or not text[end + 1].isalnum()
+            ):
+                raw.append(word)
+                raw.append("'")
+                pos = end + 1
+                continue
+            raw.extend(_split_word(word))
+            pos = end
+            continue
+        # Apostrophe followed by letters -> contraction piece like 's.
+        if ch in "'’":
+            m2 = _WORD_RE.match(text, pos + 1)
+            if m2:
+                raw.append("'" + m2.group(0))
+                pos = m2.end()
+                continue
+        raw.append(ch)
+        pos += 1
+
+    tokens = [Token(index=i, text=t) for i, t in enumerate(raw)]
+    for tok in tokens:
+        tok.lemma = lemmatize(tok.text)
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Lemmatization
+# ---------------------------------------------------------------------------
+
+# Irregular verb and noun forms that matter for verb-category matching and
+# resource extraction.  Maps inflected form -> lemma.
+_IRREGULAR = {
+    # verbs
+    "is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+    "being": "be", "am": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "gave": "give", "given": "give",
+    "took": "take", "taken": "take",
+    "kept": "keep",
+    "held": "hold",
+    "got": "get", "gotten": "get",
+    "made": "make",
+    "sent": "send",
+    "sold": "sell",
+    "told": "tell",
+    "knew": "know", "known": "know",
+    "saw": "see", "seen": "see",
+    "went": "go", "gone": "go",
+    "stored": "store", "stores": "store", "storing": "store",
+    "shared": "share", "shares": "share", "sharing": "share",
+    "used": "use", "uses": "use", "using": "use",
+    "chose": "choose", "chosen": "choose",
+    "wrote": "write", "written": "write",
+    "let": "let",
+    "left": "leave",
+    "met": "meet",
+    "n't": "not",
+    "'ll": "will",
+    "'re": "be",
+    "'ve": "have",
+    "'m": "be",
+    "'d": "would",
+    # -ing words that are not progressive verb forms
+    "nothing": "nothing", "something": "something",
+    "anything": "anything", "everything": "everything",
+    "during": "during", "according": "according",
+    "advertising": "advertising", "marketing": "marketing",
+    "string": "string", "thing": "thing", "king": "king",
+    "ring": "ring", "spring": "spring", "evening": "evening",
+    "morning": "morning",
+    # nouns with irregular plurals
+    "children": "child",
+    "people": "person",
+    "data": "data",
+    "media": "media",
+    "cookies": "cookie",
+    "parties": "party",
+    "policies": "policy",
+    "libraries": "library",
+    "addresses": "address",
+    "services": "service",
+    "devices": "device",
+    "identities": "identity",
+    "activities": "activity",
+    "technologies": "technology",
+    "countries": "country",
+    "companies": "company",
+    "agencies": "agency",
+    "authorities": "authority",
+    "entities": "entity",
+    "bodies": "body",
+    "copies": "copy",
+    "histories": "history",
+    "queries": "query",
+    "categories": "category",
+}
+
+# Words ending in 's' that are NOT plurals/3rd-person forms.
+_S_FINAL = {
+    "address", "access", "business", "process", "les", "this", "is",
+    "its", "his", "us", "bus", "plus", "status", "analysis", "gps",
+    "sms", "was", "has", "does", "news", "various", "previous",
+    "anonymous", "always", "perhaps", "across", "unless", "express",
+    "wireless", "virus", "campus", "basis", "analytics", "contents",
+    "yes", "as", "thus", "less",
+}
+
+_DOUBLE_FINAL = {
+    "stopped": "stop", "stopping": "stop",
+    "logged": "log", "logging": "log",
+    "tagged": "tag", "tagging": "tag",
+    "planned": "plan", "planning": "plan",
+    "submitted": "submit", "submitting": "submit",
+    "transmitted": "transmit", "transmitting": "transmit",
+    "permitted": "permit", "permitting": "permit",
+    "referred": "refer", "referring": "refer",
+    "transferred": "transfer", "transferring": "transfer",
+    "occurred": "occur", "occurring": "occur",
+    "setting": "set",
+    "getting": "get",
+    "letting": "let",
+    "putting": "put",
+    "embedded": "embed", "embedding": "embed",
+}
+
+# Verbs ending in -e whose -ing/-ed forms drop the e.
+_E_RESTORE = {
+    "stor", "shar", "us", "disclos", "provid", "receiv",
+    "sav", "delet", "updat", "creat", "analyz", "combin", "declar",
+    "describ", "requir", "acquir", "retriev", "captur", "measur",
+    "improv", "serv", "mak", "tak", "giv", "manag", "exchang",
+    "locat", "operat", "integrat", "aggregat", "generat", "complet",
+    "communicat", "calculat", "indicat", "activat", "deactivat",
+    "associat", "relat", "regulat", "stat", "cit", "not", "compil",
+    "releas", "leas", "purchas", "advertis", "personaliz", "customiz",
+    "recogniz", "authoriz", "utiliz", "monetiz", "synchroniz",
+    "subscrib", "unsubscrib", "distribut", "execut", "comput",
+    "configur", "secur", "ensur", "expos", "enabl", "disabl",
+    "handl", "compar", "prepar", "acknowledg", "charg", "merg",
+    "brows", "clos", "caus", "choos", "databas", "eras",
+    "involv", "observ", "preserv", "reserv", "resolv",
+    "trac", "plac", "replac", "produc", "reduc", "introduc",
+    "trad", "cach", "archiv", "disseminat", "renam", "shap",
+    "fil", "profil", "whil", "decid", "resid",
+    "includ", "exclud", "conclud", "guid",
+    "determin", "examin", "combin", "declin", "defin", "onlin",
+    "imagin", "machin",
+}
+
+
+def lemmatize(word: str) -> str:
+    """Return a lower-case lemma using exception tables + suffix rules."""
+    low = word.lower()
+    if low in _IRREGULAR:
+        return _IRREGULAR[low]
+    if low in _DOUBLE_FINAL:
+        return _DOUBLE_FINAL[low]
+    if low in _S_FINAL or len(low) <= 3:
+        return low
+    if not low.isalpha() and "-" not in low:
+        return low
+
+    # -ies / -ied
+    if low.endswith("ies") and len(low) > 4:
+        return low[:-3] + "y"
+    if low.endswith("ied") and len(low) > 4:
+        return low[:-3] + "y"
+    # -sses, -shes, -ches, -xes, -zes, -oes
+    for suf in ("sses", "shes", "ches", "xes", "zes", "oes"):
+        if low.endswith(suf):
+            return low[:-2]
+    # -ing
+    if low.endswith("ing") and len(low) > 5:
+        stem = low[:-3]
+        if stem in _E_RESTORE:
+            return stem + "e"
+        return stem
+    # -ed
+    if low.endswith("ed") and len(low) > 4:
+        stem = low[:-2]
+        if stem in _E_RESTORE:
+            return stem + "e"
+        if stem.endswith("i"):
+            return stem[:-1] + "y"
+        return stem
+    # plain plural / 3rd person -s
+    if low.endswith("s") and not low.endswith("ss") and not low.endswith("us"):
+        return low[:-1]
+    return low
+
+
+__all__ = ["Token", "tokenize", "lemmatize"]

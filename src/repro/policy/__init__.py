@@ -1,0 +1,31 @@
+"""Privacy-policy analysis module (Section III-B of the paper).
+
+The six-step pipeline:
+
+1. sentence extraction  (:mod:`repro.policy.html_text`,
+   :mod:`repro.nlp.sentences`)
+2. syntactic analysis   (:mod:`repro.nlp.parser`)
+3. pattern generation   (:mod:`repro.policy.bootstrap`)
+4. sentence selection   (:mod:`repro.policy.selection`)
+5. negation analysis    (:mod:`repro.nlp.negation`)
+6. information-element extraction (:mod:`repro.policy.extraction`)
+
+:class:`repro.policy.analyzer.PolicyAnalyzer` orchestrates the steps
+and produces a :class:`repro.policy.model.PolicyAnalysis` holding the
+Collect/Use/Retain/Disclose (and Not*) resource sets.
+"""
+
+from repro.policy.verbs import VerbCategory, verb_category
+from repro.policy.model import Statement, PolicyAnalysis
+from repro.policy.analyzer import PolicyAnalyzer, analyze_policy
+from repro.policy.html_text import html_to_text
+
+__all__ = [
+    "VerbCategory",
+    "verb_category",
+    "Statement",
+    "PolicyAnalysis",
+    "PolicyAnalyzer",
+    "analyze_policy",
+    "html_to_text",
+]

@@ -1,0 +1,278 @@
+"""Bootstrapped pattern generation (Step 3, Fig. 7, Eq. 1).
+
+Starting from the seed subject-verb-object pattern with the four
+initial verbs ("collect", "use", "retain", "disclose"), the algorithm
+
+1. matches the current pattern set against a corpus, harvesting the
+   subjects and objects of matched sentences whose frequency exceeds
+   the median (semantic-drift control: the subject / verb / object
+   blacklists prune user-describing, behaviour-unrelated, and
+   non-personal-information terms);
+2. finds new patterns: for any corpus sentence whose subject and
+   object both appear in the harvested lists, the shortest dependency
+   path from the root to the object-governing verb becomes a new
+   pattern (Fig. 7's ``subject-"allowed"-"access"-object``);
+3. iterates until no new pattern is found.
+
+Patterns are then scored against a labelled positive/negative sentence
+set (Eq. 1)::
+
+    acc(p)  = pos(p) / (pos(p) + neg(p))
+    conf(p) = (pos(p) - neg(p)) / (pos(p) + neg(p) + unk(p))
+    Score(p) = conf(p) * log(pos(p))
+
+and the top-n patterns feed sentence selection (Fig. 12 sweeps n).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.nlp.deptree import DependencyTree
+from repro.nlp.parser import parse
+from repro.policy.patterns import Pattern, match_pattern
+from repro.policy.verbs import (
+    OBJECT_BLACKLIST,
+    SEED_VERBS,
+    SUBJECT_BLACKLIST,
+    VERB_BLACKLIST,
+    VerbCategory,
+)
+
+_CHAIN_RELS = ("xcomp", "advcl", "ccomp", "conj", "dep")
+
+
+@dataclass(frozen=True)
+class LabeledSentence:
+    """A corpus sentence with its ground-truth label.
+
+    ``positive`` marks sentences about information collection, usage,
+    retention, or disclosure; ``category`` carries the behaviour for
+    positive sentences.
+    """
+
+    text: str
+    positive: bool
+    category: VerbCategory | None = None
+
+
+@dataclass
+class ScoredPattern:
+    pattern: Pattern
+    pos: int
+    neg: int
+    unk: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.pos + self.neg
+        return self.pos / total if total else 0.0
+
+    @property
+    def confidence(self) -> float:
+        denom = self.pos + self.neg + self.unk
+        return (self.pos - self.neg) / denom if denom else 0.0
+
+    @property
+    def score(self) -> float:
+        if self.pos <= 0:
+            return float("-inf")
+        return self.confidence * math.log(self.pos + 1.0)
+
+
+@dataclass
+class Bootstrapper:
+    """Runs the enhanced bootstrapping over a labelled corpus."""
+
+    corpus: list[LabeledSentence]
+    max_iterations: int = 10
+    use_blacklists: bool = True
+    _trees: list[DependencyTree] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._trees = [parse(s.text.lower()) for s in self.corpus]
+
+    # -- tree feature helpers ----------------------------------------------
+
+    def _subject_of(self, tree: DependencyTree) -> str | None:
+        root = tree.root()
+        if root is None:
+            return None
+        for rel in ("nsubj", "nsubjpass"):
+            subj = tree.child(root, rel)
+            if subj is not None:
+                return tree.token(subj).lemma
+        return None
+
+    def _object_nodes(self, tree: DependencyTree) -> list[tuple[int, int]]:
+        """(verb node, object node) pairs reachable from the root."""
+        root = tree.root()
+        if root is None:
+            return []
+        pairs: list[tuple[int, int]] = []
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            node = frontier.pop()
+            for obj_rel in ("dobj", "nsubjpass"):
+                obj = tree.child(node, obj_rel)
+                if obj is not None:
+                    pairs.append((node, obj))
+            for rel in _CHAIN_RELS:
+                for kid in tree.children(node, rel):
+                    if kid not in seen:
+                        seen.add(kid)
+                        frontier.append(kid)
+        return pairs
+
+    def _chain_to(self, tree: DependencyTree, target: int) -> tuple[str, ...] | None:
+        """Lemma chain from the root down to *target* (the shortest
+        dependency path of Fig. 7, restricted to clausal relations)."""
+        root = tree.root()
+        if root is None:
+            return None
+        chain: list[str] = []
+        node = target
+        while node != root:
+            arc = tree.head_of(node)
+            if arc is None or arc.rel not in _CHAIN_RELS:
+                return None
+            chain.append(tree.token(node).lemma)
+            node = arc.head
+        chain.append(tree.token(root).lemma)
+        return tuple(reversed(chain))
+
+    # -- bootstrap proper ---------------------------------------------------
+
+    def seed_patterns(self) -> list[Pattern]:
+        patterns = []
+        for category, verbs in SEED_VERBS.items():
+            for verb in verbs:
+                patterns.append(Pattern(
+                    name=f"seed:{verb}", chain=(verb,), voice="any",
+                    category=category,
+                ))
+        return patterns
+
+    def _harvest(self, patterns: list[Pattern]) -> tuple[set[str], set[str]]:
+        """Frequent subjects/objects of pattern-matched sentences."""
+        subj_freq: Counter[str] = Counter()
+        obj_freq: Counter[str] = Counter()
+        for tree in self._trees:
+            matched = None
+            for pattern in patterns:
+                matched = match_pattern(pattern, tree)
+                if matched is not None:
+                    break
+            if matched is None:
+                continue
+            subj = self._subject_of(tree)
+            if subj:
+                subj_freq[subj] += 1
+            for verb_node, obj in self._object_nodes(tree):
+                obj_freq[tree.token(obj).lemma] += 1
+
+        def over_median(freq: Counter[str], blacklist: frozenset[str]) -> set[str]:
+            if not freq:
+                return set()
+            counts = sorted(freq.values())
+            median = counts[len(counts) // 2]
+            chosen = {w for w, c in freq.items() if c >= median}
+            if self.use_blacklists:
+                chosen -= blacklist
+            return chosen
+
+        return (
+            over_median(subj_freq, SUBJECT_BLACKLIST),
+            over_median(obj_freq, OBJECT_BLACKLIST),
+        )
+
+    def _discover(
+        self,
+        subjects: set[str],
+        objects: set[str],
+        known: set[tuple],
+    ) -> list[Pattern]:
+        """New chain patterns from sentences with harvested subj+obj."""
+        new: list[Pattern] = []
+        for sentence, tree in zip(self.corpus, self._trees):
+            subj = self._subject_of(tree)
+            if subj is None or subj not in subjects:
+                continue
+            for verb_node, obj in self._object_nodes(tree):
+                if tree.token(obj).lemma not in objects:
+                    continue
+                chain = self._chain_to(tree, verb_node)
+                if chain is None:
+                    continue
+                if self.use_blacklists and any(
+                    lemma in VERB_BLACKLIST for lemma in chain
+                ):
+                    continue
+                category = sentence.category
+                if category is None:
+                    continue
+                key = (chain, "any", False)
+                if key in known:
+                    continue
+                known.add(key)
+                new.append(Pattern(
+                    name=">".join(chain), chain=chain, voice="any",
+                    category=category,
+                ))
+        return new
+
+    def run(self) -> list[Pattern]:
+        """Iterate matching/harvesting/discovery to a fixed point."""
+        patterns = self.seed_patterns()
+        known = {p.key() for p in patterns}
+        for _ in range(self.max_iterations):
+            subjects, objects = self._harvest(patterns)
+            new = self._discover(subjects, objects, known)
+            if not new:
+                break
+            patterns.extend(new)
+        return patterns
+
+    # -- scoring (Eq. 1) ------------------------------------------------------
+
+    def score(self, patterns: list[Pattern]) -> list[ScoredPattern]:
+        """Score each pattern against the labelled corpus."""
+        match_table: list[list[bool]] = []
+        for pattern in patterns:
+            row = [
+                match_pattern(pattern, tree) is not None
+                for tree in self._trees
+            ]
+            match_table.append(row)
+        any_match = [any(col) for col in zip(*match_table)] if match_table \
+            else [False] * len(self.corpus)
+        unk = sum(1 for m in any_match if not m)
+
+        scored: list[ScoredPattern] = []
+        for pattern, row in zip(patterns, match_table):
+            pos = sum(
+                1 for s, hit in zip(self.corpus, row) if hit and s.positive
+            )
+            neg = sum(
+                1 for s, hit in zip(self.corpus, row) if hit and not s.positive
+            )
+            scored.append(ScoredPattern(pattern, pos=pos, neg=neg, unk=unk))
+        scored.sort(key=lambda sp: sp.score, reverse=True)
+        return scored
+
+
+def top_n_patterns(scored: list[ScoredPattern], n: int) -> list[Pattern]:
+    """The top-n patterns by Score(p), dropping unusable (-inf) ones."""
+    usable = [sp for sp in scored if sp.score != float("-inf")]
+    return [sp.pattern for sp in usable[:n]]
+
+
+__all__ = [
+    "LabeledSentence",
+    "ScoredPattern",
+    "Bootstrapper",
+    "top_n_patterns",
+]

@@ -1,0 +1,137 @@
+"""Constraint modelling (the paper's Discussion, future work #1).
+
+Section VI: "the constraints in complex sentences, such as 'without
+your consent', 'if you do not allow us to', etc., may affect the
+actual meaning of the sentence.  We will create models for these
+constraints and then adjust the meaning of the corresponding sentence
+if necessary."
+
+This module implements that extension.  A constraint is classified
+into one of several kinds; two of them flip or soften the statement's
+effective polarity:
+
+- ``consent``: "without your consent", "unless you agree" -- a
+  *negative* statement under a consent constraint really means the
+  behaviour happens once consent is given, so for incompleteness
+  checking it counts as positive coverage;
+- ``opt_out``: "unless you opt out" on a *positive* statement keeps it
+  positive (the default is collection);
+- ``user_action``: "if you register", "when you use the app" --
+  behaviour conditional on ordinary app usage; no polarity change;
+- ``third_party``: "by third parties", "through our partners" -- the
+  behaviour is not the app's own;
+- ``purpose``: "to improve the service" -- purpose limitation only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.policy.model import PolicyAnalysis, Statement
+
+
+class ConstraintKind(enum.Enum):
+    CONSENT = "consent"
+    OPT_OUT = "opt_out"
+    USER_ACTION = "user_action"
+    THIRD_PARTY = "third_party"
+    PURPOSE = "purpose"
+    NONE = "none"
+
+
+_CONSENT_CUES = (
+    "without your consent", "without your permission",
+    "without your explicit consent", "unless you agree",
+    "unless you consent", "unless you give us permission",
+    "without asking", "if you do not allow us",
+    "unless you allow us", "without first obtaining",
+)
+_OPT_OUT_CUES = (
+    "unless you opt out", "unless you opt-out",
+    "until you opt out", "unless you disable",
+    "unless you turn off", "if you do not opt out",
+)
+_THIRD_PARTY_CUES = (
+    "by third parties", "by third party", "by our partners",
+    "through our partners", "by advertisers", "by those sites",
+)
+_PURPOSE_CUES = (
+    "to improve", "to provide", "to personalize", "to serve",
+    "for analytics", "for advertising", "to enhance",
+)
+_USER_ACTION_CUES = (
+    "if you register", "when you register", "if you sign up",
+    "when you use", "if you use", "when you install",
+    "if you contact", "when you contact", "if you submit",
+    "upon registration", "before you",
+)
+
+
+def classify_constraint(text: str | None) -> ConstraintKind:
+    """Classify a constraint clause (or a whole sentence's tail)."""
+    if not text:
+        return ConstraintKind.NONE
+    low = text.lower()
+    for cues, kind in (
+        (_CONSENT_CUES, ConstraintKind.CONSENT),
+        (_OPT_OUT_CUES, ConstraintKind.OPT_OUT),
+        (_THIRD_PARTY_CUES, ConstraintKind.THIRD_PARTY),
+        (_USER_ACTION_CUES, ConstraintKind.USER_ACTION),
+        (_PURPOSE_CUES, ConstraintKind.PURPOSE),
+    ):
+        if any(cue in low for cue in cues):
+            return kind
+    return ConstraintKind.NONE
+
+
+def adjust_statement(statement: Statement) -> Statement:
+    """Adjust one statement's effective meaning for its constraint.
+
+    The sentence text is consulted as well as the extracted constraint
+    clause, because "without your consent" attaches as a prepositional
+    phrase rather than an adverbial clause.
+    """
+    kind = classify_constraint(statement.constraint)
+    if kind is ConstraintKind.NONE:
+        kind = classify_constraint(statement.sentence)
+
+    if kind is ConstraintKind.CONSENT and statement.negated:
+        # "we will not share your data without your consent" ==
+        # "with consent, we share" -> counts as (conditional) positive
+        return replace(statement, negated=False,
+                       constraint_kind="consent")
+    if kind is ConstraintKind.OPT_OUT and not statement.negated:
+        return replace(statement, constraint_kind="opt_out")
+    if kind is ConstraintKind.THIRD_PARTY:
+        return replace(statement, constraint_kind="third_party")
+    return statement
+
+
+def adjust_analysis(analysis: PolicyAnalysis) -> PolicyAnalysis:
+    """A constraint-adjusted copy of a policy analysis.
+
+    Consent-conditioned denials move from the Not* sets to the
+    positive sets, so they neither trigger the incorrect detector nor
+    conflict with lib policies, while still providing coverage for the
+    incompleteness check.  Third-party-attributed statements are
+    dropped (the behaviour is not the app's).
+    """
+    adjusted = PolicyAnalysis(
+        sentences=list(analysis.sentences),
+        has_third_party_disclaimer=analysis.has_third_party_disclaimer,
+    )
+    for statement in analysis.statements:
+        new = adjust_statement(statement)
+        if new.constraint_kind == "third_party":
+            continue
+        adjusted.statements.append(new)
+    return adjusted
+
+
+__all__ = [
+    "ConstraintKind",
+    "classify_constraint",
+    "adjust_statement",
+    "adjust_analysis",
+]

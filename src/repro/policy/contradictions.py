@@ -1,0 +1,111 @@
+"""Internal policy contradictions (a PolicyLint-style extension).
+
+PPChecker contrasts the policy against *external* evidence
+(description, code, lib policies).  A policy can also contradict
+*itself*: "we may collect your contacts" alongside "we will not
+collect your contacts", or a broad denial ("we never collect personal
+information") alongside a narrow positive ("we collect your email
+address").  Follow-up research (PolicyLint, USENIX Security 2019)
+built exactly this analysis; this module provides it over the same
+statement representation.
+
+Two contradiction shapes:
+
+- **exact**: same verb category, same resource, opposite polarity;
+- **subsumption**: a negative statement about a *broader* term
+  contradicted by a positive statement about a *narrower* one (the
+  narrowing relation comes from the ontology: every specific
+  information type narrows "personal information" / "information" /
+  "personal data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matching import InfoMatcher
+from repro.policy.model import PolicyAnalysis, Statement
+from repro.semantics.resources import normalize_resource
+
+#: broad terms every specific information type narrows.
+BROAD_TERMS = frozenset({
+    "personal information", "personal data", "information",
+    "personally identifiable information", "any information",
+    "user information", "data",
+})
+
+
+@dataclass(frozen=True)
+class Contradiction:
+    """One internal conflict between two statements of a policy."""
+
+    kind: str                    # "exact" | "subsumption"
+    positive: Statement
+    negative: Statement
+    positive_resource: str
+    negative_resource: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] policy both asserts "
+            f"\"{self.positive.sentence}\" and denies "
+            f"\"{self.negative.sentence}\" "
+            f"({self.positive_resource} vs {self.negative_resource})"
+        )
+
+
+def _is_broad(resource: str) -> bool:
+    return resource in BROAD_TERMS
+
+
+def detect_contradictions(
+    analysis: PolicyAnalysis,
+    matcher: InfoMatcher | None = None,
+) -> list[Contradiction]:
+    """All internal contradictions of one analyzed policy."""
+    if matcher is None:
+        matcher = InfoMatcher()
+    contradictions: list[Contradiction] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    for negative in analysis.negative_statements():
+        for positive in analysis.positive_statements():
+            if positive.category is not negative.category:
+                continue
+            hit = _match(positive, negative, matcher)
+            if hit is None:
+                continue
+            kind, pos_res, neg_res = hit
+            key = (kind, positive.sentence, negative.sentence)
+            if key in seen:
+                continue
+            seen.add(key)
+            contradictions.append(Contradiction(
+                kind=kind, positive=positive, negative=negative,
+                positive_resource=pos_res, negative_resource=neg_res,
+            ))
+    return contradictions
+
+
+def _match(
+    positive: Statement,
+    negative: Statement,
+    matcher: InfoMatcher,
+) -> tuple[str, str, str] | None:
+    for neg_res in negative.resources:
+        for pos_res in positive.resources:
+            # exact: the two resources are the same thing
+            neg_info = normalize_resource(neg_res)
+            pos_info = normalize_resource(pos_res)
+            if neg_info is not None and neg_info is pos_info:
+                return "exact", pos_res, neg_res
+            if neg_info is None and pos_info is None and \
+                    matcher.phrases_match(pos_res, neg_res):
+                return "exact", pos_res, neg_res
+            # subsumption: broad denial vs narrow specific positive
+            if _is_broad(neg_res) and pos_info is not None:
+                return "subsumption", pos_res, neg_res
+    return None
+
+
+__all__ = ["BROAD_TERMS", "Contradiction", "detect_contradictions"]

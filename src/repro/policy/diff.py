@@ -1,0 +1,116 @@
+"""Policy version diffing.
+
+Policies change ("we may update this policy from time to time"); the
+FTC's Path action was precisely about behaviour a policy *stopped*
+mentioning.  This module compares two versions of a policy at the
+statement level:
+
+- coverage gained / lost per verb category,
+- denials added / withdrawn,
+- a verdict on whether the change *weakened* the policy (coverage
+  lost or a denial silently withdrawn -- both reviewer-worthy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.model import PolicyAnalysis
+from repro.policy.verbs import VerbCategory
+
+
+@dataclass(frozen=True)
+class ResourceChange:
+    category: VerbCategory
+    resource: str
+    negated: bool
+
+
+@dataclass
+class PolicyDiff:
+    """Statement-level difference between two policy versions."""
+
+    added: list[ResourceChange] = field(default_factory=list)
+    removed: list[ResourceChange] = field(default_factory=list)
+
+    @property
+    def coverage_lost(self) -> list[ResourceChange]:
+        """Positive statements present before, gone now."""
+        return [c for c in self.removed if not c.negated]
+
+    @property
+    def coverage_gained(self) -> list[ResourceChange]:
+        return [c for c in self.added if not c.negated]
+
+    @property
+    def denials_withdrawn(self) -> list[ResourceChange]:
+        """Promises ("we will not ...") that disappeared."""
+        return [c for c in self.removed if c.negated]
+
+    @property
+    def denials_added(self) -> list[ResourceChange]:
+        return [c for c in self.added if c.negated]
+
+    @property
+    def weakened(self) -> bool:
+        return bool(self.coverage_lost or self.denials_withdrawn)
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.added and not self.removed
+
+    def describe(self) -> str:
+        lines: list[str] = []
+        for change in self.coverage_gained:
+            lines.append(f"+ now covers {change.category.value} of "
+                         f"'{change.resource}'")
+        for change in self.denials_added:
+            lines.append(f"+ now promises not to "
+                         f"{change.category.value} '{change.resource}'")
+        for change in self.coverage_lost:
+            lines.append(f"- no longer mentions "
+                         f"{change.category.value} of "
+                         f"'{change.resource}'")
+        for change in self.denials_withdrawn:
+            lines.append(f"- withdrew the promise not to "
+                         f"{change.category.value} "
+                         f"'{change.resource}'")
+        if not lines:
+            lines.append("no statement-level changes")
+        return "\n".join(lines)
+
+
+def _statement_set(analysis: PolicyAnalysis) -> set[ResourceChange]:
+    return {
+        ResourceChange(category=stmt.category, resource=res,
+                       negated=stmt.negated)
+        for stmt in analysis.statements
+        for res in stmt.resources
+    }
+
+
+def diff_policies(
+    old_policy: str,
+    new_policy: str,
+    html: bool = False,
+    analyzer: PolicyAnalyzer | None = None,
+) -> PolicyDiff:
+    """Compare two policy versions at the statement level."""
+    if analyzer is None:
+        analyzer = PolicyAnalyzer()
+    old_set = _statement_set(analyzer.analyze(old_policy, html=html))
+    new_set = _statement_set(analyzer.analyze(new_policy, html=html))
+
+    def ordered(changes: set[ResourceChange]) -> list[ResourceChange]:
+        return sorted(changes,
+                      key=lambda c: (c.category.value, c.resource,
+                                     c.negated))
+
+    return PolicyDiff(
+        added=ordered(new_set - old_set),
+        removed=ordered(old_set - new_set),
+    )
+
+
+__all__ = ["ResourceChange", "PolicyDiff", "diff_policies"]

@@ -1,0 +1,221 @@
+"""Information-element extraction (Step 6).
+
+From each useful sentence PPChecker extracts four elements: the main
+verb, the action executor (subject), the resource(s), and the
+constraint.  Resources come from the direct object (active voice) or
+the passive subject (nsubjpass), expanded through ``conj``
+coordination and "about/regarding/of" prepositional attachments.
+Constraints are pre-conditions ("if", "upon", "unless") or
+post-conditions ("when", "before") and are used to discard sentences
+describing website-registration or website-visit behaviour, which the
+app itself does not perform.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.deptree import DependencyTree
+from repro.nlp.negation import is_negated
+from repro.policy.model import Statement
+from repro.policy.patterns import PatternMatch
+from repro.policy.verbs import OBJECT_BLACKLIST, SUBJECT_BLACKLIST
+
+_PRE_MARKERS = {"if", "upon", "unless"}
+_POST_MARKERS = {"when", "before", "whenever", "after", "while"}
+
+#: prepositions whose object extends the resource ("information about
+#: your location").
+_RESOURCE_PREPS = {"about", "regarding", "concerning", "of", "including"}
+
+_SKIP_RESOURCE_TOKENS = {"following", "certain", "other", "such"}
+
+
+_PRUNE_RELS = ("det", "poss", "possessive", "punct", "cc", "conj",
+               "prep", "neg", "rcmod", "advcl", "dep")
+
+
+def _phrase(tree: DependencyTree, head: int) -> str:
+    """Clean resource phrase: the head's subtree, pruned at determiners,
+    possessives, coordination, and clausal modifiers (their whole
+    subtrees are excluded, not just the token)."""
+    keep: list[int] = []
+
+    def visit(node: int) -> None:
+        keep.append(node)
+        for kid in tree.children(node):
+            if tree.rel_of(kid) in _PRUNE_RELS:
+                continue
+            visit(kid)
+
+    visit(head)
+    words = []
+    for idx in sorted(keep):
+        tok = tree.token(idx)
+        if tok.pos in ("PRP$", "DT", "POS"):
+            continue
+        if tok.lower in _SKIP_RESOURCE_TOKENS:
+            continue
+        words.append(tok.lower)
+    return " ".join(words)
+
+
+def _expand_conj(tree: DependencyTree, head: int) -> list[int]:
+    heads = [head]
+    frontier = [head]
+    while frontier:
+        node = frontier.pop()
+        for kid in tree.children(node, "conj"):
+            if kid not in heads:
+                heads.append(kid)
+                frontier.append(kid)
+    return heads
+
+
+def extract_resources(tree: DependencyTree, match: PatternMatch) -> list[str]:
+    """Resource phrases governed by the matched action verb."""
+    verb = match.verb_index
+    heads: list[int] = []
+    if match.passive:
+        subj = tree.child(verb, "nsubjpass")
+        if subj is None:
+            # passive root with chain (P3): subject sits at the chain root
+            root = tree.root()
+            if root is not None:
+                subj = tree.child(root, "nsubjpass")
+        if subj is not None:
+            heads.extend(_expand_conj(tree, subj))
+    else:
+        dobj = tree.child(verb, "dobj")
+        if dobj is None:
+            # coordinated VPs share the object: "collect and process X"
+            arc = tree.head_of(verb)
+            siblings = list(tree.children(verb, "conj"))
+            if arc is not None and arc.rel == "conj":
+                siblings.append(arc.head)
+            for sib in siblings:
+                dobj = tree.child(sib, "dobj")
+                if dobj is not None:
+                    break
+        if dobj is not None:
+            heads.extend(_expand_conj(tree, dobj))
+
+    # prepositional extension of the resource; "such as" examples
+    # extend it too ("personal information such as your name")
+    extended: list[int] = list(heads)
+    for base in list(heads) + [verb]:
+        for prep in tree.children(base, "prep"):
+            prep_token = tree.token(prep)
+            is_such_as = (
+                prep_token.lemma == "as"
+                and prep > 0
+                and tree.token(prep - 1).lower == "such"
+            )
+            if prep_token.lemma not in _RESOURCE_PREPS and not is_such_as:
+                continue
+            for pobj in tree.children(prep, "pobj"):
+                extended.extend(_expand_conj(tree, pobj))
+
+    resources: list[str] = []
+    for head in extended:
+        phrase = _phrase(tree, head)
+        if not phrase:
+            continue
+        if phrase in OBJECT_BLACKLIST:
+            continue
+        head_word = tree.token(head).lower
+        if head_word in OBJECT_BLACKLIST:
+            continue
+        if phrase not in resources:
+            resources.append(phrase)
+    return resources
+
+
+def extract_executor(tree: DependencyTree, match: PatternMatch) -> str:
+    """The action executor: active subject or passive "by"-agent."""
+    root = tree.root()
+    if root is None:
+        return ""
+    for rel in ("nsubj", "nsubjpass"):
+        subj = tree.child(root, rel)
+        if subj is not None and rel == "nsubj":
+            return tree.token(subj).lower
+        if subj is not None and rel == "nsubjpass" and not match.passive:
+            return tree.token(subj).lower
+    # passive agent: prep "by"
+    for node in (match.verb_index, root):
+        for prep in tree.children(node, "prep"):
+            if tree.token(prep).lemma == "by":
+                pobj = tree.child(prep, "pobj")
+                if pobj is not None:
+                    return tree.token(pobj).lower
+    return ""
+
+
+def extract_constraint(tree: DependencyTree) -> tuple[str | None, str | None]:
+    """(constraint text, kind) from the first advcl with a known marker."""
+    root = tree.root()
+    if root is None:
+        return None, None
+    for clause in tree.children(root, "advcl"):
+        mark = tree.child(clause, "mark")
+        if mark is None:
+            continue
+        marker = tree.token(mark).lower
+        if marker in _PRE_MARKERS:
+            return tree.subtree_text(clause), "pre"
+        if marker in _POST_MARKERS:
+            return tree.subtree_text(clause), "post"
+    return None, None
+
+
+def _constraint_excludes(constraint: str | None) -> bool:
+    """Paper's filter: registration-through-website and website-visit
+    constraints describe behaviour the *website* performs, not the app."""
+    if not constraint:
+        return False
+    low = constraint.lower()
+    website = "website" in low or "web site" in low or "our site" in low
+    action = ("register" in low or "visit" in low or "sign up" in low
+              or "signup" in low)
+    return website and action
+
+
+def extract_statement(
+    tree: DependencyTree,
+    match: PatternMatch,
+    sentence: str,
+) -> Statement | None:
+    """Build the Statement for a matched sentence, or None if filtered."""
+    executor = extract_executor(tree, match)
+    # the subject blacklist removes sentences about the app's users --
+    # but only in active voice, where the subject is the executor
+    if executor in SUBJECT_BLACKLIST:
+        return None
+
+    resources = extract_resources(tree, match)
+    if not resources:
+        return None
+
+    constraint, kind = extract_constraint(tree)
+    if _constraint_excludes(constraint):
+        return None
+
+    negated = is_negated(tree, match.verb_index) or is_negated(tree)
+    return Statement(
+        sentence=sentence,
+        category=match.category,
+        verb=match.verb_lemma,
+        executor=executor,
+        resources=tuple(resources),
+        negated=negated,
+        constraint=constraint,
+        constraint_kind=kind,
+        pattern=match.pattern.name,
+    )
+
+
+__all__ = [
+    "extract_resources",
+    "extract_executor",
+    "extract_constraint",
+    "extract_statement",
+]

@@ -1,0 +1,105 @@
+"""Result types of the policy-analysis module.
+
+A :class:`Statement` is one useful sentence reduced to its information
+elements (Step 6): main verb + category, action executor, resources,
+constraint, and polarity.  A :class:`PolicyAnalysis` aggregates the
+statements of one policy into the sets the problem-identification
+module consumes (Collect_pp, NotCollect_pp, ... in the paper's
+notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.verbs import VerbCategory
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One useful sentence with its extracted information elements."""
+
+    sentence: str
+    category: VerbCategory
+    verb: str
+    executor: str
+    resources: tuple[str, ...]
+    negated: bool
+    constraint: str | None = None
+    constraint_kind: str | None = None  # "pre" | "post"
+    pattern: str = ""
+
+    def mentions(self, resource: str) -> bool:
+        return resource in self.resources
+
+
+@dataclass
+class PolicyAnalysis:
+    """The analyzed policy: statements plus derived resource sets."""
+
+    statements: list[Statement] = field(default_factory=list)
+    sentences: list[str] = field(default_factory=list)
+    has_third_party_disclaimer: bool = False
+
+    # -- resource sets (paper's Collect_pp / NotCollect_pp etc.) ----------
+
+    def resources(
+        self, category: VerbCategory, negated: bool = False
+    ) -> set[str]:
+        return {
+            res
+            for stmt in self.statements
+            if stmt.category is category and stmt.negated == negated
+            for res in stmt.resources
+        }
+
+    @property
+    def collected(self) -> set[str]:
+        return self.resources(VerbCategory.COLLECT)
+
+    @property
+    def used(self) -> set[str]:
+        return self.resources(VerbCategory.USE)
+
+    @property
+    def retained(self) -> set[str]:
+        return self.resources(VerbCategory.RETAIN)
+
+    @property
+    def disclosed(self) -> set[str]:
+        return self.resources(VerbCategory.DISCLOSE)
+
+    @property
+    def not_collected(self) -> set[str]:
+        return self.resources(VerbCategory.COLLECT, negated=True)
+
+    @property
+    def not_used(self) -> set[str]:
+        return self.resources(VerbCategory.USE, negated=True)
+
+    @property
+    def not_retained(self) -> set[str]:
+        return self.resources(VerbCategory.RETAIN, negated=True)
+
+    @property
+    def not_disclosed(self) -> set[str]:
+        return self.resources(VerbCategory.DISCLOSE, negated=True)
+
+    def all_positive(self) -> set[str]:
+        """PPInfos = Collect ∪ Use ∪ Retain ∪ Disclose (Alg. 1 line 1)."""
+        return self.collected | self.used | self.retained | self.disclosed
+
+    def all_negative(self) -> set[str]:
+        return (
+            self.not_collected | self.not_used | self.not_retained
+            | self.not_disclosed
+        )
+
+    def positive_statements(self) -> list[Statement]:
+        return [s for s in self.statements if not s.negated]
+
+    def negative_statements(self) -> list[Statement]:
+        return [s for s in self.statements if s.negated]
+
+
+__all__ = ["Statement", "PolicyAnalysis"]

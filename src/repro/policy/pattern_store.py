@@ -1,0 +1,80 @@
+"""Pattern persistence: save and reload bootstrapped pattern lists.
+
+A bootstrap run is deterministic but not free; persisting the ranked
+patterns lets a deployment train once and analyze many policies.  The
+format is plain JSON with the Eq. 1 statistics alongside each pattern,
+so the top-n cut can be re-chosen at load time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.policy.bootstrap import ScoredPattern
+from repro.policy.patterns import Pattern
+from repro.policy.verbs import VerbCategory
+
+FORMAT_VERSION = 1
+
+
+def pattern_to_dict(scored: ScoredPattern) -> dict[str, Any]:
+    pattern = scored.pattern
+    return {
+        "name": pattern.name,
+        "chain": list(pattern.chain),
+        "voice": pattern.voice,
+        "require_advcl": pattern.require_advcl,
+        "category": pattern.category.value if pattern.category else None,
+        "pos": scored.pos,
+        "neg": scored.neg,
+        "unk": scored.unk,
+    }
+
+
+def pattern_from_dict(doc: dict[str, Any]) -> ScoredPattern:
+    category = (VerbCategory(doc["category"])
+                if doc.get("category") else None)
+    return ScoredPattern(
+        pattern=Pattern(
+            name=doc["name"],
+            chain=tuple(doc["chain"]),
+            voice=doc.get("voice", "any"),
+            require_advcl=doc.get("require_advcl", False),
+            category=category,
+        ),
+        pos=doc.get("pos", 0),
+        neg=doc.get("neg", 0),
+        unk=doc.get("unk", 0),
+    )
+
+
+def save_patterns(scored: list[ScoredPattern], path: str) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "patterns": [pattern_to_dict(sp) for sp in scored],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_patterns(path: str) -> list[ScoredPattern]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pattern-store version: "
+            f"{payload.get('version')!r}"
+        )
+    scored = [pattern_from_dict(doc) for doc in payload["patterns"]]
+    scored.sort(key=lambda sp: sp.score, reverse=True)
+    return scored
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "save_patterns",
+    "load_patterns",
+]

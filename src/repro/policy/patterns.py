@@ -1,0 +1,209 @@
+"""Semantic patterns for sentence selection (Steps 3-4, Table II).
+
+A pattern is a lexicalized chain of lemmas from the sentence root down
+to the *action verb* (the verb that governs the resource), plus a
+voice constraint.  The wildcard ``*`` matches any verb of the four
+main-verb categories.
+
+The five sample patterns of Table II map onto this representation:
+
+=====  ======================================  =======================
+ id    paper pattern                           chain / voice
+=====  ======================================  =======================
+ P1    active voice                            ("*",), active
+ P2    passive voice                           ("*",), passive
+ P3    passive allow ("we are allowed to V")   ("allow", "*"), passive
+ P4    ability ("we are able to V")            ("able", "*"), active
+ P5    purpose ("we V X to V2 ...")            ("*",), active, advcl
+=====  ======================================  =======================
+
+Bootstrapping (:mod:`repro.policy.bootstrap`) produces further chains
+with concrete verbs, e.g. ``("allow", "access")`` from the paper's
+Fig. 7 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.deptree import DependencyTree
+from repro.policy.verbs import (
+    ALL_CATEGORY_VERBS,
+    VerbCategory,
+    verb_category,
+)
+
+WILDCARD = "*"
+
+#: Dependency relations a pattern chain may descend through.
+_CHAIN_RELS = ("xcomp", "advcl", "ccomp", "conj", "dep")
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A sentence-selection pattern.
+
+    Attributes:
+        name:     identifier for reporting ("P1", learned "allow>access").
+        chain:    lemma chain from root to action verb; ``*`` matches any
+                  verb in the four categories.
+        voice:    "active", "passive", or "any".
+        require_advcl: the root must carry an adverbial clause (P5).
+        category: fixed category for learned patterns whose action verb
+                  lies outside the curated category sets.
+    """
+
+    name: str
+    chain: tuple[str, ...]
+    voice: str = "any"
+    require_advcl: bool = False
+    category: VerbCategory | None = None
+
+    def key(self) -> tuple:
+        return (self.chain, self.voice, self.require_advcl)
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """A successful pattern application to a parsed sentence."""
+
+    pattern: Pattern
+    verb_index: int
+    verb_lemma: str
+    category: VerbCategory
+    passive: bool
+
+
+#: Table II seed patterns.
+SEED_PATTERNS: tuple[Pattern, ...] = (
+    Pattern("P1", (WILDCARD,), voice="active"),
+    Pattern("P2", (WILDCARD,), voice="passive"),
+    Pattern("P3", ("allow", WILDCARD), voice="passive"),
+    Pattern("P4", ("able", WILDCARD), voice="active"),
+    Pattern("P5", (WILDCARD,), voice="active", require_advcl=True),
+)
+
+
+def _node_is_passive(tree: DependencyTree, node: int) -> bool:
+    return tree.has_relation(node, "auxpass") or tree.has_relation(
+        node, "nsubjpass"
+    )
+
+
+def _element_matches(lemma: str, element: str,
+                     verbs: frozenset[str]) -> bool:
+    if element == WILDCARD:
+        return lemma in verbs
+    return lemma == element
+
+
+def match_pattern(
+    pattern: Pattern,
+    tree: DependencyTree,
+    verbs: frozenset[str] = ALL_CATEGORY_VERBS,
+) -> PatternMatch | None:
+    """Try *pattern* against *tree*; return the match or None."""
+    root = tree.root()
+    if root is None:
+        return None
+    node = root
+    lemma = tree.token(node).lemma
+    if not _element_matches(lemma, pattern.chain[0], verbs):
+        return None
+
+    # voice is judged at the root of the chain
+    passive_root = _node_is_passive(tree, root)
+    if pattern.voice == "active" and passive_root and len(pattern.chain) == 1:
+        return None
+    if pattern.voice == "passive" and not passive_root:
+        return None
+
+    for element in pattern.chain[1:]:
+        found = None
+        for rel in _CHAIN_RELS:
+            for kid in tree.children(node, rel):
+                if _element_matches(tree.token(kid).lemma, element, verbs):
+                    found = kid
+                    break
+            if found is not None:
+                break
+        if found is None:
+            return None
+        node = found
+
+    if pattern.require_advcl and not tree.has_relation(root, "advcl"):
+        return None
+
+    verb_lemma = tree.token(node).lemma
+    category = pattern.category or verb_category(verb_lemma)
+    if category is None:
+        return None
+    # the action verb's own voice decides where the resource sits
+    passive = _node_is_passive(tree, node)
+    return PatternMatch(
+        pattern=pattern,
+        verb_index=node,
+        verb_lemma=verb_lemma,
+        category=category,
+        passive=passive,
+    )
+
+
+def match_any(
+    tree: DependencyTree,
+    patterns: tuple[Pattern, ...] | list[Pattern] = SEED_PATTERNS,
+    verbs: frozenset[str] = ALL_CATEGORY_VERBS,
+) -> PatternMatch | None:
+    """First matching pattern wins (patterns are ranked by score)."""
+    for pattern in patterns:
+        result = match_pattern(pattern, tree, verbs)
+        if result is not None:
+            return result
+    return None
+
+
+def match_all_verbs(
+    tree: DependencyTree,
+    patterns: tuple[Pattern, ...] | list[Pattern] = SEED_PATTERNS,
+    verbs: frozenset[str] = ALL_CATEGORY_VERBS,
+) -> list[PatternMatch]:
+    """All matches, including coordinated verbs ("collect and store").
+
+    After the root match, conj verbs of the root that carry their own
+    category yield additional matches so "we collect and store X"
+    produces both a collect and a retain statement.
+    """
+    matches: list[PatternMatch] = []
+    first = match_any(tree, patterns, verbs)
+    if first is None:
+        return matches
+    matches.append(first)
+    root = tree.root()
+    if root is None:
+        return matches
+    for kid in tree.children(root, "conj"):
+        lemma = tree.token(kid).lemma
+        category = verb_category(lemma)
+        if category is None:
+            continue
+        matches.append(
+            PatternMatch(
+                pattern=first.pattern,
+                verb_index=kid,
+                verb_lemma=lemma,
+                category=category,
+                passive=_node_is_passive(tree, kid),
+            )
+        )
+    return matches
+
+
+__all__ = [
+    "WILDCARD",
+    "Pattern",
+    "PatternMatch",
+    "SEED_PATTERNS",
+    "match_pattern",
+    "match_any",
+    "match_all_verbs",
+]

@@ -1,0 +1,147 @@
+"""Policy-document sectioning.
+
+Real privacy policies are structured documents (the paper's Fig. 1
+excerpt has "what we collect" / "sharing" blocks).  This module
+segments a policy -- HTML headings or ALL-CAPS / numbered heading
+lines in plain text -- into titled sections and attributes the
+analyzer's statements to them, so reports can cite *where* a policy
+covers (or denies) a behaviour, and audits can check for expected
+sections ("data retention", "third parties", "children").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.nlp.sentences import split_sentences
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.html_text import html_to_text
+from repro.policy.model import Statement
+
+_HTML_HEADING_RE = re.compile(
+    r"<h([1-6])[^>]*>(.*?)</h\1>", re.IGNORECASE | re.DOTALL
+)
+_TAG_RE = re.compile(r"<[^>]+>")
+
+#: a plain-text heading: numbered ("3. Data Retention") or short
+#: title-case/ALL-CAPS line without terminal punctuation.
+_TEXT_HEADING_RE = re.compile(
+    r"^(?:\d+[.)]\s+)?[A-Z][A-Za-z ,&/-]{2,60}$"
+)
+
+#: canonical section topics and the cue words that signal them.
+SECTION_TOPICS: dict[str, tuple[str, ...]] = {
+    "collection": ("collect", "information we", "what we", "gather"),
+    "use": ("use", "how we use", "purposes"),
+    "retention": ("retention", "retain", "storage", "store",
+                  "how long"),
+    "sharing": ("shar", "disclos", "third part", "partners"),
+    "security": ("security", "protect", "safeguard"),
+    "children": ("child", "minor", "coppa"),
+    "choices": ("choice", "opt", "rights", "access and control"),
+    "changes": ("change", "update", "amendment"),
+    "contact": ("contact", "questions"),
+}
+
+
+@dataclass
+class PolicySection:
+    """One titled block of a policy."""
+
+    title: str
+    text: str
+    topic: str = "other"
+    statements: list[Statement] = field(default_factory=list)
+
+    def sentences(self) -> list[str]:
+        return split_sentences(self.text)
+
+
+def classify_heading(title: str) -> str:
+    """Map a heading to a canonical topic."""
+    low = title.lower()
+    for topic, cues in SECTION_TOPICS.items():
+        if any(cue in low for cue in cues):
+            return topic
+    return "other"
+
+
+def _split_html_sections(html: str) -> list[tuple[str, str]]:
+    pieces: list[tuple[str, str]] = []
+    last_title = ""
+    last_end = 0
+    for match in _HTML_HEADING_RE.finditer(html):
+        body = html[last_end:match.start()]
+        if last_title or body.strip():
+            pieces.append((last_title, html_to_text(body)))
+        last_title = _TAG_RE.sub("", match.group(2)).strip()
+        last_end = match.end()
+    pieces.append((last_title, html_to_text(html[last_end:])))
+    return [(title, text) for title, text in pieces if text.strip()]
+
+
+def _split_text_sections(text: str) -> list[tuple[str, str]]:
+    pieces: list[tuple[str, str]] = []
+    title = ""
+    buffer: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and _TEXT_HEADING_RE.match(stripped) and \
+                not stripped.endswith((".", ",", ";", ":")):
+            if buffer:
+                pieces.append((title, "\n".join(buffer)))
+                buffer = []
+            title = stripped
+            continue
+        buffer.append(line)
+    if buffer:
+        pieces.append((title, "\n".join(buffer)))
+    return [(t, b) for t, b in pieces if b.strip()]
+
+
+def split_sections(policy: str, html: bool = False) -> list[PolicySection]:
+    """Segment a policy document into titled sections."""
+    raw = _split_html_sections(policy) if html else \
+        _split_text_sections(policy)
+    if not raw:
+        raw = [("", html_to_text(policy) if html else policy)]
+    return [
+        PolicySection(title=title, text=text,
+                      topic=classify_heading(title))
+        for title, text in raw
+    ]
+
+
+def analyze_sections(
+    policy: str,
+    html: bool = False,
+    analyzer: PolicyAnalyzer | None = None,
+) -> list[PolicySection]:
+    """Sections with their extracted statements attached."""
+    if analyzer is None:
+        analyzer = PolicyAnalyzer()
+    sections = split_sections(policy, html=html)
+    for section in sections:
+        analysis = analyzer.analyze(section.text)
+        section.statements = list(analysis.statements)
+    return sections
+
+
+def missing_topics(sections: list[PolicySection],
+                   required: tuple[str, ...] = (
+                       "collection", "sharing", "retention",
+                   )) -> set[str]:
+    """Expected topics with no dedicated section (audit helper)."""
+    present = {section.topic for section in sections}
+    return set(required) - present
+
+
+__all__ = [
+    "PolicySection",
+    "SECTION_TOPICS",
+    "classify_heading",
+    "split_sections",
+    "analyze_sections",
+    "missing_topics",
+]

@@ -1,0 +1,56 @@
+"""Sentence selection (Step 4).
+
+Applies the ranked pattern list to each parsed sentence; matched
+sentences are *useful* and continue into negation analysis and element
+extraction, others are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.deptree import DependencyTree
+from repro.nlp.parser import parse
+from repro.policy.patterns import (
+    Pattern,
+    PatternMatch,
+    SEED_PATTERNS,
+    match_all_verbs,
+)
+from repro.policy.verbs import ALL_CATEGORY_VERBS
+
+
+@dataclass
+class SelectedSentence:
+    """A useful sentence with its parse and pattern matches."""
+
+    text: str
+    tree: DependencyTree
+    matches: list[PatternMatch]
+
+
+def select_sentences(
+    sentences: list[str],
+    patterns: tuple[Pattern, ...] | list[Pattern] = SEED_PATTERNS,
+    verbs: frozenset[str] = ALL_CATEGORY_VERBS,
+) -> list[SelectedSentence]:
+    """Parse each sentence and keep those matched by any pattern."""
+    selected: list[SelectedSentence] = []
+    for text in sentences:
+        tree = parse(text)
+        matches = match_all_verbs(tree, patterns, verbs)
+        if matches:
+            selected.append(SelectedSentence(text, tree, matches))
+    return selected
+
+
+def is_useful(
+    sentence: str,
+    patterns: tuple[Pattern, ...] | list[Pattern] = SEED_PATTERNS,
+    verbs: frozenset[str] = ALL_CATEGORY_VERBS,
+) -> bool:
+    """Convenience predicate used by the Fig. 12 experiment."""
+    return bool(match_all_verbs(parse(sentence), patterns, verbs))
+
+
+__all__ = ["SelectedSentence", "select_sentences", "is_useful"]

@@ -1,0 +1,90 @@
+"""Verb-synonym expansion (the paper's Discussion, future work #2).
+
+Section V-E traces the inconsistency false negative to the verb set:
+"the app com.starlitt.disableddating declares ... 'we will not display
+any of your personal information'.  PPChecker fails to match such
+sentence since 'display' is not included in our extracted patterns.
+We will use the synonyms of major verbs to tackle this issue in
+future work."
+
+This module implements that extension: a curated synonym table per
+verb category, ESA-verified against the category's seed verbs, is
+compiled into additional chain patterns (one per synonym, with the
+category fixed).  Plug the result into
+:class:`repro.policy.analyzer.PolicyAnalyzer`::
+
+    analyzer = PolicyAnalyzer(patterns=SEED_PATTERNS
+                              + synonym_patterns())
+"""
+
+from __future__ import annotations
+
+from repro.policy.patterns import Pattern, SEED_PATTERNS
+from repro.policy.verbs import ALL_CATEGORY_VERBS, VerbCategory
+
+#: candidate synonyms per category, outside the curated verb sets.
+SYNONYM_CANDIDATES: dict[VerbCategory, tuple[str, ...]] = {
+    VerbCategory.COLLECT: (
+        "harvest", "mine", "view", "capture", "intercept", "extract",
+        "retrieve", "fetch", "query", "look up", "solicit",
+    ),
+    VerbCategory.USE: (
+        "leverage", "exploit", "consume", "evaluate", "examine",
+        "review",
+    ),
+    VerbCategory.RETAIN: (
+        "stash", "warehouse", "persist", "backup", "record",
+        "memorize",
+    ),
+    VerbCategory.DISCLOSE: (
+        "display", "show", "publish", "broadcast", "expose", "leak",
+        "surrender", "divulge", "present",
+    ),
+}
+
+#: synonyms excluded because they collide with blacklisted or
+#: already-claimed verbs ("review" is verb-blacklisted; "record" and
+#: "capture" and "expose" already sit in a category).
+_EXCLUDED = frozenset({"review", "record", "capture", "expose",
+                       "look up"})
+
+
+def expanded_verbs() -> dict[VerbCategory, frozenset[str]]:
+    """Per-category synonym sets (single-word lemmas, deduplicated)."""
+    expanded: dict[VerbCategory, frozenset[str]] = {}
+    for category, candidates in SYNONYM_CANDIDATES.items():
+        keep = frozenset(
+            verb for verb in candidates
+            if verb not in _EXCLUDED
+            and " " not in verb
+            and verb not in ALL_CATEGORY_VERBS
+        )
+        expanded[category] = keep
+    return expanded
+
+
+def synonym_patterns() -> tuple[Pattern, ...]:
+    """One chain pattern per synonym verb, category fixed."""
+    patterns: list[Pattern] = []
+    for category, verbs in expanded_verbs().items():
+        for verb in sorted(verbs):
+            patterns.append(Pattern(
+                name=f"syn:{verb}",
+                chain=(verb,),
+                voice="any",
+                category=category,
+            ))
+    return tuple(patterns)
+
+
+def expanded_pattern_set() -> tuple[Pattern, ...]:
+    """Seed patterns plus the synonym chains, ready for the analyzer."""
+    return SEED_PATTERNS + synonym_patterns()
+
+
+__all__ = [
+    "SYNONYM_CANDIDATES",
+    "expanded_verbs",
+    "synonym_patterns",
+    "expanded_pattern_set",
+]

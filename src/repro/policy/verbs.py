@@ -1,0 +1,131 @@
+"""Main-verb categories (Section III-B.1).
+
+Four verb categories following Breaux et al.'s privacy-requirements
+vocabulary: collect, use, retain, disclose.  ``SEED_VERBS`` holds the
+four initial verbs the bootstrapping starts from; the full category
+sets below are what a converged bootstrap run discovers (and what the
+production analyzer uses).
+
+Also hosts the three semantic-drift blacklists the paper adds to the
+bootstrapping: subjects describing the app's *users*, verbs unrelated
+to the four behaviours, and objects that are not personal information.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VerbCategory(enum.Enum):
+    COLLECT = "collect"
+    USE = "use"
+    RETAIN = "retain"
+    DISCLOSE = "disclose"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The bootstrap seed: one verb per category (Section III-B Step 3).
+SEED_VERBS: dict[VerbCategory, tuple[str, ...]] = {
+    VerbCategory.COLLECT: ("collect",),
+    VerbCategory.USE: ("use",),
+    VerbCategory.RETAIN: ("retain",),
+    VerbCategory.DISCLOSE: ("disclose",),
+}
+
+#: Converged category sets (verb lemmas).
+COLLECT_VERBS = frozenset({
+    "collect", "gather", "obtain", "acquire", "receive", "access",
+    "record", "track", "monitor", "request", "check", "read", "get",
+    "take", "capture", "scan",
+})
+USE_VERBS = frozenset({
+    "use", "process", "utilize", "employ", "analyze", "combine",
+    "aggregate", "personalize", "customize",
+})
+RETAIN_VERBS = frozenset({
+    "retain", "store", "keep", "save", "hold", "preserve", "cache",
+    "log", "archive", "maintain",
+})
+DISCLOSE_VERBS = frozenset({
+    "disclose", "share", "transfer", "provide", "send", "transmit",
+    "sell", "rent", "trade", "release", "distribute", "disseminate",
+    "give", "supply", "report", "expose", "forward", "upload",
+    "reveal", "pass", "deliver",
+})
+# NOTE: "display" is deliberately absent -- the paper reports it as the
+# source of a false negative ("we will not display any of your personal
+# information") and defers it to future work.
+
+CATEGORY_VERBS: dict[VerbCategory, frozenset[str]] = {
+    VerbCategory.COLLECT: COLLECT_VERBS,
+    VerbCategory.USE: USE_VERBS,
+    VerbCategory.RETAIN: RETAIN_VERBS,
+    VerbCategory.DISCLOSE: DISCLOSE_VERBS,
+}
+
+ALL_CATEGORY_VERBS = (
+    COLLECT_VERBS | USE_VERBS | RETAIN_VERBS | DISCLOSE_VERBS
+)
+
+
+def verb_category(lemma: str) -> VerbCategory | None:
+    """The category of a verb lemma, or None if outside all four."""
+    for category, verbs in CATEGORY_VERBS.items():
+        if lemma in verbs:
+            return category
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Semantic-drift blacklists (paper's enhancement #1 to bootstrapping)
+# ---------------------------------------------------------------------------
+
+#: Sentences whose subject is the *user* describe user actions, not app
+#: behaviour; they are removed.
+SUBJECT_BLACKLIST = frozenset({
+    "you", "user", "users", "visitor", "visitors", "customer",
+    "customers", "member", "members", "child", "children", "minor",
+    "minors", "parent", "parents",
+})
+
+#: Verbs unrelated to the four behaviours.
+VERB_BLACKLIST = frozenset({
+    "have", "make", "be", "do", "become", "seem", "appear", "include",
+    "contain", "mean", "want", "like", "see", "say", "go", "come",
+    "encourage", "recommend", "agree", "review", "contact", "visit",
+})
+
+#: Objects that are not personal information.
+OBJECT_BLACKLIST = frozenset({
+    "service", "services", "website", "site", "page", "pages",
+    "question", "questions", "right", "rights", "policy", "policies",
+    "term", "terms", "agreement", "law", "laws", "measure",
+    "measures", "step", "steps", "effort", "efforts", "experience",
+    "support", "functionality", "feature", "features", "content",
+    "product", "products", "practice", "practices",
+})
+
+#: Action executors accepted as "the app / the company".
+FIRST_PARTY_SUBJECTS = frozenset({
+    "we", "app", "application", "company", "service", "it", "i",
+    "developer", "team", "site", "website", "library", "sdk",
+})
+
+
+__all__ = [
+    "VerbCategory",
+    "SEED_VERBS",
+    "COLLECT_VERBS",
+    "USE_VERBS",
+    "RETAIN_VERBS",
+    "DISCLOSE_VERBS",
+    "CATEGORY_VERBS",
+    "ALL_CATEGORY_VERBS",
+    "verb_category",
+    "SUBJECT_BLACKLIST",
+    "VERB_BLACKLIST",
+    "OBJECT_BLACKLIST",
+    "FIRST_PARTY_SUBJECTS",
+]

@@ -1,0 +1,143 @@
+"""Explicit Semantic Analysis (Gabrilovich & Markovitch, 2007).
+
+Given a knowledge base of concept articles, each term receives a vector
+of TF-IDF weights over concepts (its *interpretation vector*).  A text
+is interpreted as the centroid of its terms' vectors; the semantic
+similarity of two texts is the cosine of their interpretation vectors.
+
+PPChecker uses ``Similarity(a, b) > threshold`` with ``threshold =
+0.67`` (following AutoCog) to decide whether two information phrases
+refer to the same thing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.nlp.tokenizer import lemmatize
+from repro.semantics.knowledge import CONCEPT_ARTICLES
+
+#: The decision threshold used throughout the paper (Section IV-A).
+DEFAULT_THRESHOLD = 0.67
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "to", "and", "or", "in", "on", "for",
+    "with", "by", "from", "at", "as", "is", "are", "be", "was",
+    "were", "will", "would", "may", "might", "can", "could", "shall",
+    "should", "that", "this", "these", "those", "it", "its", "we",
+    "you", "your", "our", "their", "his", "her", "my", "i", "any",
+    "all", "some", "such", "other", "about", "into", "than", "then",
+    "so", "if", "when", "which", "who", "whom", "what", "how", "not",
+    "no", "do", "does", "did", "have", "has", "had",
+}
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+
+def _terms(text: str) -> list[str]:
+    """Lower-case, tokenize, lemmatize, drop stopwords."""
+    out = []
+    for raw in _TOKEN_RE.findall(text.lower()):
+        if raw in _STOPWORDS:
+            continue
+        lemma = lemmatize(raw)
+        if lemma in _STOPWORDS or not lemma:
+            continue
+        out.append(lemma)
+    return out
+
+
+@dataclass
+class EsaModel:
+    """An ESA interpreter over a concept knowledge base."""
+
+    articles: dict[str, str]
+    threshold: float = DEFAULT_THRESHOLD
+    _term_vectors: dict[str, dict[int, float]] = field(
+        default_factory=dict, repr=False
+    )
+    _concepts: list[str] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._concepts = sorted(self.articles)
+        # term frequency per concept
+        tf: dict[str, dict[int, float]] = {}
+        doc_freq: dict[str, int] = {}
+        for cidx, concept in enumerate(self._concepts):
+            counts: dict[str, int] = {}
+            for term in _terms(self.articles[concept]):
+                counts[term] = counts.get(term, 0) + 1
+            for term, count in counts.items():
+                tf.setdefault(term, {})[cidx] = 1.0 + math.log(count)
+                doc_freq[term] = doc_freq.get(term, 0) + 1
+        n_docs = len(self._concepts)
+        for term, vec in tf.items():
+            idf = math.log((1.0 + n_docs) / (1.0 + doc_freq[term])) + 1.0
+            weighted = {c: w * idf for c, w in vec.items()}
+            norm = math.sqrt(sum(w * w for w in weighted.values()))
+            self._term_vectors[term] = {
+                c: w / norm for c, w in weighted.items()
+            }
+
+    # -- interpretation ----------------------------------------------------
+
+    def interpret(self, text: str) -> dict[int, float]:
+        """Interpretation vector of *text* (sparse, L2-normalized)."""
+        acc: dict[int, float] = {}
+        terms = _terms(text)
+        if not terms:
+            return {}
+        for term in terms:
+            vec = self._term_vectors.get(term)
+            if vec is None:
+                continue
+            for cidx, weight in vec.items():
+                acc[cidx] = acc.get(cidx, 0.0) + weight
+        norm = math.sqrt(sum(w * w for w in acc.values()))
+        if norm == 0.0:
+            return {}
+        return {c: w / norm for c, w in acc.items()}
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity of the two interpretation vectors in [0, 1]."""
+        va = self.interpret(text_a)
+        vb = self.interpret(text_b)
+        if not va or not vb:
+            return 0.0
+        if len(vb) < len(va):
+            va, vb = vb, va
+        dot = sum(w * vb.get(c, 0.0) for c, w in va.items())
+        return max(0.0, min(1.0, dot))
+
+    def same_thing(self, text_a: str, text_b: str,
+                   threshold: float | None = None) -> bool:
+        """The paper's matching predicate: similarity above threshold."""
+        limit = self.threshold if threshold is None else threshold
+        return self.similarity(text_a, text_b) > limit
+
+    def top_concepts(self, text: str, k: int = 3) -> list[tuple[str, float]]:
+        """The k concepts with the highest interpretation weight."""
+        vec = self.interpret(text)
+        ranked = sorted(vec.items(), key=lambda cw: -cw[1])[:k]
+        return [(self._concepts[c], w) for c, w in ranked]
+
+
+_DEFAULT: EsaModel | None = None
+
+
+def default_model() -> EsaModel:
+    """The process-wide ESA model over the embedded knowledge base."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = EsaModel(CONCEPT_ARTICLES)
+    return _DEFAULT
+
+
+def similarity(text_a: str, text_b: str) -> float:
+    """Module-level convenience wrapper over :func:`default_model`."""
+    return default_model().similarity(text_a, text_b)
+
+
+__all__ = ["EsaModel", "DEFAULT_THRESHOLD", "default_model", "similarity"]

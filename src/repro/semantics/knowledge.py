@@ -1,0 +1,150 @@
+"""The embedded concept knowledge base used by ESA.
+
+The original paper interprets texts against Wikipedia concepts.  We
+embed a compact privacy-domain concept base: each concept is a short
+"article" whose term distribution characterizes the concept.  Texts
+that share dominant concepts come out similar; texts about different
+information types do not.
+
+The article wording is deliberately redundant -- term frequency is the
+signal ESA uses.
+"""
+
+from __future__ import annotations
+
+CONCEPT_ARTICLES: dict[str, str] = {
+    "geographic location": """
+        location location location geographic geolocation position
+        gps latitude longitude coordinates whereabouts place
+        precise coarse fine location data location information
+        location services navigation map nearby geographic position
+        gps coordinates satellite cell tower wifi positioning
+        """,
+    "device identifier": """
+        device device identifier id imei imsi udid android id
+        serial number hardware identifier unique device identifier
+        advertising id device id handset identifier phone state
+        device information device model manufacturer build
+        """,
+    "internet protocol address": """
+        ip address internet protocol address network address
+        ip connection routing server request header address
+        internet address network identifier host
+        """,
+    "http cookie": """
+        cookie cookies web beacon beacons pixel pixel tag tags
+        tracking technology technologies local storage browser
+        cookie identifier session cookie persistent cookie
+        third-party cookie opt-out cookie
+        """,
+    "address book contact": """
+        contact contacts address book contact list contacts list
+        phone book phonebook contact information friends entries
+        contact entries stored contacts contact details
+        """,
+    "user account": """
+        account accounts user account account name google account
+        account information credentials login username password
+        profile account holder registered account sign-in
+        """,
+    "calendar data": """
+        calendar calendar event events appointment appointments
+        schedule calendar entries reminder meeting agenda date
+        calendar information
+        """,
+    "telephone number": """
+        phone number telephone number mobile number msisdn cell
+        phone number real phone number caller number dialed
+        telephone phone line number
+        """,
+    "camera media": """
+        camera photo photos picture pictures image images video
+        videos photograph photographs snapshot capture lens
+        gallery media camera roll
+        """,
+    "microphone audio": """
+        audio microphone voice sound recording recordings speech
+        voice recording audio recording mic record sound capture
+        """,
+    "installed applications": """
+        app list apps applications installed applications installed
+        apps application list package packages package list
+        installed packages running apps other apps software list
+        """,
+    "sms message": """
+        sms text message text messages sms message short message
+        mms messages inbox sent messages message content
+        """,
+    "email address": """
+        email e-mail email address e-mail address electronic mail
+        mailbox mail address email account inbox address
+        """,
+    "person name": """
+        name real name full name first name last name surname
+        username user name nickname given name family name
+        """,
+    "date of birth": """
+        birthday date of birth birth date birthdate age data of
+        birth born year of birth demographic age range
+        """,
+    "browsing history": """
+        browser history browsing history web history bookmarks
+        visited pages pages visited sites visited browsing data
+        search history history
+        """,
+    "payment information": """
+        payment payments credit card cards billing bank account
+        transaction purchase card number cardholder invoice
+        payment information billing information payment details
+        """,
+    "health data": """
+        health medical fitness heart rate wellness medical records
+        condition symptom diagnosis prescription workout steps
+        health data health information
+        """,
+    "government identifier": """
+        government id social security number ssn passport national
+        id driver license identification document taxpayer
+        """,
+    # --- general concepts that keep unrelated texts apart -------------
+    "personal information": """
+        personal information personally identifiable information
+        personal data private information user information
+        information data details pii sensitive information
+        """,
+    "service provision": """
+        service services functionality feature features operation
+        provide improve enhance maintain support performance
+        """,
+    "advertising": """
+        advertising advertisement advertisements ads ad advertiser
+        advertisers marketing promotional targeted advertising
+        interest-based sponsored campaigns
+        """,
+    "analytics": """
+        analytics statistics statistical measurement metrics usage
+        data analysis aggregate aggregated reporting insights
+        crash diagnostics performance
+        """,
+    "third party": """
+        third party third parties third-party partner partners
+        affiliate affiliates vendor vendors service provider
+        providers companies business partners
+        """,
+    "legal compliance": """
+        law legal regulation compliance court order government
+        authority enforcement rights obligation statute subpoena
+        """,
+    "security": """
+        security secure encryption encrypted protection safeguard
+        safeguards unauthorized access breach integrity
+        confidentiality
+        """,
+    "children privacy": """
+        children child minor minors under age thirteen coppa
+        parental consent parent guardian kids
+        """,
+}
+
+
+__all__ = ["CONCEPT_ARTICLES"]

@@ -1,0 +1,62 @@
+"""Helpers for constructing small test apps."""
+
+from repro.android.apk import Apk
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+from repro.android.manifest import AndroidManifest, Component
+
+PKG = "com.test.app"
+
+LOCATION_API = "android.location.Location->getLatitude()"
+DEVICE_API = "android.telephony.TelephonyManager->getDeviceId()"
+QUERY_API = ("android.content.ContentResolver->query(uri,projection,"
+             "selection,selectionArgs,sortOrder)")
+URI_PARSE = "android.net.Uri->parse(uriString)"
+LOG_SINK = "android.util.Log->i(tag,msg)"
+NET_SINK = "java.net.HttpURLConnection->getOutputStream()"
+
+
+def empty_apk(package=PKG, permissions=None):
+    if permissions is None:
+        permissions = {
+            "android.permission.ACCESS_FINE_LOCATION",
+            "android.permission.READ_PHONE_STATE",
+            "android.permission.READ_CONTACTS",
+        }
+    manifest = AndroidManifest(package=package,
+                               permissions=set(permissions))
+    return Apk(manifest=manifest, dex=DexFile())
+
+
+def add_activity(apk, name="MainActivity", instructions=None):
+    class_name = f"{apk.package}.{name}"
+    cls = apk.dex.add_class(DexClass(
+        name=class_name, superclass="android.app.Activity",
+    ))
+    method = cls.add_method(Method(
+        class_name=class_name, name="onCreate", params=("bundle",),
+    ))
+    method.instructions = list(instructions or []) + [
+        Instruction(op="return")
+    ]
+    apk.manifest.add_component(Component(name=class_name,
+                                         kind="activity"))
+    return cls, method
+
+
+def add_class(apk, name, methods=None):
+    cls = apk.dex.add_class(DexClass(name=name))
+    for method_name, params, instructions in (methods or []):
+        method = cls.add_method(Method(
+            class_name=name, name=method_name, params=params,
+        ))
+        method.instructions = list(instructions)
+    return cls
+
+
+def invoke(target, dest="", args=()):
+    return Instruction(op="invoke", dest=dest, target=target,
+                       args=tuple(args))
+
+
+def const_string(dest, literal):
+    return Instruction(op="const-string", dest=dest, literal=literal)

@@ -1,0 +1,114 @@
+"""Sensitive API / URI / sink database tests (the paper's counts)."""
+
+import pytest
+
+from repro.android.api_db import (
+    API_PERMISSIONS,
+    CONTENT_URIS,
+    QUERY_APIS,
+    SENSITIVE_APIS,
+    SINK_APIS,
+    URI_FIELDS,
+    SinkKind,
+    info_for_api,
+    info_for_uri,
+    info_for_uri_field,
+    is_sink,
+    is_source,
+    permission_for_uri,
+)
+from repro.semantics.resources import InfoType
+
+
+class TestPaperCounts:
+    def test_68_sensitive_apis(self):
+        assert len(SENSITIVE_APIS) == 68
+
+    def test_12_uri_strings(self):
+        assert len(CONTENT_URIS) == 12
+
+    def test_615_uri_fields(self):
+        assert len(URI_FIELDS) == 615
+
+    def test_coverage_of_paper_info_kinds(self):
+        covered = set(SENSITIVE_APIS.values()) | set(CONTENT_URIS.values())
+        for info in (InfoType.DEVICE_ID, InfoType.IP_ADDRESS,
+                     InfoType.COOKIE, InfoType.LOCATION,
+                     InfoType.ACCOUNT, InfoType.CONTACT,
+                     InfoType.CALENDAR, InfoType.PHONE_NUMBER,
+                     InfoType.CAMERA, InfoType.AUDIO, InfoType.APP_LIST):
+            assert info in covered
+
+
+class TestLookups:
+    def test_get_device_id_maps(self):
+        assert info_for_api(
+            "android.telephony.TelephonyManager->getDeviceId()"
+        ) is InfoType.DEVICE_ID
+
+    def test_get_latitude_maps(self):
+        assert info_for_api(
+            "android.location.Location->getLatitude()"
+        ) is InfoType.LOCATION
+
+    def test_unknown_api_none(self):
+        assert info_for_api("com.x.Y->z()") is None
+
+    def test_uri_prefix_match(self):
+        assert info_for_uri("content://contacts") is InfoType.CONTACT
+        assert info_for_uri(
+            "content://contacts/people/1"
+        ) is InfoType.CONTACT
+
+    def test_uri_longest_prefix_wins(self):
+        assert info_for_uri(
+            "content://com.android.contacts/data"
+        ) is InfoType.CONTACT
+
+    def test_unknown_uri_none(self):
+        assert info_for_uri("content://com.example.custom") is None
+
+    def test_uri_field_lookup(self):
+        field = ("<android.provider.ContactsContract$CommonDataKinds"
+                 "$Phone: android.net.Uri CONTENT_URI>")
+        assert info_for_uri_field(field) is InfoType.CONTACT
+
+    def test_uri_permission(self):
+        assert permission_for_uri("content://sms") == \
+            "android.permission.READ_SMS"
+
+    def test_every_uri_field_has_info(self):
+        for name, (permission, info) in URI_FIELDS.items():
+            assert isinstance(info, InfoType)
+            assert name.startswith("<android.provider.")
+
+
+class TestSinksAndSources:
+    def test_log_is_sink(self):
+        assert is_sink("android.util.Log->d(tag,msg)")
+        assert SINK_APIS["android.util.Log->d(tag,msg)"] == SinkKind.LOG
+
+    def test_file_network_sms_bluetooth_kinds_present(self):
+        kinds = set(SINK_APIS.values())
+        assert {SinkKind.LOG, SinkKind.FILE, SinkKind.NETWORK,
+                SinkKind.SMS, SinkKind.BLUETOOTH} <= kinds
+
+    def test_sources_are_sensitive_apis(self):
+        assert is_source("android.location.Location->getLatitude()")
+        assert not is_source("android.util.Log->d(tag,msg)")
+
+    def test_sinks_and_sources_disjoint(self):
+        assert not (set(SINK_APIS) & set(SENSITIVE_APIS))
+
+    def test_query_apis_not_sources_directly(self):
+        for api in QUERY_APIS:
+            assert api not in SINK_APIS
+
+    def test_location_apis_need_location_permission(self):
+        assert API_PERMISSIONS[
+            "android.location.Location->getLatitude()"
+        ] == "android.permission.ACCESS_FINE_LOCATION"
+
+    def test_ip_address_needs_no_permission(self):
+        assert "android.net.wifi.WifiInfo->getIpAddress()" \
+            not in API_PERMISSIONS

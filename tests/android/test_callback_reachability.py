@@ -1,0 +1,104 @@
+"""EdgeMiner edges are load-bearing for reachability.
+
+A Runnable's ``run()`` is not an entry point; it becomes reachable
+only through the registration edge.  These tests fail if the callback
+resolution is removed.
+"""
+
+from repro.android.apg import build_apg
+from repro.android.dex import Instruction
+from repro.android.dynamic import DynamicAnalyzer
+from repro.android.entrypoints import entry_points
+from repro.android.reachability import reachable_methods
+from repro.android.static_analysis import analyze_apk
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    PKG,
+    add_activity,
+    add_class,
+    empty_apk,
+    invoke,
+)
+
+
+def _posted_runnable_apk(register: bool):
+    apk = empty_apk()
+    instructions = []
+    if register:
+        instructions = [
+            Instruction(op="new-instance", dest="v0",
+                        literal=f"{PKG}.Worker"),
+            invoke("android.os.Handler->post(runnable)", args=("v0",)),
+        ]
+    add_activity(apk, instructions=instructions)
+    add_class(apk, f"{PKG}.Worker", [("run", (), [
+        invoke(LOCATION_API, dest="v1"),
+        Instruction(op="return"),
+    ])])
+    return apk
+
+
+class TestRunIsNotAnEntry:
+    def test_run_not_in_entry_points(self):
+        apk = _posted_runnable_apk(register=True)
+        assert f"{PKG}.Worker->run()" not in entry_points(apk)
+
+    def test_onclick_still_an_entry(self):
+        apk = empty_apk()
+        add_class(apk, f"{PKG}.L", [("onClick", ("v",), [])])
+        assert f"{PKG}.L->onClick(v)" in entry_points(apk)
+
+
+class TestCallbackEdgeReachability:
+    def test_registered_runnable_reachable(self):
+        apk = _posted_runnable_apk(register=True)
+        reached = reachable_methods(build_apg(apk))
+        assert f"{PKG}.Worker->run()" in reached
+
+    def test_unregistered_runnable_unreachable(self):
+        apk = _posted_runnable_apk(register=False)
+        reached = reachable_methods(build_apg(apk))
+        assert f"{PKG}.Worker->run()" not in reached
+
+    def test_collection_via_callback_detected(self):
+        result = analyze_apk(_posted_runnable_apk(register=True))
+        assert InfoType.LOCATION in result.collected_infos()
+
+    def test_collection_without_registration_dropped(self):
+        result = analyze_apk(_posted_runnable_apk(register=False))
+        assert InfoType.LOCATION not in result.collected_infos()
+
+
+class TestDynamicCallbackDispatch:
+    def test_posted_runnable_executes(self):
+        observation = DynamicAnalyzer(
+            _posted_runnable_apk(register=True)
+        ).run()
+        assert InfoType.LOCATION in observation.collected_infos()
+        assert f"{PKG}.Worker->run()" in observation.executed_methods
+
+    def test_unregistered_runnable_never_executes(self):
+        observation = DynamicAnalyzer(
+            _posted_runnable_apk(register=False)
+        ).run()
+        assert InfoType.LOCATION not in observation.collected_infos()
+
+    def test_static_and_dynamic_agree_on_callback_apps(self, mid_store):
+        """The corpus apps whose collection hides behind post()."""
+        from repro.android.dynamic import verify_static
+        from repro.android.packer import unpack
+        checked = 0
+        for app in mid_store.apps[64:222]:
+            if app.plan.index % 6 != 3 or not app.plan.collects:
+                continue
+            apk = app.bundle.apk
+            if apk.packed:
+                unpack(apk)
+            static = analyze_apk(apk)
+            report = verify_static(apk, static)
+            assert report.static_is_sound, app.package
+            assert set(app.plan.collects) <= report.confirmed_collected
+            checked += 1
+        assert checked > 5

@@ -1,0 +1,89 @@
+"""Dex IR model tests."""
+
+from repro.android.dex import (
+    DexClass,
+    DexFile,
+    Instruction,
+    Method,
+    make_signature,
+)
+
+
+def _method(cls="com.a.B", name="m", params=("x",)):
+    return Method(class_name=cls, name=name, params=params)
+
+
+class TestInstruction:
+    def test_invoke_predicate(self):
+        assert Instruction(op="invoke", target="a.B->c()").is_invoke()
+        assert not Instruction(op="move", dest="v0",
+                               args=("v1",)).is_invoke()
+
+    def test_frozen(self):
+        ins = Instruction(op="nop")
+        try:
+            ins.op = "move"
+            assert False
+        except AttributeError:
+            pass
+
+
+class TestMethod:
+    def test_signature_format(self):
+        method = _method()
+        assert method.signature == "com.a.B->m(x)"
+
+    def test_signature_no_params(self):
+        assert _method(params=()).signature == "com.a.B->m()"
+
+    def test_invocations_filter(self):
+        method = _method()
+        method.instructions = [
+            Instruction(op="const-string", dest="v0", literal="s"),
+            Instruction(op="invoke", target="a.B->c()"),
+        ]
+        assert len(method.invocations()) == 1
+
+    def test_string_constants(self):
+        method = _method()
+        method.instructions = [
+            Instruction(op="const-string", dest="v0", literal="hello"),
+            Instruction(op="invoke", target="a.B->c()"),
+        ]
+        assert method.string_constants() == ["hello"]
+
+
+class TestDexFile:
+    def test_add_and_get_class(self):
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="com.a.B"))
+        assert dex.get_class("com.a.B") is cls
+        assert dex.get_class("com.a.C") is None
+
+    def test_all_methods(self):
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="com.a.B"))
+        cls.add_method(_method(name="one"))
+        cls.add_method(_method(name="two"))
+        assert len(dex.all_methods()) == 2
+
+    def test_resolve_signature(self):
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="com.a.B"))
+        method = cls.add_method(_method())
+        assert dex.resolve("com.a.B->m(x)") is method
+
+    def test_resolve_unknown(self):
+        dex = DexFile()
+        assert dex.resolve("com.x.Y->z()") is None
+        assert dex.resolve("garbage") is None
+
+    def test_class_names_sorted(self):
+        dex = DexFile()
+        dex.add_class(DexClass(name="com.b.B"))
+        dex.add_class(DexClass(name="com.a.A"))
+        assert dex.class_names() == ["com.a.A", "com.b.B"]
+
+    def test_make_signature(self):
+        assert make_signature("com.a.B", "m", ("x", "y")) == \
+            "com.a.B->m(x,y)"

@@ -1,0 +1,157 @@
+"""Dynamic-analysis simulator tests (Discussion extension)."""
+
+import pytest
+
+from repro.android.dynamic import (
+    DynamicAnalyzer,
+    Value,
+    verify_static,
+)
+from repro.android.static_analysis import analyze_apk
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    DEVICE_API,
+    LOCATION_API,
+    LOG_SINK,
+    PKG,
+    QUERY_API,
+    URI_PARSE,
+    add_activity,
+    add_class,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+def _leaky_apk():
+    apk = empty_apk()
+    add_activity(apk, instructions=[
+        invoke(LOCATION_API, dest="v0"),
+        invoke(f"{PKG}.H->save(value)", args=("v0",)),
+    ])
+    add_class(apk, f"{PKG}.H", [("save", ("value",), [
+        const_string("v1", "TAG"),
+        invoke(LOG_SINK, args=("v1", "value")),
+    ])])
+    return apk
+
+
+class TestValue:
+    def test_clean_value(self):
+        assert not Value().tainted()
+
+    def test_merge_unions_taint(self):
+        a = Value(infos=frozenset({InfoType.LOCATION}))
+        b = Value(infos=frozenset({InfoType.CONTACT}), uri="x")
+        merged = a.merge(b)
+        assert merged.infos == {InfoType.LOCATION, InfoType.CONTACT}
+        assert merged.uri == "x"
+
+
+class TestInterpreter:
+    def test_api_call_recorded(self):
+        observation = DynamicAnalyzer(_leaky_apk()).run()
+        assert observation.collected_infos() == {InfoType.LOCATION}
+
+    def test_sink_write_recorded(self):
+        observation = DynamicAnalyzer(_leaky_apk()).run()
+        assert observation.retained_infos() == {InfoType.LOCATION}
+        assert observation.sink_writes[0].kind == "log"
+
+    def test_executed_methods_tracked(self):
+        observation = DynamicAnalyzer(_leaky_apk()).run()
+        assert f"{PKG}.H->save(value)" in observation.executed_methods
+
+    def test_dead_code_never_executes(self):
+        apk = _leaky_apk()
+        add_class(apk, f"{PKG}.Dead", [("never", (), [
+            invoke(DEVICE_API, dest="v0"),
+        ])])
+        observation = DynamicAnalyzer(apk).run()
+        assert InfoType.DEVICE_ID not in observation.collected_infos()
+
+    def test_uri_query_is_source(self):
+        apk = empty_apk()
+        add_activity(apk, instructions=[
+            const_string("v0", "content://contacts"),
+            invoke(URI_PARSE, dest="v1", args=("v0",)),
+            invoke(QUERY_API, dest="v2", args=("v1",)),
+            const_string("v3", "TAG"),
+            invoke(LOG_SINK, args=("v3", "v2")),
+        ])
+        observation = DynamicAnalyzer(apk).run()
+        assert observation.collected_infos() == {InfoType.CONTACT}
+        assert observation.retained_infos() == {InfoType.CONTACT}
+
+    def test_field_flow(self):
+        from repro.android.dex import Instruction
+        apk = empty_apk()
+        add_activity(apk, instructions=[
+            invoke(DEVICE_API, dest="v0"),
+            Instruction(op="iput", args=("v0",), literal="F.id"),
+        ])
+        add_class(apk, f"{PKG}.L", [("onClick", ("v",), [
+            Instruction(op="iget", dest="v1", literal="F.id"),
+            const_string("v2", "TAG"),
+            invoke(LOG_SINK, args=("v2", "v1")),
+        ])])
+        observation = DynamicAnalyzer(apk).run()
+        assert InfoType.DEVICE_ID in observation.retained_infos()
+
+    def test_recursion_bounded(self):
+        apk = empty_apk()
+        add_activity(apk, instructions=[invoke(f"{PKG}.R->spin()")])
+        add_class(apk, f"{PKG}.R", [("spin", (), [
+            invoke(f"{PKG}.R->spin()"),
+        ])])
+        observation = DynamicAnalyzer(apk, max_depth=5).run()
+        assert observation.truncated
+
+    def test_step_budget(self):
+        observation = DynamicAnalyzer(_leaky_apk(), max_steps=1).run()
+        assert observation.truncated
+
+    def test_clean_app_observes_nothing(self):
+        apk = empty_apk()
+        add_activity(apk)
+        observation = DynamicAnalyzer(apk).run()
+        assert observation.collected_infos() == set()
+        assert observation.retained_infos() == set()
+
+
+class TestVerification:
+    def test_confirmed_facts(self):
+        apk = _leaky_apk()
+        static = analyze_apk(apk)
+        report = verify_static(apk, static)
+        assert InfoType.LOCATION in report.confirmed_collected
+        assert InfoType.LOCATION in report.confirmed_retained
+        assert report.static_is_sound
+
+    def test_unconfirmed_when_static_over_approximates(self):
+        # without reachability filtering, static flags dead code that
+        # the concrete run never touches
+        apk = _leaky_apk()
+        add_class(apk, f"{PKG}.Dead", [("never", (), [
+            invoke(DEVICE_API, dest="v0"),
+        ])])
+        static = analyze_apk(apk, use_reachability=False)
+        report = verify_static(apk, static)
+        assert InfoType.DEVICE_ID in report.unconfirmed_collected
+        assert report.static_is_sound
+
+    def test_verification_over_corpus_sample(self, mid_store):
+        """Static and dynamic agree on the generated apps."""
+        from repro.android.packer import unpack
+        for app in mid_store.apps[64:84]:
+            apk = app.bundle.apk
+            if apk.packed:
+                unpack(apk)
+            static = analyze_apk(apk)
+            report = verify_static(apk, static)
+            assert report.static_is_sound, app.package
+            assert set(app.plan.collects) <= (
+                report.confirmed_collected
+            ), app.package

@@ -1,0 +1,61 @@
+"""Manifest model tests."""
+
+import pytest
+
+from repro.android.manifest import AndroidManifest, Component, IntentFilter
+
+
+class TestComponent:
+    def test_valid_kinds(self):
+        for kind in ("activity", "service", "receiver", "provider"):
+            Component(name="a.B", kind=kind)
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            Component(name="a.B", kind="widget")
+
+
+class TestIntentFilter:
+    def test_action_match(self):
+        f = IntentFilter(actions=("android.intent.action.VIEW",))
+        assert f.matches("android.intent.action.VIEW")
+        assert not f.matches("android.intent.action.SEND")
+
+    def test_category_match(self):
+        f = IntentFilter(actions=("A",), categories=("C",))
+        assert f.matches("A", "C")
+        assert not f.matches("A", "D")
+
+
+class TestManifest:
+    def test_permissions(self):
+        manifest = AndroidManifest(
+            package="com.a",
+            permissions={"android.permission.CAMERA"},
+        )
+        assert manifest.has_permission("android.permission.CAMERA")
+        assert not manifest.has_permission("android.permission.INTERNET")
+
+    def test_components_of_kind(self):
+        manifest = AndroidManifest(package="com.a")
+        manifest.add_component(Component(name="com.a.M", kind="activity"))
+        manifest.add_component(Component(name="com.a.S", kind="service"))
+        assert len(manifest.components_of_kind("activity")) == 1
+        assert len(manifest.components_of_kind("provider")) == 0
+
+    def test_component_by_name(self):
+        manifest = AndroidManifest(package="com.a")
+        c = manifest.add_component(Component(name="com.a.M",
+                                             kind="activity"))
+        assert manifest.component_by_name("com.a.M") is c
+        assert manifest.component_by_name("com.a.X") is None
+
+    def test_resolve_implicit_intent(self):
+        manifest = AndroidManifest(package="com.a")
+        manifest.add_component(Component(
+            name="com.a.R", kind="receiver",
+            intent_filters=[IntentFilter(actions=("my.ACTION",))],
+        ))
+        assert [c.name for c in
+                manifest.resolve_implicit_intent("my.ACTION")] == ["com.a.R"]
+        assert manifest.resolve_implicit_intent("other.ACTION") == []

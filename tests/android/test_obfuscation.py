@@ -1,0 +1,108 @@
+"""Obfuscation transformation and limitation-measurement tests."""
+
+import pytest
+
+from repro.android.dex import DexClass
+from repro.android.libs import detect_libraries
+from repro.android.obfuscation import obfuscate
+from repro.android.static_analysis import analyze_apk
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    LOG_SINK,
+    PKG,
+    add_activity,
+    add_class,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+def _apk_with_lib():
+    apk = empty_apk()
+    add_activity(apk, instructions=[
+        invoke(LOCATION_API, dest="v0"),
+        invoke(f"{PKG}.H->save(value)", args=("v0",)),
+    ])
+    add_class(apk, f"{PKG}.H", [("save", ("value",), [
+        const_string("v1", "TAG"),
+        invoke(LOG_SINK, args=("v1", "value")),
+    ])])
+    apk.dex.add_class(DexClass(name="com.flurry.android.Agent"))
+    return apk
+
+
+class TestTransformation:
+    def test_app_classes_renamed(self):
+        apk = _apk_with_lib()
+        mapping = obfuscate(apk)
+        assert f"{PKG}.MainActivity" in mapping.renames
+        assert f"{PKG}.MainActivity" not in apk.dex.classes
+
+    def test_framework_targets_preserved(self):
+        apk = _apk_with_lib()
+        obfuscate(apk)
+        targets = {
+            ins.target
+            for m in apk.dex.all_methods()
+            for ins in m.invocations()
+        }
+        assert LOCATION_API in targets
+        assert LOG_SINK in targets
+
+    def test_internal_calls_rewritten_consistently(self):
+        apk = _apk_with_lib()
+        mapping = obfuscate(apk)
+        helper_new = mapping.resolve(f"{PKG}.H")
+        targets = {
+            ins.target
+            for m in apk.dex.all_methods()
+            for ins in m.invocations()
+        }
+        assert f"{helper_new}->save(value)" in targets
+
+    def test_manifest_components_renamed(self):
+        apk = _apk_with_lib()
+        mapping = obfuscate(apk)
+        renamed = mapping.resolve(f"{PKG}.MainActivity")
+        assert apk.manifest.component_by_name(renamed) is not None
+
+    def test_keep_libs_preserves_lib_classes(self):
+        apk = _apk_with_lib()
+        obfuscate(apk, keep_libs=True)
+        assert "com.flurry.android.Agent" in apk.dex.classes
+
+
+class TestAnalysisImpact:
+    def test_taint_survives_obfuscation(self):
+        """Retention facts are name-independent."""
+        apk = _apk_with_lib()
+        obfuscate(apk)
+        result = analyze_apk(apk)
+        assert InfoType.LOCATION in result.retained_infos()
+
+    def test_attribution_degrades(self):
+        """App-attributed collection disappears: the renamed caller no
+        longer shares the manifest package prefix (the limitation the
+        module exists to measure)."""
+        apk = _apk_with_lib()
+        before = analyze_apk(_apk_with_lib())
+        assert InfoType.LOCATION in before.collected_infos()
+        obfuscate(apk)
+        after = analyze_apk(apk)
+        assert InfoType.LOCATION not in after.collected_infos()
+        # the fact is still observed -- just attributed to "lib" code
+        assert InfoType.LOCATION in after.lib_collected_infos()
+
+    def test_lib_detection_fails_under_full_obfuscation(self):
+        apk = _apk_with_lib()
+        obfuscate(apk, keep_libs=False)
+        assert detect_libraries(apk.dex) == []
+
+    def test_lib_detection_survives_keep_rules(self):
+        apk = _apk_with_lib()
+        obfuscate(apk, keep_libs=True)
+        assert [l.lib_id for l in detect_libraries(apk.dex)] == \
+            ["flurry"]

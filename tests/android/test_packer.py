@@ -1,0 +1,72 @@
+"""Packer / DexHunter unpacking tests."""
+
+import pytest
+
+from repro.android.apk import Apk, PackedApkError
+from repro.android.dex import DexClass, DexFile, Instruction, Method
+from repro.android.manifest import AndroidManifest
+from repro.android.packer import is_packer_stub, pack, unpack
+
+
+def _apk():
+    dex = DexFile()
+    cls = dex.add_class(DexClass(name="com.a.Main",
+                                 superclass="android.app.Activity"))
+    method = cls.add_method(Method(class_name="com.a.Main",
+                                   name="onCreate", params=("b",)))
+    method.instructions = [
+        Instruction(op="const-string", dest="v0", literal="content://sms"),
+        Instruction(op="invoke", dest="v1",
+                    target="android.net.Uri->parse(uriString)",
+                    args=("v0",)),
+        Instruction(op="return"),
+    ]
+    return Apk(manifest=AndroidManifest(package="com.a"), dex=dex)
+
+
+class TestPackUnpack:
+    def test_roundtrip_preserves_dex(self):
+        apk = _apk()
+        original = apk.dex
+        before_classes = set(original.classes)
+        before_ins = [
+            (i.op, i.dest, i.args, i.target, i.literal)
+            for m in original.all_methods() for i in m.instructions
+        ]
+        pack(apk)
+        assert apk.packed
+        assert "com.a.Main" not in apk.dex.classes
+        unpack(apk)
+        assert not apk.packed
+        assert set(apk.dex.classes) == before_classes
+        after_ins = [
+            (i.op, i.dest, i.args, i.target, i.literal)
+            for m in apk.dex.all_methods() for i in m.instructions
+        ]
+        assert after_ins == before_ins
+
+    def test_effective_dex_raises_when_packed(self):
+        apk = pack(_apk())
+        with pytest.raises(PackedApkError):
+            apk.effective_dex()
+
+    def test_pack_idempotent(self):
+        apk = pack(_apk())
+        payload = apk.packed_payload
+        pack(apk)
+        assert apk.packed_payload is payload
+
+    def test_unpack_unpacked_is_noop(self):
+        apk = _apk()
+        assert unpack(apk) is apk
+
+    def test_unpack_without_payload_raises(self):
+        apk = _apk()
+        apk.packed = True
+        with pytest.raises(ValueError):
+            unpack(apk)
+
+    def test_stub_detection(self):
+        apk = pack(_apk())
+        assert is_packer_stub(apk.dex)
+        assert not is_packer_stub(_apk().dex)

@@ -1,0 +1,84 @@
+"""Permission-usage audit tests."""
+
+from repro.android.permissions import (
+    DANGEROUS_PERMISSIONS,
+    audit_permissions,
+)
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    PKG,
+    QUERY_API,
+    URI_PARSE,
+    add_activity,
+    add_class,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+class TestAudit:
+    def test_used_permission_not_over(self):
+        apk = empty_apk(permissions={
+            "android.permission.ACCESS_FINE_LOCATION",
+        })
+        add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+        audit = audit_permissions(apk)
+        assert "android.permission.ACCESS_FINE_LOCATION" in audit.used
+        assert audit.over_permissions == set()
+
+    def test_unused_dangerous_permission_flagged(self):
+        apk = empty_apk(permissions={
+            "android.permission.READ_CONTACTS",
+            "android.permission.INTERNET",
+        })
+        add_activity(apk)
+        audit = audit_permissions(apk)
+        assert audit.over_permissions == {
+            "android.permission.READ_CONTACTS"
+        }
+
+    def test_internet_not_dangerous(self):
+        apk = empty_apk(permissions={"android.permission.INTERNET"})
+        add_activity(apk)
+        assert audit_permissions(apk).over_permissions == set()
+
+    def test_under_permission_detected(self):
+        apk = empty_apk(permissions=set())
+        add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+        audit = audit_permissions(apk)
+        assert "android.permission.ACCESS_FINE_LOCATION" in \
+            audit.under_permissions
+
+    def test_uri_usage_counts(self):
+        apk = empty_apk(permissions={
+            "android.permission.READ_CONTACTS",
+        })
+        add_activity(apk, instructions=[
+            const_string("v0", "content://contacts"),
+            invoke(URI_PARSE, dest="v1", args=("v0",)),
+            invoke(QUERY_API, dest="v2", args=("v1",)),
+        ])
+        audit = audit_permissions(apk)
+        assert "android.permission.READ_CONTACTS" in audit.used
+        assert audit.over_permissions == set()
+
+    def test_dead_code_usage_does_not_count(self):
+        apk = empty_apk(permissions={
+            "android.permission.ACCESS_FINE_LOCATION",
+        })
+        add_activity(apk)
+        add_class(apk, f"{PKG}.Dead", [("never", (), [
+            invoke(LOCATION_API, dest="v0"),
+        ])])
+        audit = audit_permissions(apk)
+        assert audit.over_permissions == {
+            "android.permission.ACCESS_FINE_LOCATION"
+        }
+
+    def test_dangerous_set_contents(self):
+        assert "android.permission.READ_CONTACTS" in \
+            DANGEROUS_PERMISSIONS
+        assert "android.permission.INTERNET" not in \
+            DANGEROUS_PERMISSIONS

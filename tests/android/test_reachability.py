@@ -1,0 +1,85 @@
+"""Entry-point and reachability tests."""
+
+from repro.android.apg import build_apg
+from repro.android.entrypoints import entry_points
+from repro.android.reachability import (
+    is_reachable,
+    reachable_call_sites,
+    reachable_methods,
+)
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    PKG,
+    add_activity,
+    add_class,
+    empty_apk,
+    invoke,
+)
+
+
+def _apk_with_dead_code():
+    apk = empty_apk()
+    add_activity(apk, instructions=[invoke(f"{PKG}.H->run()")])
+    add_class(apk, f"{PKG}.H", [("run", (), [
+        invoke(LOCATION_API, dest="v0"),
+    ])])
+    add_class(apk, f"{PKG}.Dead", [("never", (), [
+        invoke(LOCATION_API, dest="v0"),
+    ])])
+    return apk
+
+
+class TestEntryPoints:
+    def test_lifecycle_entry(self):
+        apk = _apk_with_dead_code()
+        entries = entry_points(apk)
+        assert f"{PKG}.MainActivity->onCreate(bundle)" in entries
+
+    def test_dead_method_not_entry(self):
+        apk = _apk_with_dead_code()
+        assert f"{PKG}.Dead->never()" not in entry_points(apk)
+
+    def test_ui_callbacks_are_entries(self):
+        apk = empty_apk()
+        add_class(apk, f"{PKG}.L", [("onClick", ("v",), [])])
+        assert f"{PKG}.L->onClick(v)" in entry_points(apk)
+
+    def test_application_subclass_entry(self):
+        from repro.android.dex import DexClass, Method
+        apk = empty_apk()
+        cls = apk.dex.add_class(DexClass(
+            name=f"{PKG}.App", superclass="android.app.Application",
+        ))
+        cls.add_method(Method(class_name=f"{PKG}.App", name="onCreate"))
+        assert f"{PKG}.App->onCreate()" in entry_points(apk)
+
+    def test_provider_entry_functions(self):
+        from repro.android.manifest import Component
+        apk = empty_apk()
+        add_class(apk, f"{PKG}.Provider", [("query", ("uri",), [])])
+        apk.manifest.add_component(Component(name=f"{PKG}.Provider",
+                                             kind="provider"))
+        assert f"{PKG}.Provider->query(uri)" in entry_points(apk)
+
+
+class TestReachability:
+    def test_transitively_reachable(self):
+        apg = build_apg(_apk_with_dead_code())
+        reached = reachable_methods(apg)
+        assert f"{PKG}.H->run()" in reached
+
+    def test_dead_code_unreachable(self):
+        apg = build_apg(_apk_with_dead_code())
+        assert not is_reachable(apg, f"{PKG}.Dead->never()")
+
+    def test_reachable_call_sites_filtered(self):
+        apg = build_apg(_apk_with_dead_code())
+        callers = reachable_call_sites(apg, LOCATION_API)
+        assert f"{PKG}.H->run()" in callers
+        assert f"{PKG}.Dead->never()" not in callers
+
+    def test_cache_parameter(self):
+        apg = build_apg(_apk_with_dead_code())
+        cache = reachable_methods(apg)
+        assert is_reachable(apg, f"{PKG}.H->run()", cache=cache)

@@ -1,0 +1,108 @@
+"""Bundle/APK JSON serialization tests."""
+
+import json
+
+import pytest
+
+from repro.android.packer import pack
+from repro.android.serialization import (
+    apk_from_dict,
+    apk_to_dict,
+    bundle_from_dict,
+    bundle_to_dict,
+    load_bundle,
+    save_bundle,
+)
+from repro.core.checker import AppBundle
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    PKG,
+    add_activity,
+    add_class,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+def _apk():
+    apk = empty_apk()
+    add_activity(apk, instructions=[
+        const_string("v0", "content://contacts"),
+        invoke(LOCATION_API, dest="v1"),
+    ])
+    add_class(apk, f"{PKG}.H", [("run", ("x",), [])])
+    return apk
+
+
+def _bundle():
+    return AppBundle(package=PKG, apk=_apk(),
+                     policy="We collect your location.",
+                     description="An app.", policy_is_html=False)
+
+
+class TestApkRoundTrip:
+    def test_classes_preserved(self):
+        apk = _apk()
+        restored = apk_from_dict(apk_to_dict(apk))
+        assert set(restored.dex.classes) == set(apk.dex.classes)
+
+    def test_instructions_preserved(self):
+        apk = _apk()
+        restored = apk_from_dict(apk_to_dict(apk))
+        original = apk.dex.get_class(f"{PKG}.MainActivity") \
+            .method("onCreate").instructions
+        copied = restored.dex.get_class(f"{PKG}.MainActivity") \
+            .method("onCreate").instructions
+        assert copied == original
+
+    def test_manifest_preserved(self):
+        apk = _apk()
+        restored = apk_from_dict(apk_to_dict(apk))
+        assert restored.manifest.package == apk.manifest.package
+        assert restored.manifest.permissions == apk.manifest.permissions
+        assert len(restored.manifest.components) == len(
+            apk.manifest.components
+        )
+
+    def test_packed_apk_rejected(self):
+        apk = pack(_apk())
+        with pytest.raises(ValueError):
+            apk_to_dict(apk)
+
+    def test_json_serializable(self):
+        doc = apk_to_dict(_apk())
+        json.dumps(doc)
+
+
+class TestBundleRoundTrip:
+    def test_fields_preserved(self):
+        bundle = _bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        assert restored.package == bundle.package
+        assert restored.policy == bundle.policy
+        assert restored.description == bundle.description
+        assert restored.policy_is_html == bundle.policy_is_html
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "bundle.json")
+        save_bundle(_bundle(), path)
+        restored = load_bundle(path)
+        assert restored.package == PKG
+
+    def test_analysis_equivalence(self):
+        """A restored bundle produces the same report."""
+        from repro.core.checker import PPChecker
+        checker = PPChecker()
+        bundle = _bundle()
+        original = checker.check(bundle)
+        restored = checker.check(
+            bundle_from_dict(bundle_to_dict(_bundle()))
+        )
+        assert original.to_dict() == restored.to_dict()
+
+    def test_report_to_dict_is_json_serializable(self):
+        from repro.core.checker import PPChecker
+        report = PPChecker().check(_bundle())
+        json.dumps(report.to_dict())

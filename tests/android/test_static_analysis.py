@@ -1,0 +1,114 @@
+"""Static-analysis facade and lib-detection tests."""
+
+from repro.android.libs import LIB_REGISTRY, detect_libraries, libs_by_category
+from repro.android.packer import pack
+from repro.android.static_analysis import analyze_apk
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    DEVICE_API,
+    LOCATION_API,
+    LOG_SINK,
+    PKG,
+    add_activity,
+    add_class,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+def _full_apk():
+    apk = empty_apk()
+    add_activity(apk, instructions=[
+        invoke(LOCATION_API, dest="v0"),
+        invoke(f"{PKG}.H->save(value)", args=("v0",)),
+    ])
+    add_class(apk, f"{PKG}.H", [("save", ("value",), [
+        const_string("v1", "TAG"),
+        invoke(LOG_SINK, args=("v1", "value")),
+    ])])
+    # unreachable collection
+    add_class(apk, f"{PKG}.Dead", [("never", (), [
+        invoke(DEVICE_API, dest="v0"),
+    ])])
+    # a lib class collecting device id (lib-attributed)
+    add_class(apk, "com.flurry.android.Agent", [("onClick", ("v",), [
+        invoke(DEVICE_API, dest="v0"),
+    ])])
+    return apk
+
+
+class TestLibRegistry:
+    def test_81_libs(self):
+        assert len(LIB_REGISTRY) == 81
+
+    def test_category_counts(self):
+        assert len(libs_by_category("ad")) == 52
+        assert len(libs_by_category("social")) == 9
+        assert len(libs_by_category("devtool")) == 20
+
+    def test_detect_by_prefix(self):
+        apk = _full_apk()
+        libs = detect_libraries(apk.dex)
+        assert [l.lib_id for l in libs] == ["flurry"]
+
+    def test_no_libs_detected_in_clean_app(self):
+        apk = empty_apk()
+        add_activity(apk)
+        assert detect_libraries(apk.dex) == []
+
+
+class TestAnalyzeApk:
+    def test_collected_infos_app_attributed(self):
+        result = analyze_apk(_full_apk())
+        assert result.collected_infos() == {InfoType.LOCATION}
+
+    def test_lib_collection_separate(self):
+        result = analyze_apk(_full_apk())
+        # flurry's getDeviceId is reachable (onClick is a UI entry)
+        assert InfoType.DEVICE_ID in result.lib_collected_infos()
+
+    def test_retained_infos(self):
+        result = analyze_apk(_full_apk())
+        assert result.retained_infos() == {InfoType.LOCATION}
+
+    def test_reachability_drops_dead_code(self):
+        result = analyze_apk(_full_apk())
+        assert InfoType.DEVICE_ID not in result.collected_infos()
+
+    def test_reachability_off_includes_dead_code(self):
+        result = analyze_apk(_full_apk(), use_reachability=False)
+        assert InfoType.DEVICE_ID in result.collected_infos()
+
+    def test_permission_gate(self):
+        apk = _full_apk()
+        apk.manifest.permissions.discard(
+            "android.permission.ACCESS_FINE_LOCATION"
+        )
+        result = analyze_apk(apk)
+        assert InfoType.LOCATION not in result.collected_infos()
+
+    def test_packed_apps_unpacked(self):
+        apk = pack(_full_apk())
+        result = analyze_apk(apk)
+        assert result.was_packed
+        assert result.collected_infos() == {InfoType.LOCATION}
+
+    def test_evidence_for(self):
+        result = analyze_apk(_full_apk())
+        evidence = result.evidence_for(InfoType.LOCATION)
+        assert LOCATION_API in evidence
+
+    def test_uri_analysis_toggle(self):
+        from tests.android.appbuilder import QUERY_API, URI_PARSE
+        apk = empty_apk()
+        add_activity(apk, instructions=[
+            const_string("v0", "content://contacts"),
+            invoke(URI_PARSE, dest="v1", args=("v0",)),
+            invoke(QUERY_API, dest="v2", args=("v1",)),
+        ])
+        with_uri = analyze_apk(apk, use_uri_analysis=True)
+        assert InfoType.CONTACT in with_uri.collected_infos()
+        without_uri = analyze_apk(apk, use_uri_analysis=False)
+        assert InfoType.CONTACT not in without_uri.collected_infos()

@@ -1,0 +1,49 @@
+"""Shared fixtures: analyzers, matchers, and a small app-store slice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import PPChecker
+from repro.core.matching import InfoMatcher
+from repro.corpus.appstore import generate_app_store
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.semantics.esa import default_model
+
+
+@pytest.fixture(scope="session")
+def esa():
+    return default_model()
+
+
+@pytest.fixture(scope="session")
+def matcher():
+    return InfoMatcher()
+
+
+@pytest.fixture(scope="session")
+def analyzer():
+    return PolicyAnalyzer()
+
+
+@pytest.fixture(scope="session")
+def small_store():
+    """The first 64 apps: the description-incomplete groups."""
+    return generate_app_store(n_apps=64)
+
+
+@pytest.fixture(scope="session")
+def mid_store():
+    """The first 320 apps: covers every planted problem group."""
+    return generate_app_store(n_apps=320)
+
+
+@pytest.fixture(scope="session")
+def full_store():
+    """The complete 1,197-app corpus."""
+    return generate_app_store()
+
+
+@pytest.fixture(scope="session")
+def checker(full_store):
+    return PPChecker(lib_policy_source=full_store.lib_policy)

@@ -1,0 +1,122 @@
+"""CLI tests (in-process main() invocation)."""
+
+import json
+
+import pytest
+
+from repro.android.serialization import save_bundle
+from repro.cli import main
+from repro.core.checker import AppBundle
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    PKG,
+    add_activity,
+    empty_apk,
+    invoke,
+)
+
+
+@pytest.fixture
+def bad_bundle_path(tmp_path):
+    apk = empty_apk()
+    add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+    bundle = AppBundle(package=PKG, apk=apk,
+                       policy="We collect your email.",
+                       description="An app.")
+    path = str(tmp_path / "bundle.json")
+    save_bundle(bundle, path)
+    return path
+
+
+@pytest.fixture
+def clean_bundle_path(tmp_path):
+    apk = empty_apk()
+    add_activity(apk)
+    bundle = AppBundle(package=PKG, apk=apk,
+                       policy="We may collect your email address.",
+                       description="An app.")
+    path = str(tmp_path / "clean.json")
+    save_bundle(bundle, path)
+    return path
+
+
+class TestCheck:
+    def test_problem_app_exits_1(self, bad_bundle_path, capsys):
+        assert main(["check", bad_bundle_path]) == 1
+        out = capsys.readouterr().out
+        assert "INCOMPLETE" in out
+
+    def test_clean_app_exits_0(self, clean_bundle_path, capsys):
+        assert main(["check", clean_bundle_path]) == 0
+        assert "no problems" in capsys.readouterr().out
+
+    def test_json_output(self, bad_bundle_path, capsys):
+        main(["check", bad_bundle_path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["has_problem"]
+        assert payload["incomplete"]
+
+    def test_lib_policies_directory(self, tmp_path, capsys):
+        from repro.android.dex import DexClass
+        apk = empty_apk()
+        add_activity(apk)
+        apk.dex.add_class(DexClass(name="com.unity3d.player.Unity"))
+        bundle = AppBundle(
+            package=PKG, apk=apk,
+            policy="We do not collect your location information.",
+            description="A game.",
+        )
+        path = str(tmp_path / "b.json")
+        save_bundle(bundle, path)
+        libdir = tmp_path / "libs"
+        libdir.mkdir()
+        (libdir / "unity3d.txt").write_text(
+            "We may receive your location information."
+        )
+        code = main(["check", path, "--lib-policies", str(libdir)])
+        assert code == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_small_study_runs(self, capsys, tmp_path):
+        out_json = str(tmp_path / "study.json")
+        out_html = str(tmp_path / "study.html")
+        assert main(["study", "--apps", "64", "--json", out_json,
+                     "--html", out_html]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        with open(out_json) as handle:
+            payload = json.load(handle)
+        assert payload["summary"]["apps"] == 64
+        with open(out_html) as handle:
+            assert "PPChecker study report" in handle.read()
+
+    def test_screen_command(self, capsys):
+        assert main(["screen", "--apps", "250", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+
+
+class TestOtherCommands:
+    def test_bootstrap(self, capsys):
+        assert main(["bootstrap", "--top", "3"]) == 0
+        assert "patterns" in capsys.readouterr().out
+
+    def test_genpolicy(self, bad_bundle_path, capsys):
+        assert main(["genpolicy", bad_bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "Privacy Policy" in out
+        assert "location" in out
+
+    def test_export_corpus(self, tmp_path, capsys):
+        path = str(tmp_path / "app.json")
+        assert main(["export-corpus", "0", path]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["package"].startswith("com.example.")
+
+    def test_export_corpus_bad_index(self, tmp_path):
+        assert main(["export-corpus", "999999",
+                     str(tmp_path / "x.json")]) == 2

@@ -1,0 +1,267 @@
+"""Unit tests for the three detectors (Algorithms 1-5)."""
+
+import pytest
+
+from repro.core.incomplete import (
+    detect_incomplete_via_code,
+    detect_incomplete_via_description,
+)
+from repro.core.inconsistent import detect_inconsistent
+from repro.core.incorrect import (
+    detect_incorrect_via_code,
+    detect_incorrect_via_description,
+)
+from repro.core.matching import InfoMatcher
+from repro.android.static_analysis import analyze_apk
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    LOG_SINK,
+    QUERY_API,
+    URI_PARSE,
+    add_activity,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+_ANALYZER = PolicyAnalyzer()
+_MATCHER = InfoMatcher()
+
+
+def policy(text):
+    return _ANALYZER.analyze(text)
+
+
+def static_result(instructions):
+    apk = empty_apk()
+    add_activity(apk, instructions=instructions)
+    return analyze_apk(apk)
+
+
+class TestAlg1IncompleteViaDescription:
+    def test_uncovered_info_flagged(self):
+        findings = detect_incomplete_via_description(
+            policy("We may collect your email address."),
+            {"android.permission.ACCESS_FINE_LOCATION"},
+            _MATCHER,
+        )
+        assert [f.info for f in findings] == [InfoType.LOCATION]
+        assert findings[0].permission == \
+            "android.permission.ACCESS_FINE_LOCATION"
+
+    def test_covered_info_not_flagged(self):
+        findings = detect_incomplete_via_description(
+            policy("We may collect your location."),
+            {"android.permission.ACCESS_FINE_LOCATION"},
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_coverage_by_any_category_counts(self):
+        findings = detect_incomplete_via_description(
+            policy("We may share your location with partners."),
+            {"android.permission.ACCESS_FINE_LOCATION"},
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_negative_coverage_does_not_count(self):
+        findings = detect_incomplete_via_description(
+            policy("We will not collect your location."),
+            {"android.permission.ACCESS_FINE_LOCATION"},
+            _MATCHER,
+        )
+        assert len(findings) == 1
+
+    def test_no_permissions_no_findings(self):
+        assert detect_incomplete_via_description(
+            policy("anything"), set(), _MATCHER) == []
+
+
+class TestAlg2IncompleteViaCode:
+    def test_uncovered_collection_flagged(self):
+        result = static_result([invoke(LOCATION_API, dest="v0")])
+        findings = detect_incomplete_via_code(
+            policy("We may collect your email address."),
+            result, _MATCHER,
+        )
+        assert [f.info for f in findings] == [InfoType.LOCATION]
+        assert not findings[0].retained
+        assert LOCATION_API in findings[0].evidence
+
+    def test_retention_marked(self):
+        result = static_result([
+            invoke(LOCATION_API, dest="v0"),
+            const_string("v1", "TAG"),
+            invoke(LOG_SINK, args=("v1", "v0")),
+        ])
+        findings = detect_incomplete_via_code(
+            policy("We may collect your email address."),
+            result, _MATCHER,
+        )
+        assert findings[0].retained
+
+    def test_covered_collection_clean(self):
+        result = static_result([invoke(LOCATION_API, dest="v0")])
+        assert detect_incomplete_via_code(
+            policy("We may collect your location."), result, _MATCHER,
+        ) == []
+
+    def test_tricky_sentence_causes_fp(self):
+        # the Section V-C false-positive shape: coverage hidden in a
+        # fronted PP that element extraction misses
+        result = static_result([
+            invoke("android.telephony.TelephonyManager->getDeviceId()",
+                   dest="v0"),
+        ])
+        findings = detect_incomplete_via_code(
+            policy("In addition to your device identifiers, we may "
+                   "also collect the nickname you have chosen for "
+                   "your device."),
+            result, _MATCHER,
+        )
+        assert [f.info for f in findings] == [InfoType.DEVICE_ID]
+
+
+class TestAlg3IncorrectViaDescription:
+    def test_denied_but_described(self):
+        findings = detect_incorrect_via_description(
+            policy("We will not collect your contacts."),
+            {"android.permission.READ_CONTACTS"},
+            _MATCHER,
+        )
+        assert [f.info for f in findings] == [InfoType.CONTACT]
+        assert "not collect" in findings[0].denial_sentence
+
+    def test_no_denial_clean(self):
+        assert detect_incorrect_via_description(
+            policy("We may collect your contacts."),
+            {"android.permission.READ_CONTACTS"},
+            _MATCHER,
+        ) == []
+
+
+class TestAlg4IncorrectViaCode:
+    def test_collect_denial_vs_code(self):
+        result = static_result([
+            const_string("v0", "content://contacts"),
+            invoke(URI_PARSE, dest="v1", args=("v0",)),
+            invoke(QUERY_API, dest="v2", args=("v1",)),
+        ])
+        findings = detect_incorrect_via_code(
+            policy("We will not collect your contacts."),
+            result, _MATCHER,
+        )
+        assert [f.info for f in findings] == [InfoType.CONTACT]
+        assert findings[0].kind == "collect"
+
+    def test_retain_denial_vs_taint_path(self):
+        result = static_result([
+            invoke(LOCATION_API, dest="v0"),
+            const_string("v1", "TAG"),
+            invoke(LOG_SINK, args=("v1", "v0")),
+        ])
+        findings = detect_incorrect_via_code(
+            policy("Your location will not be stored by the app."),
+            result, _MATCHER,
+        )
+        assert any(
+            f.kind == "retain" and f.info is InfoType.LOCATION
+            for f in findings
+        )
+
+    def test_retain_denial_without_retention_clean(self):
+        result = static_result([invoke(LOCATION_API, dest="v0")])
+        findings = detect_incorrect_via_code(
+            policy("Your location will not be stored by the app."),
+            result, _MATCHER,
+        )
+        assert all(f.kind != "retain" for f in findings)
+
+
+class TestAlg5Inconsistent:
+    def _lib(self, text):
+        return {"unity3d": policy(text)}
+
+    def test_paper_templerun_case(self):
+        findings = detect_inconsistent(
+            policy("We do not collect your location information."),
+            self._lib("We may receive your location information."),
+            _MATCHER,
+        )
+        assert len(findings) == 1
+        assert findings[0].lib_id == "unity3d"
+        assert not findings[0].is_disclose
+
+    def test_requires_same_category(self):
+        findings = detect_inconsistent(
+            policy("We will not share your location with third "
+                   "parties."),
+            self._lib("We may receive your location information."),
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_requires_same_resource(self):
+        findings = detect_inconsistent(
+            policy("We do not collect your contacts."),
+            self._lib("We may receive your location information."),
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_positive_app_statement_no_conflict(self):
+        findings = detect_inconsistent(
+            policy("We may collect your location."),
+            self._lib("We may receive your location information."),
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_disclose_row_flag(self):
+        findings = detect_inconsistent(
+            policy("We will never disclose your device identifiers."),
+            self._lib("We will share your device identifiers with "
+                      "companies we work with."),
+            _MATCHER,
+        )
+        assert len(findings) == 1
+        assert findings[0].is_disclose
+
+    def test_disclaimer_suppresses(self):
+        app_policy = policy(
+            "We do not collect your location information. We are not "
+            "responsible for the privacy practices of those sites."
+        )
+        findings = detect_inconsistent(
+            app_policy,
+            self._lib("We may receive your location information."),
+            _MATCHER,
+        )
+        assert findings == []
+
+    def test_disclaimer_ablation_flag(self):
+        app_policy = policy(
+            "We do not collect your location information. We are not "
+            "responsible for the privacy practices of those sites."
+        )
+        findings = detect_inconsistent(
+            app_policy,
+            self._lib("We may receive your location information."),
+            _MATCHER,
+            honor_disclaimer=False,
+        )
+        assert len(findings) == 1
+
+    def test_display_verb_is_missed(self):
+        # the paper's false negative: "display" is outside the verb set
+        findings = detect_inconsistent(
+            policy("We will never display your personal information."),
+            self._lib("We will share your personal information with "
+                      "companies we work with."),
+            _MATCHER,
+        )
+        assert findings == []

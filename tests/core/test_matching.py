@@ -1,0 +1,63 @@
+"""InfoMatcher tests (the Similarity(Info, PPInfo) predicate)."""
+
+import pytest
+
+from repro.core.matching import InfoMatcher
+from repro.semantics.resources import InfoType
+
+
+class TestPhraseMatches:
+    def test_exact_alias_short_circuit(self, matcher):
+        assert matcher.phrase_matches(InfoType.LOCATION, "location")
+
+    def test_alias_with_possessive(self, matcher):
+        assert matcher.phrase_matches(InfoType.CONTACT, "your contacts")
+
+    def test_esa_similarity_path(self, matcher):
+        assert matcher.phrase_matches(InfoType.LOCATION,
+                                      "precise location data")
+
+    def test_unrelated_phrase_rejected(self, matcher):
+        assert not matcher.phrase_matches(InfoType.LOCATION, "cookies")
+
+    def test_generic_information_rejected_for_specific(self, matcher):
+        # "information" alone lands on the personal-information concept,
+        # not on location
+        assert not matcher.phrase_matches(InfoType.LOCATION, "information")
+
+
+class TestCovered:
+    def test_covered_true(self, matcher):
+        assert matcher.covered(InfoType.LOCATION,
+                               {"location", "contacts"})
+
+    def test_covered_false(self, matcher):
+        assert not matcher.covered(InfoType.LOCATION,
+                                   {"contacts", "cookies"})
+
+    def test_covered_empty_set(self, matcher):
+        assert not matcher.covered(InfoType.LOCATION, set())
+
+
+class TestPhrasesMatch:
+    def test_same_alias_phrases(self, matcher):
+        assert matcher.phrases_match("contacts", "address book")
+
+    def test_paper_fp_generic_information(self, matcher):
+        # the StaffMark/AdMob false positive: "information" vs
+        # "personal information"
+        assert matcher.phrases_match("information",
+                                     "personal information")
+
+    def test_different_resources(self, matcher):
+        assert not matcher.phrases_match("location", "contacts")
+
+    def test_custom_threshold(self):
+        # the ESA path honors the threshold (alias pairs short-circuit)
+        strict = InfoMatcher(threshold=0.999)
+        assert not strict.phrases_match("information",
+                                        "personal information")
+
+    def test_alias_pairs_ignore_threshold(self):
+        strict = InfoMatcher(threshold=0.999)
+        assert strict.phrases_match("contacts", "address book")

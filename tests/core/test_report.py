@@ -1,0 +1,102 @@
+"""AppReport model tests."""
+
+import json
+
+import pytest
+
+from repro.core.report import (
+    AppReport,
+    IncompleteFinding,
+    InconsistentFinding,
+    IncorrectFinding,
+)
+from repro.policy.verbs import VerbCategory
+from repro.semantics.resources import InfoType
+
+
+def _full_report():
+    return AppReport(
+        package="com.x",
+        incomplete=[
+            IncompleteFinding(info=InfoType.LOCATION, source="code",
+                              retained=True, evidence=("api",)),
+            IncompleteFinding(info=InfoType.CONTACT,
+                              source="description",
+                              permission="android.permission."
+                                         "READ_CONTACTS"),
+        ],
+        incorrect=[
+            IncorrectFinding(info=InfoType.CONTACT, source="code",
+                             denial_sentence="we will not ...",
+                             kind="retain"),
+        ],
+        inconsistent=[
+            InconsistentFinding(lib_id="admob",
+                                category=VerbCategory.DISCLOSE,
+                                app_sentence="a", lib_sentence="b",
+                                app_resource="device id",
+                                lib_resource="device identifiers"),
+        ],
+    )
+
+
+class TestFlags:
+    def test_clean_report(self):
+        report = AppReport(package="x")
+        assert not report.has_problem
+        assert report.problem_kinds() == set()
+
+    def test_full_report_kinds(self):
+        assert _full_report().problem_kinds() == {
+            "incomplete", "incorrect", "inconsistent",
+        }
+
+    def test_via_filters(self):
+        report = _full_report()
+        assert len(report.incomplete_via("code")) == 1
+        assert len(report.incomplete_via("description")) == 1
+        assert len(report.incorrect_via("code")) == 1
+        assert report.incorrect_via("description") == []
+
+
+class TestFindingProperties:
+    def test_disclose_row_flag(self):
+        finding = _full_report().inconsistent[0]
+        assert finding.is_disclose
+
+    def test_collect_row_flag(self):
+        finding = InconsistentFinding(
+            lib_id="x", category=VerbCategory.COLLECT,
+            app_sentence="a", lib_sentence="b",
+            app_resource="r", lib_resource="r",
+        )
+        assert not finding.is_disclose
+
+
+class TestRendering:
+    def test_summary_mentions_everything(self):
+        text = _full_report().summary()
+        assert "INCOMPLETE" in text
+        assert "(retained)" in text
+        assert "INCORRECT" in text
+        assert "INCONSISTENT" in text
+        assert "admob" in text
+
+    def test_clean_summary(self):
+        assert "no problems" in AppReport(package="x").summary()
+
+    def test_to_dict_roundtrips_through_json(self):
+        payload = json.loads(json.dumps(_full_report().to_dict()))
+        assert payload["package"] == "com.x"
+        assert payload["incomplete"][0]["info"] == "location"
+        assert payload["incomplete"][0]["retained"] is True
+        assert payload["incorrect"][0]["kind"] == "retain"
+        assert payload["inconsistent"][0]["lib"] == "admob"
+        assert set(payload["problem_kinds"]) == {
+            "incomplete", "incorrect", "inconsistent",
+        }
+
+    def test_to_dict_clean(self):
+        payload = AppReport(package="x").to_dict()
+        assert payload["has_problem"] is False
+        assert payload["incomplete"] == []

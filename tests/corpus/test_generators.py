@@ -1,0 +1,136 @@
+"""Policy/description/code generator tests."""
+
+import pytest
+
+from repro.android.libs import LIB_REGISTRY
+from repro.corpus.appstore import generate_app_store
+from repro.corpus.codegen import INFO_SOURCES, build_apk
+from repro.corpus.descgen import render_description
+from repro.corpus.libpolicies import lib_behaviors, lib_policy_text
+from repro.corpus.plans import build_plans
+from repro.corpus.policygen import render_app_policy
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.semantics.resources import InfoType
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return build_plans(n_apps=330)
+
+
+class TestPolicyGen:
+    def test_policy_mentions_covered_resources(self, plans, analyzer):
+        plan = next(p for p in plans if p.covered)
+        analysis = analyzer.analyze(render_app_policy(plan))
+        assert analysis.all_positive()
+
+    def test_denials_render_negative_statements(self, plans, analyzer):
+        plan = next(
+            p for p in plans
+            if p.denials and not p.denials[0].verb
+            and not p.denials[0].sentence
+        )
+        analysis = analyzer.analyze(render_app_policy(plan))
+        assert analysis.all_negative()
+
+    def test_disclaimer_rendered(self, plans, analyzer):
+        plan = next(p for p in plans if p.disclaimer)
+        analysis = analyzer.analyze(render_app_policy(plan))
+        assert analysis.has_third_party_disclaimer
+
+    def test_deterministic(self, plans):
+        plan = plans[0]
+        assert render_app_policy(plan) == render_app_policy(plan)
+
+
+class TestDescGen:
+    def test_planted_permission_phrase_present(self, plans):
+        plan = next(p for p in plans if p.desc_permissions)
+        desc = render_description(plan)
+        from repro.description.autocog import infer_permissions
+        assert set(plan.desc_permissions) <= infer_permissions(desc)
+
+    def test_clean_description_triggers_nothing(self, plans):
+        from repro.description.autocog import infer_permissions
+        plan = next(
+            p for p in plans
+            if not p.desc_permissions and p.index >= 243
+        )
+        assert infer_permissions(render_description(plan)) == set()
+
+
+class TestCodeGen:
+    def test_every_info_source_resolvable(self):
+        for info, (api, uri, _perm) in INFO_SOURCES.items():
+            assert (api is None) != (uri is None) or api is not None
+
+    def test_collects_produce_facts(self, plans):
+        from repro.android.static_analysis import analyze_apk
+        plan = next(p for p in plans if p.collects)
+        result = analyze_apk(build_apk(plan))
+        assert set(plan.collects) <= result.collected_infos()
+
+    def test_retains_produce_taint_paths(self, plans):
+        from repro.android.static_analysis import analyze_apk
+        plan = next(p for p in plans if p.retains)
+        result = analyze_apk(build_apk(plan))
+        assert set(plan.retains) <= result.retained_infos()
+
+    def test_libs_embedded(self, plans):
+        from repro.android.libs import detect_libraries
+        plan = next(p for p in plans if p.lib_ids)
+        apk = build_apk(plan)
+        detected = {l.lib_id for l in detect_libraries(apk.dex)}
+        assert set(plan.lib_ids) <= detected
+
+    def test_packed_flag_respected(self, plans):
+        plan = next(p for p in plans if p.packed)
+        assert build_apk(plan).packed
+
+    def test_manifest_covers_needed_permissions(self, plans):
+        plan = next(p for p in plans if p.collects)
+        apk = build_apk(plan)
+        for info in plan.collects:
+            permission = INFO_SOURCES[info][2]
+            if permission:
+                assert apk.manifest.has_permission(permission)
+
+
+class TestLibPolicies:
+    def test_all_81_libs_render(self):
+        for lib_id in LIB_REGISTRY:
+            text = lib_policy_text(lib_id)
+            assert lib_id in text
+
+    def test_behaviors_parse_back(self, analyzer):
+        analysis = analyzer.analyze(lib_policy_text("unity3d"))
+        assert "location" in analysis.collected
+
+    def test_unknown_lib_raises(self):
+        with pytest.raises(KeyError):
+            lib_behaviors("nonexistent")
+
+    def test_explicit_behaviors_union_rules(self):
+        behaviors = lib_behaviors("admob")
+        from repro.policy.verbs import VerbCategory
+        assert (VerbCategory.COLLECT, "device identifiers") in behaviors
+        assert (VerbCategory.COLLECT, "location") in behaviors
+
+
+class TestAppStore:
+    def test_store_cached(self):
+        a = generate_app_store(n_apps=64)
+        b = generate_app_store(n_apps=64)
+        assert a is b
+
+    def test_lookup_by_package(self, small_store):
+        app = small_store.apps[0]
+        assert small_store.app(app.package) is app
+        assert small_store.app("com.missing") is None
+
+    def test_lib_policy_source(self, small_store):
+        assert small_store.lib_policy("admob")
+        assert small_store.lib_policy("nonexistent") is None
+
+    def test_len(self, small_store):
+        assert len(small_store) == 64

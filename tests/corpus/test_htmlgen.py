@@ -1,0 +1,46 @@
+"""HTML policy-rendering tests."""
+
+from repro.corpus.htmlgen import policy_to_html
+from repro.nlp.sentences import split_sentences
+from repro.policy.html_text import html_to_text
+
+
+class TestPolicyToHtml:
+    def test_sentences_preserved(self):
+        text = ("We may collect your location. We will not store "
+                "your contacts.")
+        html = policy_to_html(text)
+        recovered = split_sentences(html_to_text(html))
+        original = split_sentences(text)
+        # the title adds one heading line; original prose is intact
+        for sentence in original:
+            assert sentence in recovered
+
+    def test_script_does_not_leak(self):
+        html = policy_to_html("We collect data.")
+        assert "analytics" not in html_to_text(html)
+
+    def test_variants_differ(self):
+        a = policy_to_html("We collect data.", variant=0)
+        b = policy_to_html("We collect data.", variant=1)
+        assert a != b
+
+    def test_title_included(self):
+        html = policy_to_html("We collect data.", title="My Policy")
+        assert "My Policy" in html
+
+    def test_corpus_bundles_are_html(self, small_store):
+        app = small_store.apps[0]
+        assert app.bundle.policy_is_html
+        assert app.bundle.policy.startswith("<html>")
+
+    def test_corpus_analysis_equivalence(self, small_store, analyzer):
+        """HTML rendering does not change what the analyzer extracts."""
+        from repro.corpus.policygen import render_app_policy
+        app = small_store.apps[42]
+        html_analysis = analyzer.analyze(app.bundle.policy, html=True)
+        text_analysis = analyzer.analyze(render_app_policy(app.plan))
+        assert html_analysis.all_positive() == \
+            text_analysis.all_positive()
+        assert html_analysis.all_negative() == \
+            text_analysis.all_negative()

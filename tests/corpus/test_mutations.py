@@ -1,0 +1,63 @@
+"""Robustness: detector results are stable under policy mutations."""
+
+import pytest
+
+from repro.corpus.mutations import (
+    inject_boilerplate,
+    mangle_whitespace,
+    rewrap_html,
+    shuffle_sentences,
+    swap_resource_alias,
+)
+from repro.corpus.policygen import render_app_policy
+from repro.policy.analyzer import PolicyAnalyzer
+
+_ANALYZER = PolicyAnalyzer()
+
+BASE = ("We may collect your location. We will not store your "
+        "contacts. We may share your device id with partners.")
+
+
+def _sets(policy, html=False):
+    analysis = _ANALYZER.analyze(policy, html=html)
+    return analysis.all_positive(), analysis.all_negative()
+
+
+class TestMutationInvariance:
+    def test_shuffle_preserves_sets(self):
+        for seed in range(5):
+            assert _sets(shuffle_sentences(BASE, seed)) == _sets(BASE)
+
+    def test_boilerplate_preserves_sets(self):
+        for seed in range(5):
+            assert _sets(inject_boilerplate(BASE, seed)) == _sets(BASE)
+
+    def test_whitespace_preserves_sets(self):
+        for seed in range(5):
+            assert _sets(mangle_whitespace(BASE, seed)) == _sets(BASE)
+
+    def test_html_rewrap_preserves_sets(self):
+        wrapped = rewrap_html(BASE)
+        assert _sets(wrapped, html=True) == _sets(BASE)
+
+    def test_alias_swap_preserves_matching(self):
+        """The textual sets differ, but information matching agrees."""
+        from repro.core.matching import InfoMatcher
+        from repro.semantics.resources import InfoType
+        matcher = InfoMatcher()
+        swapped = swap_resource_alias(BASE)
+        pos, neg = _sets(swapped)
+        assert matcher.covered(InfoType.LOCATION, pos)
+        assert matcher.covered(InfoType.DEVICE_ID, pos)
+        assert matcher.covered(InfoType.CONTACT, neg)
+
+
+class TestMutationOverCorpus:
+    @pytest.mark.parametrize("mutation", [shuffle_sentences,
+                                          inject_boilerplate,
+                                          mangle_whitespace])
+    def test_corpus_policies_stable(self, mutation, mid_store):
+        for app in mid_store.apps[64:76]:
+            base_policy = render_app_policy(app.plan)
+            assert _sets(mutation(base_policy, 1)) == \
+                _sets(base_policy), app.package

@@ -1,0 +1,158 @@
+"""App-plan layout tests: the calibrated counts behind Section V."""
+
+from collections import Counter
+
+import pytest
+
+from repro.corpus.plans import (
+    BACKGROUND,
+    DISCLAIMER_APPS,
+    FIG13_DISTRIBUTION,
+    INC_CODE_FP,
+    INC_CODE_ONLY,
+    INC_DESC_CODE,
+    INC_DESC_ONLY,
+    INCONSISTENT_FN,
+    INCONSISTENT_FP,
+    INCORRECT_FP,
+    INCORRECT_TP,
+    N_APPS,
+    TABLE3_PERMISSIONS,
+    TOTAL_APPS_WITH_LIBS,
+    build_plans,
+)
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return build_plans()
+
+
+class TestLayout:
+    def test_total_apps(self, plans):
+        assert len(plans) == N_APPS == 1197
+
+    def test_packages_unique(self, plans):
+        assert len({p.package for p in plans}) == N_APPS
+
+    def test_determinism(self, plans):
+        again = build_plans()
+        assert [p.package for p in again] == [p.package for p in plans]
+        assert [p.collects for p in again] == [p.collects for p in plans]
+
+    def test_desc_incomplete_count(self, plans):
+        desc_apps = [p for p in plans if p.gt_incomplete_desc]
+        assert len(desc_apps) == 64
+
+    def test_table3_permission_records(self, plans):
+        counts = Counter()
+        for plan in plans:
+            for _info, permission in plan.gt_incomplete_desc:
+                counts[permission] += 1
+        # READ_PHONE_STATE-like double-info permissions don't occur here
+        for permission, expected in TABLE3_PERMISSIONS:
+            assert counts[permission] == expected
+
+    def test_code_incomplete_apps(self, plans):
+        code_apps = [p for p in plans if p.gt_incomplete_code]
+        assert len(code_apps) == 180
+
+    def test_fig13_record_total(self, plans):
+        records = [
+            rec for p in plans for rec in p.gt_incomplete_code
+        ]
+        assert len(records) == 234
+        assert sum(1 for _i, retained in records if retained) == 32
+
+    def test_fig13_distribution_matches_spec(self, plans):
+        counts = Counter()
+        for plan in plans:
+            for info, _ret in plan.gt_incomplete_code:
+                counts[info] += 1
+        for info, total, _ret in FIG13_DISTRIBUTION:
+            assert counts[info] == total
+
+    def test_incorrect_apps(self, plans):
+        assert sum(1 for p in plans if p.gt_incorrect) == 4
+
+    def test_incorrect_fp_apps_labeled_correct(self, plans):
+        for idx in INCORRECT_FP:
+            assert not plans[idx].gt_incorrect
+            assert plans[idx].denials
+
+    def test_inconsistent_true_apps(self, plans):
+        cur = sum(1 for p in plans if p.gt_inconsistent_cur)
+        d = sum(1 for p in plans if p.gt_inconsistent_d)
+        both = sum(
+            1 for p in plans
+            if p.gt_inconsistent_cur and p.gt_inconsistent_d
+        )
+        # 41 detectable + 4 FN in the CUR row; 39 + 3 in the D row
+        assert cur == 45
+        assert d == 42
+        assert both == 5
+
+    def test_fp_inconsistent_apps_labeled_consistent(self, plans):
+        for idx in INCONSISTENT_FP:
+            assert not plans[idx].gt_is_inconsistent
+            assert plans[idx].inconsistencies
+
+    def test_fn_apps_use_unmatched_verbs(self, plans):
+        for idx in INCONSISTENT_FN:
+            assert plans[idx].inconsistencies[0].fn_verb
+
+    def test_disclaimer_apps(self, plans):
+        for idx in DISCLAIMER_APPS:
+            assert plans[idx].disclaimer
+            assert not plans[idx].gt_is_inconsistent
+
+    def test_lib_count(self, plans):
+        assert sum(1 for p in plans if p.lib_ids) == TOTAL_APPS_WITH_LIBS
+
+    def test_problem_app_union_is_282(self, plans):
+        problems = sum(1 for p in plans if (
+            p.gt_is_incomplete or p.gt_incorrect or (
+                # only detectable inconsistencies count toward the
+                # paper's 282 (FNs were never found)
+                any(s.truly_inconsistent and not s.fn_verb
+                    for s in p.inconsistencies)
+            )
+        ))
+        assert problems == 282
+
+    def test_denials_never_conflict_with_code(self, plans):
+        from repro.semantics.resources import normalize_resource
+        for plan in plans:
+            if plan.gt_incorrect or plan.index in INCORRECT_FP:
+                continue
+            code = set(plan.collects) | set(plan.retains)
+            for denial in plan.denials:
+                info = normalize_resource(denial.resource)
+                assert info is None or info not in code, plan.package
+
+    def test_background_apps_clean(self, plans):
+        for idx in list(BACKGROUND)[:50]:
+            plan = plans[idx]
+            assert not plan.gt_has_problem
+
+    def test_truncated_corpus(self):
+        small = build_plans(n_apps=100)
+        assert len(small) == 100
+        assert small[0].package == build_plans()[0].package
+
+    def test_planted_counts_invariant_under_seed(self):
+        """The seed shuffles background noise, not the calibration."""
+        other = build_plans(seed=7)
+        assert sum(1 for p in other if p.gt_incomplete_desc) == 64
+        assert sum(1 for p in other if p.gt_incomplete_code) == 180
+        assert sum(1 for p in other if p.gt_incorrect) == 4
+        records = [r for p in other for r in p.gt_incomplete_code]
+        assert len(records) == 234
+
+    def test_seed_changes_background_assignment(self):
+        a = build_plans(seed=2016)
+        b = build_plans(seed=7)
+        assert any(
+            pa.collects != pb.collects or pa.lib_ids != pb.lib_ids
+            for pa, pb in zip(a, b)
+        )

@@ -1,0 +1,50 @@
+"""Labelled-sentence corpus tests (bootstrap / Fig. 12 input)."""
+
+import pytest
+
+from repro.corpus.sentences import generate_labeled_sentences
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return generate_labeled_sentences()
+
+
+class TestCorpus:
+    def test_validation_sizes(self, corpora):
+        _train, val = corpora
+        assert sum(1 for s in val if s.positive) == 250
+        assert sum(1 for s in val if not s.positive) == 250
+
+    def test_training_has_both_labels(self, corpora):
+        train, _val = corpora
+        assert any(s.positive for s in train)
+        assert any(not s.positive for s in train)
+
+    def test_positive_sentences_have_categories(self, corpora):
+        train, val = corpora
+        for s in train + val:
+            if s.positive:
+                assert s.category is not None
+
+    def test_deterministic(self, corpora):
+        again = generate_labeled_sentences()
+        assert [s.text for s in again[0]] == [
+            s.text for s in corpora[0]
+        ]
+
+    def test_custom_sizes(self):
+        _train, val = generate_labeled_sentences(
+            n_validation_positive=50, n_validation_negative=30,
+        )
+        assert sum(1 for s in val if s.positive) == 50
+        assert sum(1 for s in val if not s.positive) == 30
+
+    def test_seed_changes_sample(self):
+        a = generate_labeled_sentences(seed=1)[1]
+        b = generate_labeled_sentences(seed=2)[1]
+        assert [s.text for s in a] != [s.text for s in b]
+
+    def test_training_covers_many_chains(self, corpora):
+        train, _val = corpora
+        assert len({s.text for s in train if s.positive}) > 200

@@ -1,0 +1,89 @@
+"""Description-analysis (AutoCog substitute) tests."""
+
+import pytest
+
+from repro.description.autocog import AutoCog, infer_infos, infer_permissions
+from repro.description.permission_map import (
+    INFO_SURFACE,
+    PERMISSION_INFO,
+    info_for_permission,
+    permissions_for_info,
+)
+from repro.semantics.resources import InfoType
+
+
+class TestInference:
+    @pytest.mark.parametrize("description,permission", [
+        ("The app uses gps for accurate positioning.",
+         "android.permission.ACCESS_FINE_LOCATION"),
+        ("Get the local weather at a glance.",
+         "android.permission.ACCESS_COARSE_LOCATION"),
+        ("This app synchronizes all birthdays with your contacts list.",
+         "android.permission.READ_CONTACTS"),
+        ("You can sign in with your google account to sync progress.",
+         "android.permission.GET_ACCOUNTS"),
+        ("Take photos and apply beautiful effects.",
+         "android.permission.CAMERA"),
+        ("Keeps your calendar organized with smart reminders.",
+         "android.permission.READ_CALENDAR"),
+        ("Quickly save to contacts any number you receive.",
+         "android.permission.WRITE_CONTACTS"),
+        ("Record audio notes on the go.",
+         "android.permission.RECORD_AUDIO"),
+    ])
+    def test_phrase_inference(self, description, permission):
+        assert permission in infer_permissions(description)
+
+    def test_clean_description_infers_nothing(self):
+        assert infer_permissions(
+            "A handy toolbox for everyday tasks. Small, fast, and free."
+        ) == set()
+
+    def test_infer_infos_maps_through_permissions(self):
+        infos = infer_infos("The app uses gps for accurate positioning.")
+        assert InfoType.LOCATION in infos
+
+    def test_multi_permission_description(self):
+        permissions = infer_permissions(
+            "Take photos and tag them with gps coordinates."
+        )
+        assert "android.permission.CAMERA" in permissions
+        assert "android.permission.ACCESS_FINE_LOCATION" in permissions
+
+    def test_esa_fallback_off_by_default(self):
+        assert not AutoCog().use_esa_fallback
+
+    def test_esa_fallback_widens_recall(self):
+        # "any place you choose" has no model phrase but lands on the
+        # location concept through ESA
+        text = "Hourly outlooks for any place you choose."
+        strict = AutoCog().infer_permissions(text)
+        loose = AutoCog(use_esa_fallback=True).infer_permissions(text)
+        assert len(loose) >= len(strict)
+
+    def test_empty_description(self):
+        assert infer_permissions("") == set()
+
+
+class TestPermissionMap:
+    def test_fine_location_maps_to_location(self):
+        assert info_for_permission(
+            "android.permission.ACCESS_FINE_LOCATION"
+        ) == (InfoType.LOCATION,)
+
+    def test_phone_state_maps_to_two_infos(self):
+        infos = info_for_permission("android.permission.READ_PHONE_STATE")
+        assert InfoType.DEVICE_ID in infos
+        assert InfoType.PHONE_NUMBER in infos
+
+    def test_unknown_permission_empty(self):
+        assert info_for_permission("android.permission.VIBRATE") == ()
+
+    def test_reverse_lookup(self):
+        perms = permissions_for_info(InfoType.CONTACT)
+        assert "android.permission.READ_CONTACTS" in perms
+
+    def test_every_mapped_permission_has_surface(self):
+        for infos in PERMISSION_INFO.values():
+            for info in infos:
+                assert info in INFO_SURFACE

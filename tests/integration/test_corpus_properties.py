@@ -1,0 +1,59 @@
+"""Property-style checks over the generated corpus and checker.
+
+Sampled app indexes: checking any corpus app never crashes, the report
+serializes, and the ground-truth relationship holds for the calibrated
+groups.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.plans import BACKGROUND, N_APPS
+
+
+@pytest.fixture(scope="module")
+def store_and_checker(full_store, checker):
+    return full_store, checker
+
+
+@given(index=st.integers(min_value=0, max_value=N_APPS - 1))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_any_app_checks_cleanly(store_and_checker, index):
+    store, checker = store_and_checker
+    app = store.apps[index]
+    report = checker.check(app.bundle)
+    json.dumps(report.to_dict())
+    # planted problems imply a detector fires, except the documented
+    # false negatives
+    plan = app.plan
+    fn_only = plan.inconsistencies and all(
+        spec.fn_verb for spec in plan.inconsistencies
+    )
+    if plan.gt_has_problem and not fn_only:
+        assert report.has_problem, app.package
+
+
+@given(index=st.sampled_from(list(BACKGROUND)))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_background_apps_are_clean(store_and_checker, index):
+    store, checker = store_and_checker
+    app = store.apps[index]
+    report = checker.check(app.bundle)
+    assert not report.has_problem, (app.package, report.summary())
+
+
+@given(index=st.integers(min_value=0, max_value=N_APPS - 1))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_policy_text_recoverable(store_and_checker, index):
+    from repro.policy.html_text import html_to_text
+    store, _checker = store_and_checker
+    app = store.apps[index]
+    text = html_to_text(app.bundle.policy)
+    assert "Privacy Policy" in text
+    assert all(ord(ch) < 127 for ch in text)

@@ -1,0 +1,141 @@
+"""Integration tests on the paper's running examples (Section II)."""
+
+import pytest
+
+from repro.android.dex import DexClass
+from repro.android.manifest import Component
+from repro.core.checker import AppBundle, PPChecker
+from repro.semantics.resources import InfoType
+
+from tests.android.appbuilder import (
+    LOCATION_API,
+    LOG_SINK,
+    QUERY_API,
+    URI_PARSE,
+    add_activity,
+    const_string,
+    empty_apk,
+    invoke,
+)
+
+
+def _checker(lib_policies=None):
+    table = lib_policies or {}
+    return PPChecker(lib_policy_source=table.get)
+
+
+class TestDooingExample:
+    """com.dooing.dooing: location used per description and code, but
+    absent from the policy (Fig. 2)."""
+
+    def test_incomplete_via_description_and_code(self):
+        apk = empty_apk(package="com.dooing.dooing")
+        add_activity(apk, instructions=[
+            invoke(LOCATION_API, dest="v0"),
+            invoke("android.location.Location->getLongitude()",
+                   dest="v1"),
+        ])
+        report = _checker().check(AppBundle(
+            package="com.dooing.dooing",
+            apk=apk,
+            policy="We may collect your email address when you "
+                   "register. We may share anonymous statistics.",
+            description="Location aware tasks will help you to "
+                        "utilize your field force in optimum way. "
+                        "The app uses gps for precision.",
+        ))
+        assert report.is_incomplete
+        sources = {f.source for f in report.incomplete
+                   if f.info is InfoType.LOCATION}
+        assert sources == {"description", "code"}
+
+
+class TestEasyxappExample:
+    """com.easyxapp.secret: policy denies storing contacts, code logs
+    them (Section II-B(2))."""
+
+    def test_incorrect_via_retention(self):
+        apk = empty_apk(package="com.easyxapp.secret")
+        add_activity(apk, instructions=[
+            const_string("v0", "content://contacts"),
+            invoke(URI_PARSE, dest="v1", args=("v0",)),
+            invoke(QUERY_API, dest="v2", args=("v1",)),
+            const_string("v3", "TAG"),
+            invoke(LOG_SINK, args=("v3", "v2")),
+        ])
+        report = _checker().check(AppBundle(
+            package="com.easyxapp.secret",
+            apk=apk,
+            policy="We may access your contacts to help you share. "
+                   "We will not store your real phone number, name "
+                   "and contacts.",
+            description="Share secrets anonymously.",
+        ))
+        assert report.is_incorrect
+        finding = next(f for f in report.incorrect if f.kind == "retain")
+        assert finding.info is InfoType.CONTACT
+        assert "not store" in finding.denial_sentence
+
+
+class TestTempleRunExample:
+    """com.imangi.templerun2: app denies collecting location, the
+    bundled Unity3d lib declares it will receive it (Fig. 3)."""
+
+    def _bundle(self, policy):
+        apk = empty_apk(package="com.imangi.templerun2")
+        add_activity(apk)
+        apk.dex.add_class(DexClass(name="com.unity3d.player.UnityPlayer"))
+        return AppBundle(
+            package="com.imangi.templerun2",
+            apk=apk,
+            policy=policy,
+            description="Run for your life in this endless runner.",
+        )
+
+    LIB = {"unity3d": "We may receive your location information. "
+                      "We may collect device identifiers."}
+
+    def test_inconsistent_detected(self):
+        report = _checker(self.LIB).check(self._bundle(
+            "We do not collect your location information."
+        ))
+        assert report.is_inconsistent
+        finding = report.inconsistent[0]
+        assert finding.lib_id == "unity3d"
+        assert "location" in finding.app_resource
+
+    def test_hammertime_disclaimer_suppresses(self):
+        report = _checker(self.LIB).check(self._bundle(
+            "We do not collect your location information. We "
+            "encourage you to review the privacy practices of these "
+            "third parties before disclosing any personally "
+            "identifiable information, as we are not responsible for "
+            "the privacy practices of those sites."
+        ))
+        assert not report.is_inconsistent
+
+
+class TestCleanApp:
+    def test_fully_covered_app_has_no_problems(self):
+        apk = empty_apk(package="com.clean.app")
+        add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+        report = _checker().check(AppBundle(
+            package="com.clean.app",
+            apk=apk,
+            policy="We may collect your location to provide the "
+                   "service.",
+            description="A lovely app for everyone.",
+        ))
+        assert not report.has_problem
+        assert "no problems" in report.summary()
+
+    def test_report_summary_lists_findings(self):
+        apk = empty_apk(package="com.bad.app")
+        add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+        report = _checker().check(AppBundle(
+            package="com.bad.app",
+            apk=apk,
+            policy="We may collect your email.",
+            description="x",
+        ))
+        assert "INCOMPLETE" in report.summary()

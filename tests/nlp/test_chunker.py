@@ -1,0 +1,60 @@
+"""Noun-phrase chunker tests."""
+
+from repro.nlp.chunker import chunk_covering, chunk_noun_phrases
+from repro.nlp.postag import pos_tag
+from repro.nlp.tokenizer import tokenize
+
+
+def chunks_of(sentence, exclude=None):
+    tokens = pos_tag(tokenize(sentence))
+    return tokens, chunk_noun_phrases(tokens, exclude=exclude)
+
+
+class TestChunking:
+    def test_simple_np(self):
+        tokens, chunks = chunks_of("the quick response")
+        assert len(chunks) == 1
+        assert chunks[0].text(tokens) == "the quick response"
+
+    def test_head_is_last_nominal(self):
+        tokens, chunks = chunks_of("your location information")
+        assert tokens[chunks[0].head].text == "information"
+
+    def test_pronoun_single_token_chunk(self):
+        tokens, chunks = chunks_of("we collect data")
+        assert chunks[0].start == chunks[0].end == 0
+
+    def test_multiple_chunks(self):
+        tokens, chunks = chunks_of("we collect your location")
+        assert len(chunks) == 2
+
+    def test_possessive_continuation(self):
+        tokens, chunks = chunks_of("the user's name")
+        assert chunks[0].text(tokens) == "the user 's name"
+
+    def test_demonstrative_forms_chunk(self):
+        tokens, chunks = chunks_of("nor those of your contacts")
+        headed = {tokens[c.head].lower for c in chunks}
+        assert "those" in headed
+
+    def test_exclusion_mask(self):
+        tokens, chunks = chunks_of(
+            "we are collecting your data",
+            exclude={1, 2},  # "are collecting"
+        )
+        heads = {tokens[c.head].lower for c in chunks}
+        assert "collecting" not in heads
+        assert "data" in heads
+
+    def test_chunk_covering_finds_span(self):
+        tokens, chunks = chunks_of("we collect your location")
+        chunk = chunk_covering(chunks, 3)
+        assert chunk is not None
+        assert tokens[chunk.head].text == "location"
+
+    def test_chunk_covering_none_outside(self):
+        tokens, chunks = chunks_of("we collect your location")
+        assert chunk_covering(chunks, 1) is None
+
+    def test_empty_tokens(self):
+        assert chunk_noun_phrases([]) == []

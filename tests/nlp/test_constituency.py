@@ -1,0 +1,102 @@
+"""Shallow constituency tree tests (Fig. 6 left side)."""
+
+import pytest
+
+from repro.nlp.constituency import (
+    build_constituency,
+    subtree_starting_with,
+)
+
+
+def labels_at_top(root):
+    return [c.label for c in root.children]
+
+
+class TestStructure:
+    def test_simple_svo(self):
+        root, tokens = build_constituency(
+            "We will provide your information to third party companies."
+        )
+        assert root.label == "S"
+        top = labels_at_top(root)
+        assert top[0] == "NP"     # we
+        assert "VP" in top
+
+    def test_vp_contains_np_object(self):
+        root, tokens = build_constituency("We collect your location.")
+        vp = root.find("VP")[0]
+        nps = vp.find("NP")
+        assert any("location" in np.text(tokens) for np in nps)
+
+    def test_pp_node(self):
+        root, tokens = build_constituency(
+            "We share your data with partners."
+        )
+        pps = root.find("PP")
+        assert pps
+        assert "with partners" in pps[0].text(tokens)
+
+    def test_sbar_for_conditional(self):
+        root, tokens = build_constituency(
+            "If you register an account, we may collect your email."
+        )
+        sbars = root.find("SBAR")
+        assert sbars
+        assert sbars[0].text(tokens).startswith("If")
+
+    def test_leaves_carry_pos(self):
+        root, tokens = build_constituency("We collect data.")
+        leaves = [n for n in _walk(root) if n.is_leaf()]
+        assert len(leaves) == len(tokens)
+        assert all(n.label for n in leaves)
+
+    def test_pretty_output(self):
+        root, tokens = build_constituency("We collect your location.")
+        text = root.pretty(tokens)
+        assert text.startswith("(S")
+        assert "(NP" in text and "(VP" in text
+
+    def test_empty_sentence(self):
+        root, tokens = build_constituency("")
+        assert root.children == []
+
+    def test_spans_cover_all_tokens(self):
+        root, tokens = build_constituency(
+            "Your location may be shared with our partners when you "
+            "use the app."
+        )
+        covered = set()
+        for node in _walk(root):
+            if node.is_leaf():
+                covered.add(node.start)
+        assert covered == set(range(len(tokens)))
+
+
+class TestSubtreeLookup:
+    def test_if_constraint_subtree(self):
+        root, tokens = build_constituency(
+            "We may collect your email if you register an account."
+        )
+        node = subtree_starting_with(root, tokens,
+                                     ("if", "upon", "unless"))
+        assert node is not None
+        assert node.text(tokens).startswith("if")
+        assert "register" in node.text(tokens)
+
+    def test_when_constraint_subtree(self):
+        root, tokens = build_constituency(
+            "We collect your location when you use the app."
+        )
+        node = subtree_starting_with(root, tokens, ("when", "before"))
+        assert node is not None
+        assert "use" in node.text(tokens)
+
+    def test_no_constraint(self):
+        root, tokens = build_constituency("We collect your location.")
+        assert subtree_starting_with(root, tokens, ("if",)) is None
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)

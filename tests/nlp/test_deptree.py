@@ -1,0 +1,91 @@
+"""DependencyTree structure API tests."""
+
+import pytest
+
+from repro.nlp.deptree import ROOT_INDEX, Arc, DependencyTree
+from repro.nlp.tokenizer import tokenize
+
+
+def _tree(sentence="we collect your location ."):
+    tokens = tokenize(sentence)
+    tree = DependencyTree(tokens)
+    tree.add(ROOT_INDEX, 1, "root")
+    tree.add(1, 0, "nsubj")
+    tree.add(1, 3, "dobj")
+    tree.add(3, 2, "poss")
+    tree.add(1, 4, "punct")
+    return tree
+
+
+class TestConstruction:
+    def test_single_head_invariant_enforced(self):
+        tree = _tree()
+        tree.add(3, 0, "conj")  # second head for token 0: ignored
+        assert tree.rel_of(0) == "nsubj"
+        assert tree.is_single_headed()
+
+    def test_arc_is_frozen(self):
+        arc = Arc(1, 0, "nsubj")
+        with pytest.raises(AttributeError):
+            arc.rel = "dobj"
+
+
+class TestQueries:
+    def test_root(self):
+        assert _tree().root() == 1
+
+    def test_root_token(self):
+        assert _tree().root_token().text == "collect"
+
+    def test_root_none_for_empty(self):
+        tree = DependencyTree(tokenize("hello"))
+        assert tree.root() is None
+        assert tree.root_token() is None
+
+    def test_head_of(self):
+        tree = _tree()
+        assert tree.head_of(3).head == 1
+        assert tree.head_of(99) is None
+
+    def test_children_filtered_by_rel(self):
+        tree = _tree()
+        assert tree.children(1, "dobj") == [3]
+        assert set(tree.children(1)) == {0, 3, 4}
+
+    def test_child_first_or_none(self):
+        tree = _tree()
+        assert tree.child(1, "nsubj") == 0
+        assert tree.child(1, "advcl") is None
+
+    def test_has_relation(self):
+        tree = _tree()
+        assert tree.has_relation(1, "dobj")
+        assert not tree.has_relation(1, "auxpass")
+
+    def test_subtree(self):
+        tree = _tree()
+        assert tree.subtree(3) == [2, 3]
+        assert tree.subtree(1) == [0, 1, 2, 3, 4]
+
+    def test_subtree_text(self):
+        assert _tree().subtree_text(3) == "your location"
+
+
+class TestInvariants:
+    def test_acyclic_detects_cycle(self):
+        tree = DependencyTree(tokenize("a b"))
+        tree.arcs.append(Arc(0, 1, "dep"))
+        tree.arcs.append(Arc(1, 0, "dep"))
+        assert not tree.is_acyclic()
+
+    def test_single_headed_detects_duplicate(self):
+        tree = DependencyTree(tokenize("a b"))
+        tree.arcs.append(Arc(0, 1, "dep"))
+        tree.arcs.append(Arc(0, 1, "conj"))
+        assert not tree.is_single_headed()
+
+    def test_conll_marks_unattached_as_dep(self):
+        tree = DependencyTree(tokenize("a b"))
+        tree.add(ROOT_INDEX, 0, "root")
+        lines = tree.to_conll().splitlines()
+        assert lines[1].endswith("dep")

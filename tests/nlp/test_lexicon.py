@@ -1,0 +1,71 @@
+"""Lexicon consistency invariants.
+
+Every verb the policy layer reasons about must be known to the
+tagger's lexicon, or pattern matching silently fails (the bug class
+behind the "harvest" false negative).
+"""
+
+from repro.nlp import lexicon
+from repro.policy.synonyms import expanded_verbs
+from repro.policy.verbs import (
+    ALL_CATEGORY_VERBS,
+    VERB_BLACKLIST,
+)
+
+
+class TestLexiconCoverage:
+    def test_all_category_verbs_in_lexicon(self):
+        missing = {
+            verb for verb in ALL_CATEGORY_VERBS
+            if verb not in lexicon.VERBS
+        }
+        assert not missing, missing
+
+    def test_all_synonym_verbs_in_lexicon(self):
+        for verbs in expanded_verbs().values():
+            missing = {v for v in verbs if v not in lexicon.VERBS}
+            assert not missing, missing
+
+    def test_closed_classes_disjoint_from_verbs(self):
+        closed = (set(lexicon.MODALS) | set(lexicon.PRONOUNS)
+                  | set(lexicon.CONJUNCTIONS) | set(lexicon.DETERMINERS))
+        assert not (closed & lexicon.VERBS)
+
+    def test_closed_class_lookup(self):
+        assert lexicon.closed_class_tag("will") == "MD"
+        assert lexicon.closed_class_tag("we") == "PRP"
+        assert lexicon.closed_class_tag("to") == "TO"
+        assert lexicon.closed_class_tag("'s") == "POS"
+        assert lexicon.closed_class_tag("collect") is None
+
+    def test_negation_words_are_taggable(self):
+        from repro.nlp.negation import NEGATIVE_ADVERBS
+        for word in NEGATIVE_ADVERBS - {"no-longer", "neither", "nor"}:
+            tag = lexicon.closed_class_tag(word)
+            # negation adverbs must be adverbs or contraction pieces
+            assert tag in ("RB", None), (word, tag)
+        # "neither"/"nor" tag as determiner/conjunction by design
+        assert lexicon.closed_class_tag("neither") in ("DT", "CC")
+        assert lexicon.closed_class_tag("nor") == "CC"
+
+    def test_blacklisted_verbs_still_parseable(self):
+        """Blacklist exclusion is a policy choice, not a lexicon gap --
+        the paper removes "have"/"make" sentences, so the parser must
+        still recognize the verbs to parse those sentences at all."""
+        for verb in ("make", "want", "see", "say", "go", "come"):
+            assert verb in lexicon.VERBS or \
+                lexicon.closed_class_tag(verb) is not None, verb
+        assert VERB_BLACKLIST  # non-empty by construction
+
+    def test_ontology_head_nouns_in_lexicon(self):
+        """The head noun of every ontology alias must tag as a noun,
+        or chunking loses the resource."""
+        from repro.semantics.resources import INFO_TYPES
+        from repro.nlp.tokenizer import tokenize
+        from repro.nlp.postag import pos_tag
+        for spec in INFO_TYPES.values():
+            for alias in spec.aliases:
+                tokens = pos_tag(tokenize(f"we collect your {alias}."))
+                noun_tags = {t.pos for t in tokens[3:-1]}
+                assert noun_tags & {"NN", "NNS", "NNP", "JJ", "VBG",
+                                    "CD"}, (alias, noun_tags)

@@ -1,0 +1,71 @@
+"""Negation analysis (Step 5) tests."""
+
+import pytest
+
+from repro.nlp.negation import (
+    NEGATION_WORDS,
+    is_negated,
+    subject_is_negative,
+    verb_is_negated,
+)
+from repro.nlp.parser import parse
+
+
+class TestVerbNegation:
+    @pytest.mark.parametrize("sentence", [
+        "We will not collect your data.",
+        "We do not share your contacts.",
+        "We never store your location.",
+        "We don't collect your name.",
+        "Your data will not be sold.",
+        "We will never disclose your email.",
+    ])
+    def test_negated(self, sentence):
+        assert is_negated(parse(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        "We will collect your data.",
+        "We share your contacts with partners.",
+        "Your data will be stored securely.",
+    ])
+    def test_positive(self, sentence):
+        assert not is_negated(parse(sentence))
+
+    def test_hardly_counts_as_negation(self):
+        assert is_negated(parse("We hardly collect any data."))
+
+
+class TestSubjectNegation:
+    def test_nothing_subject(self):
+        tree = parse("Nothing will be collected.")
+        assert subject_is_negative(tree)
+        assert is_negated(tree)
+
+    def test_no_determiner_subject(self):
+        tree = parse("No information will be shared.")
+        assert is_negated(tree)
+
+    def test_plain_subject_not_negative(self):
+        tree = parse("Your information will be shared.")
+        assert not subject_is_negative(tree)
+
+
+class TestNegativeVerbs:
+    def test_refuse_negates(self):
+        tree = parse("We refuse to collect your data.")
+        # the root "refuse" is a negative verb
+        assert verb_is_negated(tree)
+
+    def test_prevent_negates(self):
+        tree = parse("We prevent access to your data.")
+        assert verb_is_negated(tree)
+
+
+class TestWordList:
+    def test_contains_all_categories(self):
+        for word in ("not", "never", "no", "nothing", "prevent",
+                     "hardly", "unable"):
+            assert word in NEGATION_WORDS
+
+    def test_empty_tree(self):
+        assert not is_negated(parse(""))

@@ -1,0 +1,172 @@
+"""Dependency parser golden tests over the paper's sentence shapes."""
+
+import pytest
+
+from repro.nlp.parser import parse
+
+
+def root_text(tree):
+    idx = tree.root()
+    return tree.tokens[idx].text if idx is not None else None
+
+
+def rel_pairs(tree):
+    return {
+        (arc.rel, tree.tokens[arc.dep].lower)
+        for arc in tree.arcs
+        if arc.head >= 0
+    }
+
+
+class TestRootSelection:
+    @pytest.mark.parametrize("sentence,root", [
+        ("We will collect your location information.", "collect"),
+        ("Your personal information will be used.", "used"),
+        ("We are allowed to access your personal information.", "allowed"),
+        ("We use GPS to get your location.", "use"),
+        ("We do not share your contacts with advertisers.", "share"),
+        ("If you register an account, we may collect your email.",
+         "collect"),
+        ("Nothing will be collected.", "collected"),
+        ("We are not collecting your name.", "collecting"),
+        ("The app stores your preferences locally.", "stores"),
+    ])
+    def test_root(self, sentence, root):
+        assert root_text(parse(sentence)) == root
+
+    def test_able_predicate_is_root(self):
+        assert root_text(parse(
+            "We are able to collect location information."
+        )) == "able"
+
+    def test_single_root_arc(self):
+        tree = parse("We collect data and share it with partners.")
+        roots = [a for a in tree.arcs if a.rel == "root"]
+        assert len(roots) == 1
+
+
+class TestCoreRelations:
+    def test_nsubj(self):
+        tree = parse("We will collect your location.")
+        assert ("nsubj", "we") in rel_pairs(tree)
+
+    def test_dobj(self):
+        tree = parse("We will collect your location.")
+        assert ("dobj", "location") in rel_pairs(tree)
+
+    def test_aux(self):
+        tree = parse("We will collect your location.")
+        assert ("aux", "will") in rel_pairs(tree)
+
+    def test_nsubjpass_and_auxpass(self):
+        pairs = rel_pairs(parse("Your location will be collected."))
+        assert ("nsubjpass", "location") in pairs
+        assert ("auxpass", "be") in pairs
+
+    def test_neg(self):
+        pairs = rel_pairs(parse("We will not collect your location."))
+        assert ("neg", "not") in pairs
+
+    def test_xcomp_for_allowed(self):
+        pairs = rel_pairs(parse("We are allowed to access your data."))
+        assert ("xcomp", "access") in pairs
+
+    def test_xcomp_for_able(self):
+        pairs = rel_pairs(parse("We are able to collect your data."))
+        assert ("xcomp", "collect") in pairs
+
+    def test_purpose_advcl(self):
+        pairs = rel_pairs(parse("We use GPS to get your location."))
+        assert ("advcl", "get") in pairs
+
+    def test_conditional_advcl_and_mark(self):
+        pairs = rel_pairs(parse(
+            "If you register an account, we may collect your email."
+        ))
+        assert ("advcl", "register") in pairs
+        assert ("mark", "if") in pairs
+
+    def test_prep_pobj(self):
+        pairs = rel_pairs(parse("We share your data with partners."))
+        assert ("prep", "with") in pairs
+        assert ("pobj", "partners") in pairs
+
+    def test_poss_and_det(self):
+        pairs = rel_pairs(parse("We collect the data and your name."))
+        assert ("det", "the") in pairs
+        assert ("poss", "your") in pairs
+
+    def test_amod(self):
+        pairs = rel_pairs(parse("We collect personal information."))
+        assert ("amod", "personal") in pairs
+
+    def test_nn_compound(self):
+        pairs = rel_pairs(parse("We collect your phone number."))
+        assert ("nn", "phone") in pairs
+
+
+class TestCoordination:
+    def test_np_conjunction(self):
+        tree = parse("We will not store your number, name and contacts.")
+        conj = [
+            tree.tokens[a.dep].lower
+            for a in tree.arcs if a.rel == "conj"
+        ]
+        assert "name" in conj
+        assert "contacts" in conj
+
+    def test_vp_conjunction(self):
+        tree = parse("We collect and store your data.")
+        root = tree.root()
+        conj = tree.children(root, "conj")
+        assert any(tree.tokens[k].lemma == "store" for k in conj)
+
+    def test_shared_object_reachable(self):
+        tree = parse("We collect and store your data.")
+        # the dobj lives on one of the coordinated verbs
+        has_dobj = any(a.rel == "dobj" for a in tree.arcs)
+        assert has_dobj
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("sentence", [
+        "We will provide your information to third party companies "
+        "to improve service.",
+        "Your location may be shared with our partners when you use "
+        "the app.",
+        "We are not collecting your date of birth, phone number, name "
+        "or other personal information, nor those of your contacts.",
+        "We encourage you to review the privacy practices of these "
+        "third parties.",
+        "this",
+        "",
+        "data data data",
+    ])
+    def test_single_headed_and_acyclic(self, sentence):
+        tree = parse(sentence)
+        assert tree.is_single_headed()
+        assert tree.is_acyclic()
+
+    def test_every_token_attached(self):
+        tree = parse("We may share your personal information with our "
+                     "advertising partners to serve relevant ads.")
+        root = tree.root()
+        for tok in tree.tokens:
+            if tok.index == root:
+                continue
+            assert tree.head_of(tok.index) is not None
+
+    def test_subtree_contains_modifiers(self):
+        tree = parse("We collect your precise location data.")
+        dobj = None
+        for arc in tree.arcs:
+            if arc.rel == "dobj":
+                dobj = arc.dep
+        assert dobj is not None
+        text = tree.subtree_text(dobj)
+        assert "precise" in text
+
+    def test_to_conll_roundtrip_lines(self):
+        tree = parse("We collect data.")
+        lines = tree.to_conll().splitlines()
+        assert len(lines) == len(tree.tokens)

@@ -1,0 +1,134 @@
+"""POS tagger tests over policy-style sentences."""
+
+import pytest
+
+from repro.nlp.postag import pos_tag
+from repro.nlp.tokenizer import tokenize
+
+
+def tags_of(sentence):
+    tokens = pos_tag(tokenize(sentence))
+    return {t.text: t.pos for t in tokens}, [t.pos for t in tokens]
+
+
+class TestClosedClasses:
+    def test_pronouns(self):
+        byword, _ = tags_of("We collect it for you")
+        assert byword["We"] == "PRP"
+        assert byword["it"] == "PRP"
+        assert byword["you"] == "PRP"
+
+    def test_possessive_pronouns(self):
+        byword, _ = tags_of("your location and our service")
+        assert byword["your"] == "PRP$"
+        assert byword["our"] == "PRP$"
+
+    def test_modals(self):
+        byword, _ = tags_of("We may collect and will share data")
+        assert byword["may"] == "MD"
+        assert byword["will"] == "MD"
+
+    def test_determiners(self):
+        byword, _ = tags_of("the app uses an identifier")
+        assert byword["the"] == "DT"
+        assert byword["an"] == "DT"
+
+    def test_prepositions(self):
+        byword, _ = tags_of("information about you from your device")
+        assert byword["about"] == "IN"
+        assert byword["from"] == "IN"
+
+    def test_to_tag(self):
+        byword, _ = tags_of("we want to collect data")
+        assert byword["to"] == "TO"
+
+    def test_conjunction(self):
+        byword, _ = tags_of("name and address")
+        assert byword["and"] == "CC"
+
+    def test_negation_adverb(self):
+        byword, _ = tags_of("we will not collect data")
+        assert byword["not"] == "RB"
+
+
+class TestVerbMorphology:
+    def test_base_after_modal(self):
+        byword, _ = tags_of("we will collect data")
+        assert byword["collect"] == "VB"
+
+    def test_vbp_plain_present(self):
+        byword, _ = tags_of("we collect data")
+        assert byword["collect"] == "VBP"
+
+    def test_vbz_third_person(self):
+        byword, _ = tags_of("the app collects data")
+        assert byword["collects"] == "VBZ"
+
+    def test_vbn_in_passive(self):
+        byword, _ = tags_of("data will be collected")
+        assert byword["collected"] == "VBN"
+
+    def test_vbg_progressive(self):
+        byword, _ = tags_of("we are collecting data")
+        assert byword["collecting"] == "VBG"
+
+    def test_vbn_after_have(self):
+        byword, _ = tags_of("we have collected data")
+        assert byword["collected"] == "VBN"
+
+
+class TestAmbiguityResolution:
+    def test_use_as_verb(self):
+        byword, _ = tags_of("we use cookies")
+        assert byword["use"] == "VBP"
+
+    def test_use_as_noun(self):
+        byword, _ = tags_of("the use of cookies")
+        assert byword["use"] == "NN"
+
+    def test_access_as_verb_after_to(self):
+        byword, _ = tags_of("we are allowed to access your data")
+        assert byword["access"] == "VB"
+
+    def test_access_as_noun_after_possessive(self):
+        byword, _ = tags_of("your access expires soon")
+        assert byword["access"] == "NN"
+
+    def test_store_as_verb_after_modal(self):
+        byword, _ = tags_of("we will store your data")
+        assert byword["store"] == "VB"
+
+    def test_that_demonstrative_before_noun(self):
+        byword, _ = tags_of("we process that information carefully")
+        assert byword["that"] == "DT"
+
+    def test_that_relativizer_after_noun(self):
+        byword, _ = tags_of("information that identifies you")
+        assert byword["that"] == "WDT"
+
+
+class TestUnknownWords:
+    def test_ly_is_adverb(self):
+        byword, _ = tags_of("we proactively guard data")
+        assert byword["proactively"] == "RB"
+
+    def test_tion_is_noun(self):
+        byword, _ = tags_of("the geolocation of the device")
+        assert byword["geolocation"] == "NN"
+
+    def test_numbers_are_cd(self):
+        byword, _ = tags_of("within 30 days")
+        assert byword["30"] == "CD"
+
+    def test_punctuation_tags(self):
+        _, tags = tags_of("data, data; data.")
+        assert "," in tags
+        assert ":" in tags
+        assert "." in tags
+
+    def test_every_token_tagged(self):
+        tokens = pos_tag(tokenize(
+            "If you register an account, we may collect your email "
+            "address and share it with partners."
+        ))
+        assert all(t.pos for t in tokens)

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the NLP substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.parser import parse
+from repro.nlp.postag import pos_tag
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenizer import lemmatize, tokenize
+
+_WORDS = st.sampled_from([
+    "we", "you", "the", "app", "will", "not", "collect", "share",
+    "store", "use", "your", "location", "data", "contacts", "and",
+    "or", "with", "partners", "if", "when", "information", "may",
+    "device", "id", "to", "improve", "service", "never", "cookies",
+])
+
+_SENTENCES = st.lists(_WORDS, min_size=1, max_size=14).map(
+    lambda ws: " ".join(ws) + "."
+)
+
+_FREE_TEXT = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=200,
+)
+
+
+class TestTokenizerProperties:
+    @given(_FREE_TEXT)
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_never_crashes(self, text):
+        tokens = tokenize(text)
+        assert all(t.text for t in tokens)
+
+    @given(_FREE_TEXT)
+    @settings(max_examples=200, deadline=None)
+    def test_indices_sequential(self, text):
+        tokens = tokenize(text)
+        assert [t.index for t in tokens] == list(range(len(tokens)))
+
+    @given(_SENTENCES)
+    @settings(max_examples=100, deadline=None)
+    def test_no_whitespace_inside_tokens(self, sentence):
+        for token in tokenize(sentence):
+            assert " " not in token.text
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=20))
+    @settings(max_examples=300, deadline=None)
+    def test_lemmatize_total_and_lower(self, word):
+        lemma = lemmatize(word)
+        assert lemma == lemma.lower()
+        assert lemma  # never empty for a nonempty word
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_lemmatize_idempotent_on_common_lemmas(self, word):
+        # lemmatizing twice never diverges into something longer
+        once = lemmatize(word)
+        twice = lemmatize(once)
+        assert len(twice) <= len(once) + 1
+
+
+class TestTaggerProperties:
+    @given(_SENTENCES)
+    @settings(max_examples=150, deadline=None)
+    def test_every_token_gets_a_tag(self, sentence):
+        tokens = pos_tag(tokenize(sentence))
+        assert all(t.pos for t in tokens)
+
+
+class TestParserProperties:
+    @given(_SENTENCES)
+    @settings(max_examples=150, deadline=None)
+    def test_single_headedness(self, sentence):
+        assert parse(sentence).is_single_headed()
+
+    @given(_SENTENCES)
+    @settings(max_examples=150, deadline=None)
+    def test_acyclicity(self, sentence):
+        assert parse(sentence).is_acyclic()
+
+    @given(_SENTENCES)
+    @settings(max_examples=150, deadline=None)
+    def test_exactly_one_root_for_nonempty(self, sentence):
+        tree = parse(sentence)
+        roots = [a for a in tree.arcs if a.rel == "root"]
+        assert len(roots) == 1
+
+    @given(_SENTENCES)
+    @settings(max_examples=100, deadline=None)
+    def test_all_tokens_attached(self, sentence):
+        tree = parse(sentence)
+        root = tree.root()
+        for token in tree.tokens:
+            if token.index != root:
+                assert tree.head_of(token.index) is not None
+
+    @given(_FREE_TEXT)
+    @settings(max_examples=100, deadline=None)
+    def test_parse_never_crashes_on_noise(self, text):
+        parse(text)
+
+
+class TestSentenceSplitProperties:
+    @given(_FREE_TEXT)
+    @settings(max_examples=150, deadline=None)
+    def test_split_never_crashes(self, text):
+        split_sentences(text)
+
+    @given(st.lists(_SENTENCES, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_content_preserved(self, sentences):
+        text = " ".join(s.capitalize() for s in sentences)
+        out = split_sentences(text)
+        joined_out = "".join("".join(out).split())
+        joined_in = "".join(text.split())
+        assert joined_out == joined_in

@@ -1,0 +1,82 @@
+"""Sentence splitting tests, including the paper's enumeration fix."""
+
+from repro.nlp.sentences import merge_enumerations, split_sentences
+
+
+class TestBasicSplitting:
+    def test_two_sentences(self):
+        out = split_sentences("We collect data. We share it.")
+        assert out == ["We collect data.", "We share it."]
+
+    def test_question_and_exclamation(self):
+        out = split_sentences("Why do we collect data? To serve you!")
+        assert len(out) == 2
+
+    def test_single_sentence(self):
+        assert split_sentences("We collect data.") == ["We collect data."]
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    def test_no_terminator(self):
+        assert split_sentences("trailing fragment") == ["trailing fragment"]
+
+    def test_abbreviation_eg_not_a_boundary(self):
+        out = split_sentences("Some libs (e.g. AdMob) collect data.")
+        assert len(out) == 1
+
+    def test_abbreviation_ie(self):
+        out = split_sentences("The app (i.e. the client) stores data.")
+        assert len(out) == 1
+
+    def test_abbreviation_inc(self):
+        out = split_sentences("Example Inc. collects information.")
+        assert len(out) == 1
+
+    def test_decimal_numbers_not_boundaries(self):
+        out = split_sentences("The market reached 53.5 billion dollars.")
+        assert len(out) == 1
+
+    def test_newline_paragraphs_split(self):
+        out = split_sentences("First paragraph\n\nSecond paragraph")
+        assert len(out) == 2
+
+    def test_bullet_lists_split(self):
+        out = split_sentences("We collect:\n- your name\n- your address")
+        # bullets merge back into the introducing sentence (ends with :)
+        assert any("name" in s for s in out)
+
+    def test_quote_after_period_stays_attached(self):
+        out = split_sentences('He said "we collect data." Then he left.')
+        assert len(out) == 2
+        assert out[0].endswith('"')
+
+
+class TestEnumerationMerge:
+    def test_paper_example_semicolon_list(self):
+        text = ("we will collect the following information: your name; "
+                "your IP address; your device ID.")
+        out = split_sentences(text)
+        assert len(out) == 1
+        assert "device ID" in out[0]
+
+    def test_merge_after_comma(self):
+        merged = merge_enumerations(["we collect your name,",
+                                     "your address."])
+        assert merged == ["we collect your name, your address."]
+
+    def test_merge_lowercase_continuation(self):
+        merged = merge_enumerations(["we collect your name;",
+                                     "your address"])
+        assert len(merged) == 1
+
+    def test_no_merge_for_complete_sentences(self):
+        merged = merge_enumerations(["We collect data.", "We share it."])
+        assert len(merged) == 2
+
+    def test_merge_after_colon(self):
+        merged = merge_enumerations(["we collect:", "your name"])
+        assert merged == ["we collect: your name"]
+
+    def test_empty_input(self):
+        assert merge_enumerations([]) == []

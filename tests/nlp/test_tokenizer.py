@@ -1,0 +1,169 @@
+"""Tokenizer and lemmatizer unit tests."""
+
+import pytest
+
+from repro.nlp.tokenizer import Token, lemmatize, tokenize
+
+
+def texts(tokens):
+    return [t.text for t in tokens]
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert texts(tokenize("We collect data.")) == [
+            "We", "collect", "data", "."
+        ]
+
+    def test_indices_are_sequential(self):
+        tokens = tokenize("We may collect your location.")
+        assert [t.index for t in tokens] == list(range(len(tokens)))
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+    def test_comma_separated_list(self):
+        tokens = texts(tokenize("your name, your IP address"))
+        assert tokens == ["your", "name", ",", "your", "IP", "address"]
+
+    def test_nt_contraction(self):
+        assert texts(tokenize("We don't collect data"))[:3] == [
+            "We", "do", "n't"
+        ]
+
+    def test_cannot_splits(self):
+        assert texts(tokenize("We cannot collect"))[:3] == [
+            "We", "can", "not"
+        ]
+
+    def test_wont_irregular(self):
+        assert texts(tokenize("We won't share"))[:3] == ["We", "will", "n't"]
+
+    def test_possessive_s(self):
+        assert texts(tokenize("the user's name")) == [
+            "the", "user", "'s", "name"
+        ]
+
+    def test_plural_possessive(self):
+        tokens = texts(tokenize("users' data"))
+        assert tokens == ["users", "'", "data"]
+
+    def test_hyphenated_word_kept_whole(self):
+        assert "third-party" in texts(tokenize("third-party libraries"))
+
+    def test_url_kept_whole(self):
+        tokens = texts(tokenize("visit https://example.com/privacy today"))
+        assert "https://example.com/privacy" in tokens
+
+    def test_email_kept_whole(self):
+        tokens = texts(tokenize("write to privacy@example.com please"))
+        assert "privacy@example.com" in tokens
+
+    def test_semicolons_are_tokens(self):
+        tokens = texts(tokenize("name; address; id"))
+        assert tokens.count(";") == 2
+
+    def test_lemma_filled(self):
+        tokens = tokenize("We collected locations.")
+        assert tokens[1].lemma == "collect"
+        assert tokens[2].lemma == "location"
+
+    def test_parenthesis_tokens(self):
+        tokens = texts(tokenize("data (including location)"))
+        assert "(" in tokens and ")" in tokens
+
+    def test_numbers(self):
+        assert "800,000" in texts(tokenize("fined Path $800,000 because"))
+
+    def test_token_lower_property(self):
+        token = Token(index=0, text="Location")
+        assert token.lower == "location"
+
+
+class TestLemmatize:
+    @pytest.mark.parametrize("word,lemma", [
+        ("collects", "collect"),
+        ("collected", "collect"),
+        ("collecting", "collect"),
+        ("uses", "use"),
+        ("used", "use"),
+        ("using", "use"),
+        ("stored", "store"),
+        ("storing", "store"),
+        ("shares", "share"),
+        ("shared", "share"),
+        ("disclosed", "disclose"),
+        ("retained", "retain"),
+        ("gathered", "gather"),
+        ("obtained", "obtain"),
+        ("traded", "trade"),
+        ("cached", "cache"),
+        ("archived", "archive"),
+        ("transmitted", "transmit"),
+        ("logged", "log"),
+        ("kept", "keep"),
+        ("held", "hold"),
+        ("given", "give"),
+        ("taken", "take"),
+        ("sent", "send"),
+        ("sold", "sell"),
+        ("known", "know"),
+        ("is", "be"),
+        ("are", "be"),
+        ("was", "be"),
+        ("were", "be"),
+        ("been", "be"),
+        ("has", "have"),
+        ("had", "have"),
+        ("does", "do"),
+        ("did", "do"),
+    ])
+    def test_verb_forms(self, word, lemma):
+        assert lemmatize(word) == lemma
+
+    @pytest.mark.parametrize("word,lemma", [
+        ("locations", "location"),
+        ("cookies", "cookie"),
+        ("parties", "party"),
+        ("policies", "policy"),
+        ("addresses", "address"),
+        ("devices", "device"),
+        ("contacts", "contact"),
+        ("identifiers", "identifier"),
+        ("children", "child"),
+        ("people", "person"),
+        ("data", "data"),
+        ("libraries", "library"),
+        ("companies", "company"),
+    ])
+    def test_noun_plurals(self, word, lemma):
+        assert lemmatize(word) == lemma
+
+    @pytest.mark.parametrize("word", [
+        "address", "access", "business", "process", "this", "gps",
+        "sms", "analysis", "always", "unless", "across", "status",
+    ])
+    def test_s_final_words_unchanged(self, word):
+        assert lemmatize(word) == word
+
+    @pytest.mark.parametrize("word", [
+        "nothing", "something", "anything", "everything", "during",
+        "advertising", "marketing", "thing", "string",
+    ])
+    def test_ing_nonverbs_unchanged(self, word):
+        assert lemmatize(word) == word
+
+    def test_case_insensitive(self):
+        assert lemmatize("Collected") == "collect"
+
+    def test_short_words_unchanged(self):
+        assert lemmatize("app") == "app"
+        assert lemmatize("id") == "id"
+
+    def test_contraction_lemmas(self):
+        assert lemmatize("n't") == "not"
+        assert lemmatize("'ll") == "will"
+        assert lemmatize("'ve") == "have"

@@ -1,0 +1,119 @@
+"""Bootstrapping (Step 3) tests: discovery, blacklists, Eq. 1 scoring."""
+
+import math
+
+import pytest
+
+from repro.policy.bootstrap import (
+    Bootstrapper,
+    LabeledSentence,
+    ScoredPattern,
+    top_n_patterns,
+)
+from repro.policy.patterns import Pattern
+from repro.policy.verbs import VerbCategory
+
+
+def _corpus():
+    pos = [
+        ("we collect your location.", VerbCategory.COLLECT),
+        ("we collect your contacts.", VerbCategory.COLLECT),
+        ("we collect your device id.", VerbCategory.COLLECT),
+        ("we use your device id.", VerbCategory.USE),
+        ("we use your location.", VerbCategory.USE),
+        ("we retain your contacts.", VerbCategory.RETAIN),
+        ("we disclose your location.", VerbCategory.DISCLOSE),
+        ("we are allowed to access your location.", VerbCategory.COLLECT),
+        ("we are allowed to access your contacts.", VerbCategory.COLLECT),
+        ("we are able to gather your device id.", VerbCategory.COLLECT),
+    ]
+    neg = [
+        "you can manage your settings.",
+        "the policy applies to everyone.",
+        "our team loves great design.",
+    ]
+    corpus = [LabeledSentence(t, True, c) for t, c in pos]
+    corpus += [LabeledSentence(t, False) for t in neg]
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def bootstrapper():
+    return Bootstrapper(_corpus())
+
+
+class TestDiscovery:
+    def test_seed_patterns_cover_categories(self, bootstrapper):
+        seeds = bootstrapper.seed_patterns()
+        assert {p.category for p in seeds} == set(VerbCategory)
+
+    def test_learns_fig7_style_pattern(self, bootstrapper):
+        patterns = bootstrapper.run()
+        chains = {p.chain for p in patterns}
+        assert ("allow", "access") in chains
+
+    def test_learns_able_chain(self, bootstrapper):
+        patterns = bootstrapper.run()
+        chains = {p.chain for p in patterns}
+        assert ("able", "gather") in chains
+
+    def test_terminates(self, bootstrapper):
+        patterns = bootstrapper.run()
+        assert len(patterns) < 100
+
+    def test_blacklisted_verbs_not_learned(self):
+        corpus = _corpus() + [
+            LabeledSentence("we have your location.", True,
+                            VerbCategory.COLLECT),
+        ]
+        patterns = Bootstrapper(corpus).run()
+        assert ("have",) not in {p.chain for p in patterns}
+
+    def test_user_subject_sentences_ignored_when_blacklisted(self):
+        corpus = _corpus() + [
+            LabeledSentence("you share your photos with friends.", True,
+                            VerbCategory.DISCLOSE),
+        ]
+        with_bl = Bootstrapper(corpus, use_blacklists=True).run()
+        without_bl = Bootstrapper(corpus, use_blacklists=False).run()
+        assert len(without_bl) >= len(with_bl)
+
+
+class TestScoring:
+    def test_eq1_accuracy(self):
+        sp = ScoredPattern(Pattern("x", ("collect",)), pos=9, neg=1,
+                           unk=10)
+        assert sp.accuracy == pytest.approx(0.9)
+
+    def test_eq1_confidence(self):
+        sp = ScoredPattern(Pattern("x", ("collect",)), pos=9, neg=1,
+                           unk=10)
+        assert sp.confidence == pytest.approx((9 - 1) / 20)
+
+    def test_score_formula(self):
+        sp = ScoredPattern(Pattern("x", ("collect",)), pos=9, neg=1,
+                           unk=10)
+        assert sp.score == pytest.approx(sp.confidence * math.log(10))
+
+    def test_zero_pos_scores_neg_inf(self):
+        sp = ScoredPattern(Pattern("x", ("collect",)), pos=0, neg=3,
+                           unk=0)
+        assert sp.score == float("-inf")
+
+    def test_scoring_orders_frequent_first(self, bootstrapper):
+        scored = bootstrapper.score(bootstrapper.run())
+        assert scored[0].pos >= scored[-1].pos or scored[
+            0
+        ].score >= scored[-1].score
+
+    def test_top_n_drops_unusable(self, bootstrapper):
+        scored = bootstrapper.score(bootstrapper.run())
+        top = top_n_patterns(scored, 1000)
+        assert all(
+            sp.pattern in top or sp.score == float("-inf")
+            for sp in scored
+        )
+
+    def test_top_n_limits(self, bootstrapper):
+        scored = bootstrapper.score(bootstrapper.run())
+        assert len(top_n_patterns(scored, 2)) == 2

@@ -1,0 +1,129 @@
+"""Constraint-modelling extension tests (Discussion, future work #1)."""
+
+import pytest
+
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.constraints import (
+    ConstraintKind,
+    adjust_analysis,
+    adjust_statement,
+    classify_constraint,
+)
+
+_ANALYZER = PolicyAnalyzer()
+
+
+class TestClassification:
+    @pytest.mark.parametrize("text,kind", [
+        ("without your consent", ConstraintKind.CONSENT),
+        ("unless you agree to it", ConstraintKind.CONSENT),
+        ("if you do not allow us to", ConstraintKind.CONSENT),
+        ("unless you opt out", ConstraintKind.OPT_OUT),
+        ("unless you disable tracking", ConstraintKind.OPT_OUT),
+        ("if you register for the service", ConstraintKind.USER_ACTION),
+        ("when you use the app", ConstraintKind.USER_ACTION),
+        ("by third parties", ConstraintKind.THIRD_PARTY),
+        ("to improve the service", ConstraintKind.PURPOSE),
+        ("for analytics", ConstraintKind.PURPOSE),
+    ])
+    def test_kinds(self, text, kind):
+        assert classify_constraint(text) is kind
+
+    def test_none_for_plain_text(self):
+        assert classify_constraint("on your device") is \
+            ConstraintKind.NONE
+
+    def test_none_for_empty(self):
+        assert classify_constraint(None) is ConstraintKind.NONE
+        assert classify_constraint("") is ConstraintKind.NONE
+
+
+class TestAdjustment:
+    def _statement(self, sentence):
+        analysis = _ANALYZER.analyze(sentence)
+        assert analysis.statements, sentence
+        return analysis.statements[0]
+
+    def test_consent_denial_becomes_conditional_positive(self):
+        stmt = self._statement(
+            "We will not share your location with partners without "
+            "your consent."
+        )
+        assert stmt.negated
+        adjusted = adjust_statement(stmt)
+        assert not adjusted.negated
+        assert adjusted.constraint_kind == "consent"
+
+    def test_plain_denial_unchanged(self):
+        stmt = self._statement("We will not share your location.")
+        assert adjust_statement(stmt) is stmt
+
+    def test_positive_statement_unchanged_by_consent(self):
+        stmt = self._statement(
+            "We may share your location with your consent."
+        )
+        adjusted = adjust_statement(stmt)
+        assert not adjusted.negated
+
+    def test_opt_out_marked(self):
+        stmt = self._statement(
+            "We collect your usage data unless you opt out."
+        )
+        adjusted = adjust_statement(stmt)
+        assert adjusted.constraint_kind == "opt_out"
+        assert not adjusted.negated
+
+
+class TestAnalysisAdjustment:
+    def test_consent_denial_moves_sets(self):
+        analysis = _ANALYZER.analyze(
+            "We will not share your location with partners without "
+            "your consent."
+        )
+        assert "location" in analysis.all_negative()
+        adjusted = adjust_analysis(analysis)
+        assert "location" not in adjusted.all_negative()
+        assert "location" in adjusted.all_positive()
+
+    def test_third_party_statement_dropped(self):
+        analysis = _ANALYZER.analyze(
+            "Your location may be collected by third parties."
+        )
+        assert analysis.statements
+        adjusted = adjust_analysis(analysis)
+        assert adjusted.statements == []
+
+    def test_disclaimer_flag_preserved(self):
+        analysis = _ANALYZER.analyze(
+            "We are not responsible for the privacy practices of "
+            "those sites."
+        )
+        assert adjust_analysis(analysis).has_third_party_disclaimer
+
+    def test_plain_analysis_unchanged(self):
+        analysis = _ANALYZER.analyze("We may collect your location.")
+        adjusted = adjust_analysis(analysis)
+        assert adjusted.all_positive() == analysis.all_positive()
+
+    def test_adjustment_prevents_false_incorrect(self):
+        """End to end: a consent-scoped denial should not trip the
+        incorrect detector once constraints are modelled."""
+        from repro.core.incorrect import detect_incorrect_via_code
+        from repro.core.matching import InfoMatcher
+        from repro.android.static_analysis import analyze_apk
+        from tests.android.appbuilder import (
+            LOCATION_API, add_activity, empty_apk, invoke,
+        )
+        apk = empty_apk()
+        add_activity(apk, instructions=[invoke(LOCATION_API, dest="v0")])
+        static = analyze_apk(apk)
+        matcher = InfoMatcher()
+        analysis = _ANALYZER.analyze(
+            "We will not collect your location without your consent."
+        )
+        with_plain = detect_incorrect_via_code(analysis, static, matcher)
+        with_adjusted = detect_incorrect_via_code(
+            adjust_analysis(analysis), static, matcher,
+        )
+        assert with_plain  # the base pipeline flags it (paper behaviour)
+        assert not with_adjusted  # the extension fixes the context FP

@@ -1,0 +1,109 @@
+"""Internal-contradiction (PolicyLint-style) tests."""
+
+import pytest
+
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.contradictions import detect_contradictions
+
+_ANALYZER = PolicyAnalyzer()
+
+
+def contradictions_of(policy):
+    return detect_contradictions(_ANALYZER.analyze(policy))
+
+
+class TestExact:
+    def test_direct_contradiction(self):
+        found = contradictions_of(
+            "We may collect your contacts. "
+            "We will not collect your contacts."
+        )
+        assert len(found) == 1
+        assert found[0].kind == "exact"
+
+    def test_alias_contradiction(self):
+        found = contradictions_of(
+            "We may collect your address book. "
+            "We will not collect your contacts."
+        )
+        assert len(found) == 1
+
+    def test_different_categories_not_contradictory(self):
+        # using contacts while promising not to *disclose* them is
+        # consistent
+        found = contradictions_of(
+            "We use your contacts to find friends. "
+            "We will never share your contacts."
+        )
+        assert found == []
+
+    def test_different_resources_not_contradictory(self):
+        found = contradictions_of(
+            "We may collect your location. "
+            "We will not collect your contacts."
+        )
+        assert found == []
+
+    def test_consistent_policy_clean(self):
+        found = contradictions_of(
+            "We may collect your location. "
+            "We may share your device id with partners."
+        )
+        assert found == []
+
+
+class TestSubsumption:
+    def test_broad_denial_narrow_positive(self):
+        found = contradictions_of(
+            "We never collect personal information. "
+            "We may collect your email address."
+        )
+        assert len(found) == 1
+        assert found[0].kind == "subsumption"
+
+    def test_generic_information_denial(self):
+        found = contradictions_of(
+            "We do not collect that information on our servers. "
+            "We may collect your location."
+        )
+        # "information" is broad; location narrows it
+        assert any(c.kind == "subsumption" for c in found)
+
+    def test_narrow_denial_broad_positive_not_flagged(self):
+        # denying a specific thing while collecting "information"
+        # generally is not a subsumption conflict in this direction
+        found = contradictions_of(
+            "We will not collect your contacts. "
+            "We may collect usage information."
+        )
+        assert all(c.kind != "subsumption" for c in found)
+
+
+class TestReporting:
+    def test_describe_mentions_both_sentences(self):
+        found = contradictions_of(
+            "We may collect your contacts. "
+            "We will not collect your contacts."
+        )
+        text = found[0].describe()
+        assert "asserts" in text and "denies" in text
+
+    def test_corpus_clean_apps_have_no_contradictions(self, mid_store):
+        analyzer = PolicyAnalyzer()
+        for app in mid_store.apps[243:255]:
+            analysis = analyzer.analyze(app.bundle.policy, html=True)
+            # inconsistency plants deny resources the policy never
+            # positively asserts -- no internal conflict
+            assert detect_contradictions(analysis) == [], app.package
+
+    def test_incorrect_corpus_app_flags_internal_tension(self,
+                                                         full_store):
+        """The birthdaylist-style app asserts use-of-contacts and
+        denies collect-of-contacts -- not an exact contradiction (the
+        categories differ), so the detector stays quiet; the zoho app
+        has the same shape within one category pair."""
+        from repro.corpus.plans import INCORRECT_TP
+        analyzer = PolicyAnalyzer()
+        app = full_store.apps[INCORRECT_TP.start]
+        analysis = analyzer.analyze(app.bundle.policy, html=True)
+        assert detect_contradictions(analysis) == []

@@ -1,0 +1,81 @@
+"""Policy-diff tests."""
+
+import pytest
+
+from repro.policy.diff import diff_policies
+from repro.policy.verbs import VerbCategory
+
+V1 = ("We may collect your location. We will not store your "
+      "contacts. We may share your device id with partners.")
+
+
+class TestDiff:
+    def test_identical_policies(self):
+        diff = diff_policies(V1, V1)
+        assert diff.unchanged
+        assert not diff.weakened
+        assert "no statement-level changes" in diff.describe()
+
+    def test_coverage_gained(self):
+        v2 = V1 + " We may collect your email address."
+        diff = diff_policies(V1, v2)
+        gained = diff.coverage_gained
+        assert any(c.resource == "email address" for c in gained)
+        assert not diff.weakened
+
+    def test_coverage_lost_is_weakening(self):
+        v2 = ("We will not store your contacts. "
+              "We may share your device id with partners.")
+        diff = diff_policies(V1, v2)
+        assert any(
+            c.resource == "location" and c.category is
+            VerbCategory.COLLECT
+            for c in diff.coverage_lost
+        )
+        assert diff.weakened
+
+    def test_denial_withdrawn_is_weakening(self):
+        v2 = ("We may collect your location. "
+              "We may share your device id with partners.")
+        diff = diff_policies(V1, v2)
+        assert any(c.resource == "contacts"
+                   for c in diff.denials_withdrawn)
+        assert diff.weakened
+
+    def test_denial_added(self):
+        v2 = V1 + " We will never sell your email address."
+        diff = diff_policies(V1, v2)
+        assert any(c.resource == "email address"
+                   for c in diff.denials_added)
+
+    def test_the_path_scenario(self):
+        """FTC v. Path: retention silently dropped from the policy."""
+        old = ("We may collect your contacts. We will store your "
+               "contacts on our servers.")
+        new = "We may collect your contacts."
+        diff = diff_policies(old, new)
+        assert diff.weakened
+        assert any(
+            c.category is VerbCategory.RETAIN
+            for c in diff.coverage_lost
+        )
+
+    def test_rewording_within_alias_is_a_change_textually(self):
+        # the diff is textual by design; semantic matching is the
+        # detectors' job
+        v2 = V1.replace("your location", "your geographic location")
+        diff = diff_policies(V1, v2)
+        assert not diff.unchanged
+
+    def test_describe_output(self):
+        v2 = V1 + " We may collect your email address."
+        text = diff_policies(V1, v2).describe()
+        assert "now covers collect of 'email address'" in text
+
+    def test_html_inputs(self):
+        old = "<p>We may collect your location.</p>"
+        new = ("<p>We may collect your location.</p>"
+               "<p>We may collect your contacts.</p>")
+        diff = diff_policies(old, new, html=True)
+        assert any(c.resource == "contacts"
+                   for c in diff.coverage_gained)

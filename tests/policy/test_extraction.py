@@ -1,0 +1,166 @@
+"""Information-element extraction (Step 6) tests."""
+
+import pytest
+
+from repro.nlp.parser import parse
+from repro.policy.extraction import (
+    extract_constraint,
+    extract_executor,
+    extract_resources,
+    extract_statement,
+)
+from repro.policy.patterns import match_any
+from repro.policy.verbs import VerbCategory
+
+
+def matched(sentence):
+    tree = parse(sentence)
+    match = match_any(tree)
+    assert match is not None, sentence
+    return tree, match
+
+
+class TestResources:
+    def test_direct_object(self):
+        tree, match = matched("We will collect your location.")
+        assert extract_resources(tree, match) == ["location"]
+
+    def test_modifier_kept(self):
+        tree, match = matched("We collect your precise location.")
+        assert extract_resources(tree, match) == ["precise location"]
+
+    def test_possessive_stripped(self):
+        tree, match = matched("We collect your location.")
+        assert "your" not in extract_resources(tree, match)[0]
+
+    def test_coordinated_objects(self):
+        tree, match = matched(
+            "We will not store your phone number, name and contacts."
+        )
+        resources = extract_resources(tree, match)
+        assert "phone number" in resources
+        assert "name" in resources
+        assert "contacts" in resources
+
+    def test_passive_subject_is_resource(self):
+        tree, match = matched("Your personal information will be used.")
+        assert extract_resources(tree, match) == ["personal information"]
+
+    def test_about_preposition_extends(self):
+        tree, match = matched(
+            "We collect information about your location."
+        )
+        resources = extract_resources(tree, match)
+        assert "location" in resources
+
+    def test_blacklisted_objects_dropped(self):
+        tree, match = matched("We use cookies to improve our services.")
+        resources = extract_resources(tree, match)
+        assert "services" not in resources
+        assert "cookies" in resources
+
+    def test_shared_object_across_conjunction(self):
+        tree = parse("We collect and store your location.")
+        from repro.policy.patterns import match_all_verbs
+        matches = match_all_verbs(tree)
+        for match in matches:
+            assert "location" in extract_resources(tree, match)
+
+    def test_colon_enumeration(self):
+        tree, match = matched(
+            "we will collect the following information: your name; "
+            "your ip address; your device id."
+        )
+        resources = extract_resources(tree, match)
+        assert "name" in resources
+        assert "ip address" in resources
+        assert "device id" in resources
+
+
+class TestExecutor:
+    def test_active_subject(self):
+        tree, match = matched("We collect your location.")
+        assert extract_executor(tree, match) == "we"
+
+    def test_passive_by_agent(self):
+        tree, match = matched(
+            "Your location will be collected by the application."
+        )
+        assert extract_executor(tree, match) == "application"
+
+    def test_missing_subject(self):
+        tree, match = matched("collect your location.")
+        assert extract_executor(tree, match) in ("", "location")
+
+
+class TestConstraint:
+    def test_if_precondition(self):
+        text, kind = extract_constraint(parse(
+            "If you register an account, we may collect your email."
+        ))
+        assert kind == "pre"
+        assert "register" in text
+
+    def test_when_postcondition(self):
+        text, kind = extract_constraint(parse(
+            "We collect your location when you use the app."
+        ))
+        assert kind == "post"
+        assert "use" in text
+
+    def test_unless_precondition(self):
+        text, kind = extract_constraint(parse(
+            "We share your data unless you opt out."
+        ))
+        assert kind == "pre"
+
+    def test_no_constraint(self):
+        text, kind = extract_constraint(parse(
+            "We collect your location."
+        ))
+        assert text is None and kind is None
+
+
+class TestStatement:
+    def test_full_statement(self):
+        tree, match = matched("We will not collect your location.")
+        stmt = extract_statement(tree, match,
+                                 "We will not collect your location.")
+        assert stmt is not None
+        assert stmt.category is VerbCategory.COLLECT
+        assert stmt.negated
+        assert stmt.resources == ("location",)
+        assert stmt.executor == "we"
+
+    def test_user_subject_filtered(self):
+        tree, match = matched("You may share your photos with friends.")
+        assert extract_statement(tree, match, "x") is None
+
+    def test_website_registration_constraint_filtered(self):
+        sentence = ("We collect your email if you register an account "
+                    "through our website.")
+        tree, match = matched(sentence)
+        assert extract_statement(tree, match, sentence) is None
+
+    def test_website_visit_constraint_filtered(self):
+        sentence = ("We collect your ip address when you visit our "
+                    "website.")
+        tree, match = matched(sentence)
+        assert extract_statement(tree, match, sentence) is None
+
+    def test_app_constraint_not_filtered(self):
+        sentence = "We collect your location when you use the app."
+        tree, match = matched(sentence)
+        assert extract_statement(tree, match, sentence) is not None
+
+    def test_no_resources_means_no_statement(self):
+        tree = parse("We may collect.")
+        match = match_any(tree)
+        if match is not None:
+            assert extract_statement(tree, match, "x") is None
+
+    def test_statement_mentions(self):
+        tree, match = matched("We collect your location.")
+        stmt = extract_statement(tree, match, "s")
+        assert stmt.mentions("location")
+        assert not stmt.mentions("contacts")

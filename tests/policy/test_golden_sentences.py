@@ -1,0 +1,123 @@
+"""Golden pipeline tests: sentence -> (category, polarity, resources).
+
+A table of realistic privacy-policy sentences (drawn from the shapes
+seen in real policies and in the paper's figures) with the exact
+statements the pipeline must extract.  These pin down the behaviour of
+the tokenizer, tagger, parser, pattern matcher, negation analysis, and
+element extraction working together.
+"""
+
+import pytest
+
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.verbs import VerbCategory
+
+_ANALYZER = PolicyAnalyzer()
+
+C = VerbCategory.COLLECT
+U = VerbCategory.USE
+R = VerbCategory.RETAIN
+D = VerbCategory.DISCLOSE
+
+# (sentence, expected set of (category, negated, resource))
+GOLDEN = [
+    ("We may collect your location.",
+     {(C, False, "location")}),
+    ("We collect your device id and your ip address.",
+     {(C, False, "device id"), (C, False, "ip address")}),
+    ("Our app gathers anonymous usage data.",
+     {(C, False, "anonymous usage data")}),
+    ("Your email address will be collected during registration.",
+     {(C, False, "email address")}),
+    ("We are allowed to access your photos.",
+     {(C, False, "photos")}),
+    ("We are able to obtain your calendar.",
+     {(C, False, "calendar")}),
+    ("The application may receive your precise location from your "
+     "device.",
+     {(C, False, "precise location")}),
+    ("We use cookies to remember your preferences.",
+     {(U, False, "cookies")}),
+    ("Your contacts may be processed for friend suggestions.",
+     {(U, False, "contacts")}),
+    ("We will store your phone number on our servers.",
+     {(R, False, "phone number")}),
+    ("Your photos may be retained for thirty days.",
+     {(R, False, "photos")}),
+    ("We keep your account information to speed up sign-in.",
+     {(R, False, "account information")}),
+    ("We may share your device id with our advertising partners.",
+     {(D, False, "device id")}),
+    ("Your personal information may be disclosed to law enforcement.",
+     {(D, False, "personal information")}),
+    ("We will provide your email address to the payment processor.",
+     {(D, False, "email address")}),
+    ("We sell aggregated statistics to researchers.",
+     {(D, False, "aggregated statistics")}),
+    # negatives
+    ("We will not collect your location.",
+     {(C, True, "location")}),
+    ("We do not gather your contacts.",
+     {(C, True, "contacts")}),
+    ("Your phone number will never be collected.",
+     {(C, True, "phone number")}),
+    ("We never store your photos.",
+     {(R, True, "photos")}),
+    ("We will not share your email address with anyone.",
+     {(D, True, "email address")}),
+    ("No personal information will be sold.",
+     {(D, True, "personal information")}),
+    ("We will never disclose your browsing history.",
+     {(D, True, "browsing history")}),
+    # coordination
+    ("We collect and store your location.",
+     {(C, False, "location"), (R, False, "location")}),
+    ("We will not store your phone number, name and contacts.",
+     {(R, True, "phone number"), (R, True, "name"),
+      (R, True, "contacts")}),
+    # "such as" exemplification
+    ("We collect personal information such as your name and your "
+     "email address.",
+     {(C, False, "personal information"), (C, False, "name"),
+      (C, False, "email address")}),
+    ("We may share identifiers such as your device id with partners.",
+     {(D, False, "device id")}),
+    # conditionals kept (app behaviour)
+    ("We collect your location when you use the app.",
+     {(C, False, "location")}),
+    ("If you enable sync, we store your notes on our servers.",
+     {(R, False, "notes")}),
+]
+
+# sentences that must produce NO statement
+REJECTED = [
+    "You may share your photos with friends.",           # user action
+    "Users can store their files in the cloud.",         # user action
+    "We collect your email if you register an account "
+    "through our website.",                               # website filter
+    "Please review this policy carefully.",               # boilerplate
+    "The weather looks nice today.",                      # irrelevant
+    "We may update this policy from time to time.",       # no resource
+    "We will improve our services continuously.",         # blacklisted obj
+]
+
+
+@pytest.mark.parametrize("sentence,expected", GOLDEN,
+                         ids=[s[:45] for s, _ in GOLDEN])
+def test_golden_extraction(sentence, expected):
+    analysis = _ANALYZER.analyze(sentence)
+    got = {
+        (stmt.category, stmt.negated, res)
+        for stmt in analysis.statements
+        for res in stmt.resources
+    }
+    assert expected <= got, f"missing {expected - got}, got {got}"
+
+
+@pytest.mark.parametrize("sentence", REJECTED,
+                         ids=[s[:45] for s in REJECTED])
+def test_rejected_sentences(sentence):
+    analysis = _ANALYZER.analyze(sentence)
+    assert analysis.statements == [], [
+        (str(s.category), s.resources) for s in analysis.statements
+    ]

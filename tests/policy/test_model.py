@@ -1,0 +1,78 @@
+"""PolicyAnalysis / Statement model unit tests."""
+
+import pytest
+
+from repro.policy.model import PolicyAnalysis, Statement
+from repro.policy.verbs import VerbCategory
+
+
+def _stmt(category, resources, negated=False):
+    return Statement(
+        sentence="s", category=category, verb=category.value,
+        executor="we", resources=tuple(resources), negated=negated,
+    )
+
+
+@pytest.fixture
+def analysis():
+    a = PolicyAnalysis()
+    a.statements = [
+        _stmt(VerbCategory.COLLECT, ["location", "device id"]),
+        _stmt(VerbCategory.USE, ["cookies"]),
+        _stmt(VerbCategory.RETAIN, ["photos"]),
+        _stmt(VerbCategory.DISCLOSE, ["device id"]),
+        _stmt(VerbCategory.COLLECT, ["contacts"], negated=True),
+        _stmt(VerbCategory.DISCLOSE, ["email address"], negated=True),
+    ]
+    return a
+
+
+class TestSets:
+    def test_category_sets(self, analysis):
+        assert analysis.collected == {"location", "device id"}
+        assert analysis.used == {"cookies"}
+        assert analysis.retained == {"photos"}
+        assert analysis.disclosed == {"device id"}
+
+    def test_negative_sets(self, analysis):
+        assert analysis.not_collected == {"contacts"}
+        assert analysis.not_disclosed == {"email address"}
+        assert analysis.not_used == set()
+        assert analysis.not_retained == set()
+
+    def test_all_positive_union(self, analysis):
+        assert analysis.all_positive() == {
+            "location", "device id", "cookies", "photos",
+        }
+
+    def test_all_negative_union(self, analysis):
+        assert analysis.all_negative() == {"contacts", "email address"}
+
+    def test_statement_partitions(self, analysis):
+        assert len(analysis.positive_statements()) == 4
+        assert len(analysis.negative_statements()) == 2
+
+    def test_resources_selector(self, analysis):
+        assert analysis.resources(VerbCategory.COLLECT) == {
+            "location", "device id",
+        }
+        assert analysis.resources(VerbCategory.COLLECT,
+                                  negated=True) == {"contacts"}
+
+    def test_empty_analysis(self):
+        empty = PolicyAnalysis()
+        assert empty.all_positive() == set()
+        assert empty.all_negative() == set()
+        assert not empty.has_third_party_disclaimer
+
+
+class TestStatement:
+    def test_mentions(self):
+        stmt = _stmt(VerbCategory.COLLECT, ["location"])
+        assert stmt.mentions("location")
+        assert not stmt.mentions("contacts")
+
+    def test_frozen(self):
+        stmt = _stmt(VerbCategory.COLLECT, ["location"])
+        with pytest.raises(AttributeError):
+            stmt.negated = True

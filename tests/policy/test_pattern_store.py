@@ -1,0 +1,76 @@
+"""Pattern-persistence tests."""
+
+import pytest
+
+from repro.policy.bootstrap import Bootstrapper, LabeledSentence, top_n_patterns
+from repro.policy.pattern_store import (
+    load_patterns,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_patterns,
+)
+from repro.policy.patterns import Pattern
+from repro.policy.verbs import VerbCategory
+from repro.policy.bootstrap import ScoredPattern
+
+
+def _scored():
+    return [
+        ScoredPattern(Pattern("seed:collect", ("collect",),
+                              category=VerbCategory.COLLECT),
+                      pos=10, neg=1, unk=5),
+        ScoredPattern(Pattern("allow>access", ("allow", "access"),
+                              voice="passive",
+                              category=VerbCategory.COLLECT),
+                      pos=4, neg=0, unk=5),
+    ]
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = _scored()[1]
+        restored = pattern_from_dict(pattern_to_dict(original))
+        assert restored.pattern == original.pattern
+        assert (restored.pos, restored.neg, restored.unk) == (4, 0, 5)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "patterns.json")
+        save_patterns(_scored(), path)
+        restored = load_patterns(path)
+        assert len(restored) == 2
+        assert {sp.pattern.name for sp in restored} == {
+            "seed:collect", "allow>access",
+        }
+
+    def test_loaded_patterns_sorted_by_score(self, tmp_path):
+        path = str(tmp_path / "patterns.json")
+        save_patterns(list(reversed(_scored())), path)
+        restored = load_patterns(path)
+        scores = [sp.score for sp in restored]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "patterns": []}')
+        with pytest.raises(ValueError):
+            load_patterns(str(path))
+
+    def test_bootstrap_to_store_to_analyzer(self, tmp_path):
+        """Full loop: learn, persist, reload, analyze."""
+        corpus = [
+            LabeledSentence("we collect your location.", True,
+                            VerbCategory.COLLECT),
+            LabeledSentence("we share your location.", True,
+                            VerbCategory.DISCLOSE),
+            LabeledSentence("the policy applies to everyone.", False),
+        ]
+        bootstrapper = Bootstrapper(corpus)
+        scored = bootstrapper.score(bootstrapper.run())
+        path = str(tmp_path / "learned.json")
+        save_patterns(scored, path)
+        patterns = top_n_patterns(load_patterns(path), 10)
+
+        from repro.policy.analyzer import PolicyAnalyzer
+        analyzer = PolicyAnalyzer(patterns=tuple(patterns))
+        analysis = analyzer.analyze("We collect your contacts.")
+        assert "contacts" in analysis.collected

@@ -1,0 +1,127 @@
+"""Pattern-matching tests (Table II's five sample patterns & chains)."""
+
+import pytest
+
+from repro.nlp.parser import parse
+from repro.policy.patterns import (
+    SEED_PATTERNS,
+    Pattern,
+    match_all_verbs,
+    match_any,
+    match_pattern,
+)
+from repro.policy.verbs import VerbCategory
+
+
+def p(name):
+    return next(pat for pat in SEED_PATTERNS if pat.name == name)
+
+
+class TestTableIIPatterns:
+    def test_p1_active_voice(self):
+        match = match_pattern(p("P1"), parse(
+            "We are able to collect location information."
+        ))
+        # P1 requires the root itself to be a category verb
+        assert match is None
+        match = match_pattern(p("P1"), parse("We collect your location."))
+        assert match is not None
+        assert match.category is VerbCategory.COLLECT
+
+    def test_p2_passive_voice(self):
+        match = match_pattern(p("P2"), parse(
+            "Your personal information will be used."
+        ))
+        assert match is not None
+        assert match.category is VerbCategory.USE
+        assert match.passive
+
+    def test_p2_rejects_active(self):
+        assert match_pattern(p("P2"),
+                             parse("We use your data.")) is None
+
+    def test_p3_allow_expression(self):
+        match = match_pattern(p("P3"), parse(
+            "We are allowed to access your personal information."
+        ))
+        assert match is not None
+        assert match.verb_lemma == "access"
+        assert match.category is VerbCategory.COLLECT
+
+    def test_p4_ability_expression(self):
+        match = match_pattern(p("P4"), parse(
+            "We are able to collect location information."
+        ))
+        assert match is not None
+        assert match.verb_lemma == "collect"
+
+    def test_p5_purpose_expression(self):
+        match = match_pattern(p("P5"), parse(
+            "We use GPS to get your location."
+        ))
+        assert match is not None
+        assert match.category is VerbCategory.USE
+
+    def test_p5_requires_advcl(self):
+        assert match_pattern(p("P5"),
+                             parse("We use cookies.")) is None
+
+
+class TestChainMatching:
+    def test_learned_concrete_chain(self):
+        pattern = Pattern("allow>access", ("allow", "access"),
+                          category=VerbCategory.COLLECT)
+        match = match_pattern(pattern, parse(
+            "We are allowed to access your location."
+        ))
+        assert match is not None
+        assert match.verb_lemma == "access"
+
+    def test_chain_mismatch(self):
+        pattern = Pattern("allow>access", ("allow", "access"),
+                          category=VerbCategory.COLLECT)
+        assert match_pattern(pattern, parse(
+            "We are allowed to share your location."
+        )) is None
+
+    def test_category_verb_outside_sets_needs_explicit_category(self):
+        bare = Pattern("x", ("display",))
+        assert match_pattern(bare, parse(
+            "We will display your name."
+        )) is None
+        tagged = Pattern("x", ("display",),
+                         category=VerbCategory.DISCLOSE)
+        assert match_pattern(tagged, parse(
+            "We will display your name."
+        )) is not None
+
+    def test_custom_verb_set(self):
+        verbs = frozenset({"collect"})
+        assert match_pattern(p("P1"), parse("We gather your data."),
+                             verbs) is None
+        assert match_pattern(p("P1"), parse("We collect your data."),
+                             verbs) is not None
+
+
+class TestMatchHelpers:
+    def test_match_any_first_pattern_wins(self):
+        match = match_any(parse("We collect your location."))
+        assert match is not None
+        assert match.pattern.name == "P1"
+
+    def test_match_any_none_for_irrelevant(self):
+        assert match_any(parse("The weather looks nice today.")) is None
+
+    def test_match_all_verbs_coordination(self):
+        matches = match_all_verbs(parse(
+            "We collect and store your location."
+        ))
+        categories = {m.category for m in matches}
+        assert VerbCategory.COLLECT in categories
+        assert VerbCategory.RETAIN in categories
+
+    def test_match_all_verbs_empty_for_nonmatch(self):
+        assert match_all_verbs(parse("Nice weather today.")) == []
+
+    def test_empty_sentence(self):
+        assert match_any(parse("")) is None

@@ -1,0 +1,80 @@
+"""Readability-metric tests."""
+
+import pytest
+
+from repro.policy.readability import (
+    ReadabilityReport,
+    assess_readability,
+    count_syllables,
+)
+
+
+class TestSyllables:
+    @pytest.mark.parametrize("word,expected", [
+        ("cat", 1),
+        ("data", 2),
+        ("location", 3),
+        ("information", 4),
+        ("privacy", 3),
+        ("we", 1),
+        ("share", 1),
+        ("cookie", 2),
+    ])
+    def test_estimates(self, word, expected):
+        assert count_syllables(word) == expected
+
+    def test_minimum_one(self):
+        assert count_syllables("x") == 1
+
+
+class TestAssess:
+    POLICY = ("We may collect your location. We will not share your "
+              "contacts. Thank you for your trust.")
+
+    def test_counts(self):
+        report = assess_readability(self.POLICY)
+        assert report.sentences == 3
+        assert report.words == 16
+        assert report.useful_sentences == 2
+
+    def test_useful_fraction(self):
+        report = assess_readability(self.POLICY)
+        assert report.useful_fraction == pytest.approx(2 / 3)
+
+    def test_flesch_in_sane_range(self):
+        report = assess_readability(self.POLICY)
+        assert 0 <= report.flesch_reading_ease <= 120
+        assert -4 <= report.flesch_kincaid_grade <= 20
+
+    def test_simple_beats_convoluted(self):
+        simple = assess_readability("We collect your location.")
+        convoluted = assess_readability(
+            "Notwithstanding the aforementioned stipulations, "
+            "information concerning geographical positioning shall "
+            "be aggregated, processed, and subsequently transmitted "
+            "to affiliated organizational entities."
+        )
+        assert simple.flesch_reading_ease > \
+            convoluted.flesch_reading_ease
+        assert simple.flesch_kincaid_grade < \
+            convoluted.flesch_kincaid_grade
+
+    def test_html_input(self):
+        report = assess_readability(
+            "<p>We may collect your location.</p>", html=True,
+        )
+        assert report.sentences == 1
+        assert report.useful_sentences == 1
+
+    def test_empty_policy(self):
+        report = assess_readability("")
+        assert report.sentences == 0
+        assert report.flesch_reading_ease == 0.0
+        assert report.useful_fraction == 0.0
+
+    def test_corpus_policies_measurable(self, mid_store):
+        # an app whose policy carries actual coverage statements
+        app = next(a for a in mid_store.apps if a.plan.covered)
+        report = assess_readability(app.bundle.policy, html=True)
+        assert report.sentences > 3
+        assert 0 < report.useful_fraction <= 1

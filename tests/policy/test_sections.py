@@ -1,0 +1,117 @@
+"""Policy-sectioning tests."""
+
+import pytest
+
+from repro.policy.sections import (
+    analyze_sections,
+    classify_heading,
+    missing_topics,
+    split_sections,
+)
+
+HTML_POLICY = """
+<html><body>
+<h1>Privacy Policy</h1>
+<h2>Information We Collect</h2>
+<p>We may collect your location and your device id.</p>
+<h2>How We Use It</h2>
+<p>We use your location to provide the service.</p>
+<h2>Sharing With Third Parties</h2>
+<p>We may share your device id with advertisers.</p>
+<h2>Data Retention</h2>
+<p>We will store your location for thirty days.</p>
+<h2>Contact Us</h2>
+<p>Write to privacy@example.com with questions.</p>
+</body></html>
+"""
+
+TEXT_POLICY = """INFORMATION WE COLLECT
+We may collect your location.
+
+3. Sharing
+We may share your device id with advertisers.
+
+Contact
+Write to us anytime.
+"""
+
+
+class TestHeadingClassification:
+    @pytest.mark.parametrize("title,topic", [
+        ("Information We Collect", "collection"),
+        ("What We Gather", "collection"),
+        ("How We Use Your Data", "use"),
+        ("Data Retention", "retention"),
+        ("Sharing With Third Parties", "sharing"),
+        ("Disclosure", "sharing"),
+        ("Security", "security"),
+        ("Children's Privacy", "children"),
+        ("Your Choices", "choices"),
+        ("Changes To This Policy", "changes"),
+        ("Contact Us", "contact"),
+        ("Miscellaneous", "other"),
+    ])
+    def test_topics(self, title, topic):
+        assert classify_heading(title) == topic
+
+
+class TestSplitting:
+    def test_html_sections(self):
+        sections = split_sections(HTML_POLICY, html=True)
+        titles = [s.title for s in sections]
+        assert "Information We Collect" in titles
+        assert "Data Retention" in titles
+
+    def test_html_topics_assigned(self):
+        sections = split_sections(HTML_POLICY, html=True)
+        topics = {s.topic for s in sections}
+        assert {"collection", "use", "sharing", "retention",
+                "contact"} <= topics
+
+    def test_text_sections(self):
+        sections = split_sections(TEXT_POLICY)
+        topics = {s.topic for s in sections}
+        assert "collection" in topics
+        assert "sharing" in topics
+
+    def test_unstructured_falls_back_to_single_section(self):
+        sections = split_sections("We collect your location. "
+                                  "We share it.")
+        assert len(sections) == 1
+        assert sections[0].topic == "other"
+
+    def test_section_sentences(self):
+        sections = split_sections(HTML_POLICY, html=True)
+        collect = next(s for s in sections if s.topic == "collection")
+        assert any("location" in s for s in collect.sentences())
+
+
+class TestAnalysis:
+    def test_statements_attributed(self):
+        sections = analyze_sections(HTML_POLICY, html=True)
+        sharing = next(s for s in sections if s.topic == "sharing")
+        assert any("device id" in stmt.resources
+                   for stmt in sharing.statements)
+
+    def test_contact_section_has_no_statements(self):
+        sections = analyze_sections(HTML_POLICY, html=True)
+        contact = next(s for s in sections if s.topic == "contact")
+        assert contact.statements == []
+
+
+class TestAudit:
+    def test_complete_policy_has_no_missing_topics(self):
+        sections = split_sections(HTML_POLICY, html=True)
+        assert missing_topics(sections) == set()
+
+    def test_missing_retention_detected(self):
+        sections = split_sections(
+            "<h2>Information We Collect</h2><p>x</p>"
+            "<h2>Sharing</h2><p>y</p>", html=True,
+        )
+        assert missing_topics(sections) == {"retention"}
+
+    def test_custom_required_topics(self):
+        sections = split_sections(HTML_POLICY, html=True)
+        assert missing_topics(sections,
+                              required=("children",)) == {"children"}

@@ -1,0 +1,41 @@
+"""Sentence-selection (Step 4) tests."""
+
+from repro.policy.selection import is_useful, select_sentences
+
+
+class TestSelection:
+    def test_useful_sentences_kept(self):
+        selected = select_sentences([
+            "We collect your location.",
+            "The weather is nice.",
+            "Your data will be shared with partners.",
+        ])
+        texts = [s.text for s in selected]
+        assert "We collect your location." in texts
+        assert "The weather is nice." not in texts
+        assert len(selected) == 2
+
+    def test_selected_carry_parse_and_matches(self):
+        selected = select_sentences(["We collect your location."])
+        assert selected[0].tree.root() is not None
+        assert selected[0].matches
+
+    def test_is_useful_positive(self):
+        assert is_useful("We may share your email address.")
+
+    def test_is_useful_negative(self):
+        assert not is_useful("Please enjoy the app.")
+
+    def test_is_useful_passive(self):
+        assert is_useful("Your location will be collected.")
+
+    def test_is_useful_allowed_pattern(self):
+        assert is_useful("We are allowed to access your contacts.")
+
+    def test_empty_list(self):
+        assert select_sentences([]) == []
+
+    def test_custom_verb_set(self):
+        verbs = frozenset({"collect"})
+        assert is_useful("We collect your data.", verbs=verbs)
+        assert not is_useful("We share your data.", verbs=verbs)

@@ -1,0 +1,91 @@
+"""Verb-synonym expansion tests (Discussion, future work #2)."""
+
+import pytest
+
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.synonyms import (
+    expanded_pattern_set,
+    expanded_verbs,
+    synonym_patterns,
+)
+from repro.policy.verbs import ALL_CATEGORY_VERBS, VerbCategory
+
+
+@pytest.fixture(scope="module")
+def expanded_analyzer():
+    return PolicyAnalyzer(patterns=expanded_pattern_set())
+
+
+class TestExpansion:
+    def test_display_in_disclose(self):
+        assert "display" in expanded_verbs()[VerbCategory.DISCLOSE]
+
+    def test_harvest_in_collect(self):
+        assert "harvest" in expanded_verbs()[VerbCategory.COLLECT]
+
+    def test_no_overlap_with_curated_sets(self):
+        for verbs in expanded_verbs().values():
+            assert not (verbs & ALL_CATEGORY_VERBS)
+
+    def test_excluded_words_absent(self):
+        all_expanded = set()
+        for verbs in expanded_verbs().values():
+            all_expanded |= verbs
+        assert "review" not in all_expanded
+        assert "record" not in all_expanded
+
+    def test_patterns_carry_categories(self):
+        for pattern in synonym_patterns():
+            assert pattern.category is not None
+            assert len(pattern.chain) == 1
+
+
+class TestFalseNegativeFix:
+    def test_paper_fn_sentence_now_matched(self, expanded_analyzer):
+        """The com.starlitt.disableddating sentence the paper missed."""
+        analysis = expanded_analyzer.analyze(
+            "We will never display any of your personal information."
+        )
+        assert analysis.not_disclosed == {"personal information"}
+
+    def test_base_analyzer_still_misses_it(self, analyzer):
+        analysis = analyzer.analyze(
+            "We will never display any of your personal information."
+        )
+        assert analysis.statements == []
+
+    def test_harvest_denial_matched(self, expanded_analyzer):
+        analysis = expanded_analyzer.analyze(
+            "We will never harvest your contacts."
+        )
+        assert "contacts" in analysis.not_collected
+
+    def test_view_denial_matched(self, expanded_analyzer):
+        analysis = expanded_analyzer.analyze(
+            "We will never view your location."
+        )
+        assert "location" in analysis.not_collected
+
+    def test_positive_synonym_statement(self, expanded_analyzer):
+        analysis = expanded_analyzer.analyze(
+            "We may publish your name on leaderboards."
+        )
+        assert "name" in analysis.disclosed
+
+    def test_fixes_planted_fn_apps(self, full_store):
+        """The 7 planted FN apps become detectable with expansion."""
+        from repro.core.checker import PPChecker
+        from repro.corpus.plans import INCONSISTENT_FN
+
+        expanded = PPChecker(
+            lib_policy_source=full_store.lib_policy,
+            policy_analyzer=PolicyAnalyzer(
+                patterns=expanded_pattern_set()
+            ),
+        )
+        fixed = 0
+        for index in INCONSISTENT_FN:
+            app = full_store.apps[index]
+            if expanded.check(app.bundle).is_inconsistent:
+                fixed += 1
+        assert fixed == len(list(INCONSISTENT_FN))

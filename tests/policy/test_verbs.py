@@ -1,0 +1,78 @@
+"""Verb-category and blacklist tests."""
+
+import pytest
+
+from repro.policy.verbs import (
+    ALL_CATEGORY_VERBS,
+    CATEGORY_VERBS,
+    OBJECT_BLACKLIST,
+    SEED_VERBS,
+    SUBJECT_BLACKLIST,
+    VERB_BLACKLIST,
+    VerbCategory,
+    verb_category,
+)
+
+
+class TestCategories:
+    @pytest.mark.parametrize("verb,category", [
+        ("collect", VerbCategory.COLLECT),
+        ("gather", VerbCategory.COLLECT),
+        ("access", VerbCategory.COLLECT),
+        ("receive", VerbCategory.COLLECT),
+        ("use", VerbCategory.USE),
+        ("process", VerbCategory.USE),
+        ("retain", VerbCategory.RETAIN),
+        ("store", VerbCategory.RETAIN),
+        ("keep", VerbCategory.RETAIN),
+        ("log", VerbCategory.RETAIN),
+        ("disclose", VerbCategory.DISCLOSE),
+        ("share", VerbCategory.DISCLOSE),
+        ("transmit", VerbCategory.DISCLOSE),
+        ("sell", VerbCategory.DISCLOSE),
+    ])
+    def test_verb_category(self, verb, category):
+        assert verb_category(verb) is category
+
+    def test_display_is_not_categorized(self):
+        # the paper's false-negative verb, deliberately absent
+        assert verb_category("display") is None
+
+    def test_unknown_verb_none(self):
+        assert verb_category("fly") is None
+
+    def test_categories_disjoint(self):
+        seen = set()
+        for verbs in CATEGORY_VERBS.values():
+            assert not (verbs & seen)
+            seen |= verbs
+
+    def test_all_category_verbs_union(self):
+        union = set()
+        for verbs in CATEGORY_VERBS.values():
+            union |= verbs
+        assert union == set(ALL_CATEGORY_VERBS)
+
+    def test_seed_is_one_verb_per_category(self):
+        assert set(SEED_VERBS) == set(VerbCategory)
+        for verbs in SEED_VERBS.values():
+            assert len(verbs) == 1
+
+
+class TestBlacklists:
+    def test_subject_blacklist_has_paper_entries(self):
+        for word in ("you", "user", "visitor"):
+            assert word in SUBJECT_BLACKLIST
+
+    def test_verb_blacklist_has_paper_entries(self):
+        for word in ("have", "make"):
+            assert word in VERB_BLACKLIST
+
+    def test_object_blacklist_has_paper_entries(self):
+        assert "services" in OBJECT_BLACKLIST
+
+    def test_we_is_not_blacklisted(self):
+        assert "we" not in SUBJECT_BLACKLIST
+
+    def test_blacklist_disjoint_from_categories(self):
+        assert not (VERB_BLACKLIST & ALL_CATEGORY_VERBS)

@@ -1,0 +1,61 @@
+"""Knowledge-base invariants: the ESA concept articles."""
+
+import pytest
+
+from repro.semantics.esa import EsaModel, default_model
+from repro.semantics.knowledge import CONCEPT_ARTICLES
+from repro.semantics.resources import INFO_TYPES, InfoType
+
+
+class TestKnowledgeBase:
+    def test_nonempty_articles(self):
+        for concept, article in CONCEPT_ARTICLES.items():
+            assert article.strip(), concept
+
+    def test_every_info_type_has_a_dominant_concept(self):
+        """Interpreting an info type's own name must land on a concept
+        that no *other* info type dominates -- otherwise two types
+        become indistinguishable."""
+        model = default_model()
+        dominant: dict[str, InfoType] = {}
+        for info in InfoType:
+            top = model.top_concepts(info.value, k=1)
+            assert top, info
+            concept = top[0][0]
+            clash = dominant.get(concept)
+            assert clash is None or clash is info, (
+                f"{info} and {clash} share dominant concept {concept}"
+            )
+            dominant[concept] = info
+
+    def test_all_aliases_interpretable(self):
+        """Every ontology alias must produce a nonempty interpretation
+        (otherwise ESA matching silently returns 0)."""
+        model = default_model()
+        for spec in INFO_TYPES.values():
+            for alias in spec.aliases:
+                assert model.interpret(alias), (spec.info, alias)
+
+    def test_aliases_match_their_own_type(self):
+        """Similarity(alias, type name) clears the threshold for the
+        aliases that matter to the matcher (single-concept aliases)."""
+        model = default_model()
+        for spec in INFO_TYPES.values():
+            base = spec.info.value
+            matched = sum(
+                1 for alias in spec.aliases
+                if model.similarity(base, alias) > 0.5
+            )
+            assert matched >= len(spec.aliases) * 0.6, spec.info
+
+    def test_general_concepts_present(self):
+        for concept in ("personal information", "advertising",
+                        "analytics", "third party", "security"):
+            assert concept in CONCEPT_ARTICLES
+
+    def test_model_rebuild_matches_default(self):
+        rebuilt = EsaModel(CONCEPT_ARTICLES)
+        default = default_model()
+        assert rebuilt.similarity("location", "gps") == pytest.approx(
+            default.similarity("location", "gps")
+        )

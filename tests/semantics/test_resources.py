@@ -1,0 +1,69 @@
+"""Information-ontology tests."""
+
+import pytest
+
+from repro.semantics.resources import (
+    INFO_TYPES,
+    InfoType,
+    aliases_of,
+    normalize_resource,
+    permissions_for,
+)
+
+
+class TestOntology:
+    def test_all_types_have_specs(self):
+        for info in InfoType:
+            assert info in INFO_TYPES
+
+    def test_aliases_include_value(self):
+        for info, spec in INFO_TYPES.items():
+            assert spec.info is info
+            assert spec.aliases
+
+    @pytest.mark.parametrize("phrase,info", [
+        ("location", InfoType.LOCATION),
+        ("geographic location", InfoType.LOCATION),
+        ("gps", InfoType.LOCATION),
+        ("device id", InfoType.DEVICE_ID),
+        ("device identifiers", InfoType.DEVICE_ID),
+        ("imei", InfoType.DEVICE_ID),
+        ("ip address", InfoType.IP_ADDRESS),
+        ("cookies", InfoType.COOKIE),
+        ("contacts", InfoType.CONTACT),
+        ("address book", InfoType.CONTACT),
+        ("account", InfoType.ACCOUNT),
+        ("calendar", InfoType.CALENDAR),
+        ("phone number", InfoType.PHONE_NUMBER),
+        ("camera", InfoType.CAMERA),
+        ("microphone", InfoType.AUDIO),
+        ("installed applications", InfoType.APP_LIST),
+        ("sms", InfoType.SMS),
+        ("email address", InfoType.EMAIL_ADDRESS),
+        ("name", InfoType.PERSON_NAME),
+        ("date of birth", InfoType.BIRTHDAY),
+        ("browsing history", InfoType.BROWSER_HISTORY),
+    ])
+    def test_normalize_known_aliases(self, phrase, info):
+        assert normalize_resource(phrase) is info
+
+    def test_normalize_strips_possessives(self):
+        assert normalize_resource("your location") is InfoType.LOCATION
+        assert normalize_resource("the contacts") is InfoType.CONTACT
+
+    def test_normalize_case_insensitive(self):
+        assert normalize_resource("IMEI") is InfoType.DEVICE_ID
+
+    def test_normalize_unknown_is_none(self):
+        assert normalize_resource("favorite color") is None
+        assert normalize_resource("") is None
+
+    def test_location_permissions(self):
+        perms = permissions_for(InfoType.LOCATION)
+        assert "android.permission.ACCESS_FINE_LOCATION" in perms
+
+    def test_aliases_of_contact(self):
+        assert "address book" in aliases_of(InfoType.CONTACT)
+
+    def test_str_is_value(self):
+        assert str(InfoType.LOCATION) == "location"
