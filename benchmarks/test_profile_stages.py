@@ -4,10 +4,18 @@ Engineering benchmark: where does the per-app time go?  Policy
 analysis (parsing-dominated), static analysis (graph construction +
 taint), description analysis, and detection are measured separately
 over the same 60-app slice.
+
+``test_pipeline_profile`` additionally drives the staged pipeline in
+serial-cold, warm-cache, and parallel modes and emits
+``BENCH_pipeline.json`` (per-stage wall time, cache hit rate,
+serial-vs-parallel speedup) so later PRs have a perf trajectory to
+compare against.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from repro.core.checker import PPChecker
@@ -73,3 +81,74 @@ def test_stage_profile(benchmark, store, checker):
     assert total > 0
     # policy analysis (NLP) dominates, as in the paper's setting
     assert timings["policy"] >= timings["description"]
+
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_pipeline.json")
+
+
+def test_pipeline_profile(benchmark, store):
+    """Staged pipeline: cold vs. warm vs. parallel, with counters."""
+    sample = [app.bundle for app in store.apps[64:124]]
+    workers = 4
+
+    def profile():
+        serial = PPChecker(lib_policy_source=store.lib_policy)
+        t0 = time.perf_counter()
+        serial.check_batch(sample)
+        serial_s = time.perf_counter() - t0
+        cold = serial.stats.snapshot()
+
+        t0 = time.perf_counter()
+        serial.check_batch(sample)
+        warm_s = time.perf_counter() - t0
+        warm = serial.stats.snapshot()
+
+        fresh = PPChecker(lib_policy_source=store.lib_policy)
+        t0 = time.perf_counter()
+        fresh.check_batch(sample, workers=workers)
+        parallel_s = time.perf_counter() - t0
+
+        warm_hits = {
+            stage: warm[stage]["cache_hits"] - cold[stage]["cache_hits"]
+            for stage in cold
+        }
+        warm_requests = {
+            stage: (warm[stage]["executions"] + warm[stage]["cache_hits"]
+                    - cold[stage]["executions"]
+                    - cold[stage]["cache_hits"])
+            for stage in cold
+        }
+        return {
+            "n_apps": len(sample),
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "warm_seconds": warm_s,
+            "parallel_seconds": parallel_s,
+            "warm_speedup": serial_s / warm_s if warm_s else 0.0,
+            "parallel_speedup": serial_s / parallel_s
+            if parallel_s else 0.0,
+            "stages": cold,
+            "warm_hit_rate": {
+                stage: warm_hits[stage] / warm_requests[stage]
+                for stage in cold if warm_requests[stage]
+            },
+        }
+
+    result = benchmark.pedantic(profile, rounds=3, iterations=1)
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+
+    print(f"\nPipeline profile over {result['n_apps']} apps")
+    print(f"  serial   {result['serial_seconds'] * 1000:>8.1f} ms")
+    print(f"  warm     {result['warm_seconds'] * 1000:>8.1f} ms "
+          f"({result['warm_speedup']:.1f}x)")
+    print(f"  parallel {result['parallel_seconds'] * 1000:>8.1f} ms "
+          f"({result['parallel_speedup']:.2f}x, "
+          f"{result['workers']} workers)")
+    print(f"  wrote {BENCH_PATH}")
+
+    # a warm rerun must skip (nearly) every policy/static execution
+    for stage in ("policy_analysis", "static_analysis"):
+        assert result["warm_hit_rate"][stage] >= 0.9, stage
+    assert result["warm_speedup"] > 1.0

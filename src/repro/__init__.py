@@ -31,6 +31,7 @@ Reproducing the paper's study::
 """
 
 from repro.core.checker import AppBundle, PPChecker
+from repro.pipeline import Pipeline, build_store
 from repro.core.report import (
     AppReport,
     IncompleteFinding,
@@ -50,6 +51,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AppBundle",
     "PPChecker",
+    "Pipeline",
+    "build_store",
     "AppReport",
     "IncompleteFinding",
     "IncorrectFinding",

@@ -82,6 +82,94 @@ class StaticAnalysisResult:
             and fact.reachable
         })
 
+    # -- pipeline artifact protocol ---------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (pipeline disk cache)."""
+        return {
+            "package": self.package,
+            "was_packed": self.was_packed,
+            "facts": [
+                {
+                    "info": fact.info.value,
+                    "evidence": fact.evidence,
+                    "caller": fact.caller,
+                    "attributed_to_app": fact.attributed_to_app,
+                    "reachable": fact.reachable,
+                }
+                for fact in self.facts
+            ],
+            "retained": [
+                {
+                    "info": path.info.value,
+                    "source_api": path.source_api,
+                    "source_method": path.source_method,
+                    "sink_api": path.sink_api,
+                    "sink_method": path.sink_method,
+                    "sink_kind": path.sink_kind,
+                    "hops": list(path.hops),
+                }
+                for path in self.retained
+            ],
+            "libraries": [
+                {
+                    "lib_id": spec.lib_id,
+                    "name": spec.name,
+                    "prefix": spec.prefix,
+                    "category": spec.category,
+                }
+                for spec in self.libraries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> StaticAnalysisResult:
+        result = cls(package=doc["package"],
+                     was_packed=doc.get("was_packed", False))
+        result.facts = [
+            CollectionFact(
+                info=InfoType(f["info"]),
+                evidence=f["evidence"],
+                caller=f["caller"],
+                attributed_to_app=f["attributed_to_app"],
+                reachable=f["reachable"],
+            )
+            for f in doc.get("facts", ())
+        ]
+        result.retained = [
+            TaintPath(
+                info=InfoType(p["info"]),
+                source_api=p["source_api"],
+                source_method=p["source_method"],
+                sink_api=p["sink_api"],
+                sink_method=p["sink_method"],
+                sink_kind=p["sink_kind"],
+                hops=tuple(p.get("hops", ())),
+            )
+            for p in doc.get("retained", ())
+        ]
+        result.libraries = [
+            LibSpec(
+                lib_id=s["lib_id"],
+                name=s["name"],
+                prefix=s["prefix"],
+                category=s["category"],
+            )
+            for s in doc.get("libraries", ())
+        ]
+        return result
+
+    def clone(self) -> StaticAnalysisResult:
+        """A defensive copy handed out by the artifact cache (facts,
+        paths, and specs are frozen; shallow list copies suffice)."""
+        return StaticAnalysisResult(
+            package=self.package,
+            facts=list(self.facts),
+            retained=list(self.retained),
+            libraries=list(self.libraries),
+            was_packed=self.was_packed,
+        )
+
 
 def _attributed_to_app(caller_class: str, package: str) -> bool:
     return caller_class.startswith(package)

@@ -3,9 +3,17 @@
 Subcommands::
 
     python -m repro.cli check BUNDLE.json [--json] [--lib-policies DIR]
+            [--cache-dir PATH] [--fail-on-findings]
         Run PPChecker over one serialized app bundle.
 
+    python -m repro.cli batch-check BUNDLE.json... [--json PATH]
+            [--workers N] [--cache-dir PATH] [--fail-on-findings]
+        Run PPChecker over many bundles at once, fanned out over a
+        worker pool and sharing one artifact cache (compliance-CI
+        entry point).
+
     python -m repro.cli study [--apps N] [--seed S] [--json PATH]
+            [--workers N] [--cache-dir PATH]
         Run the full market study over the synthetic corpus and print
         the paper's tables.
 
@@ -54,12 +62,34 @@ def _lib_policy_source(directory: str | None):
     return from_directory
 
 
+def _build_checker(args: argparse.Namespace, lib_policy_source) -> PPChecker:
+    """A checker honoring the shared --cache-dir flag."""
+    from repro.pipeline.artifacts import build_store
+
+    return PPChecker(
+        lib_policy_source=lib_policy_source,
+        artifact_store=build_store(
+            cache_dir=getattr(args, "cache_dir", None)
+        ),
+    )
+
+
+def _print_stage_stats(stats) -> None:
+    print("\n== pipeline ==")
+    print(f"  {'stage':<26} {'exec':>6} {'hits':>6} {'hit%':>6} "
+          f"{'seconds':>8}")
+    for name, row in stats.to_dict().items():
+        print(f"  {name:<26} {row['executions']:>6} "
+              f"{row['cache_hits']:>6} {row['hit_rate'] * 100:>5.1f}% "
+              f"{row['seconds']:>8.3f}")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.android.serialization import load_bundle
 
     bundle = load_bundle(args.bundle)
-    checker = PPChecker(
-        lib_policy_source=_lib_policy_source(args.lib_policies)
+    checker = _build_checker(
+        args, _lib_policy_source(args.lib_policies)
     )
     report = checker.check(bundle)
     if args.json:
@@ -68,7 +98,34 @@ def cmd_check(args: argparse.Namespace) -> int:
         print()
     else:
         print(report.summary())
-    return 1 if report.has_problem else 0
+    return 1 if args.fail_on_findings and report.has_problem else 0
+
+
+def cmd_batch_check(args: argparse.Namespace) -> int:
+    from repro.android.serialization import load_bundle
+
+    checker = _build_checker(
+        args, _lib_policy_source(args.lib_policies)
+    )
+    bundles = [load_bundle(path) for path in args.bundles]
+    reports = checker.check_batch(bundles, workers=args.workers)
+
+    flagged = sum(1 for report in reports if report.has_problem)
+    for report in reports:
+        kinds = ",".join(sorted(report.problem_kinds())) or "clean"
+        print(f"  {report.package:<44} {kinds}")
+    print(f"{len(reports)} apps checked, {flagged} with findings")
+    _print_stage_stats(checker.stats)
+
+    if args.json:
+        payload = {
+            "reports": [report.to_dict() for report in reports],
+            "pipeline_stats": checker.stats.to_dict(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if args.fail_on_findings and flagged else 0
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -76,8 +133,8 @@ def cmd_study(args: argparse.Namespace) -> int:
     from repro.corpus.appstore import generate_app_store
 
     store = generate_app_store(seed=args.seed, n_apps=args.apps)
-    checker = PPChecker(lib_policy_source=store.lib_policy)
-    result = run_study(store, checker=checker)
+    checker = _build_checker(args, store.lib_policy)
+    result = run_study(store, checker=checker, workers=args.workers)
     summary = result.summary()
 
     print("== study summary ==")
@@ -101,14 +158,19 @@ def cmd_study(args: argparse.Namespace) -> int:
               f"P={row.precision:.3f} R={row.recall:.3f} "
               f"F1={row.f1:.3f}")
 
+    if result.stats is not None:
+        _print_stage_stats(result.stats)
+
     if args.html:
         from repro.core.html_report import write_study_html
         write_study_html(result, args.html)
         print(f"\nwrote {args.html}")
     if args.json:
+        payload = result.to_dict()
+        if result.stats is not None:
+            payload["pipeline_stats"] = result.stats.to_dict()
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle, indent=2,
-                      sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")
 
     if args.apps >= 1197:
@@ -201,13 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="persist stage artifacts under this "
+                            "directory (reruns skip unchanged inputs)")
+
     check = sub.add_parser("check", help="check one app bundle")
     check.add_argument("bundle", help="path to a bundle JSON")
     check.add_argument("--json", action="store_true",
                        help="emit the report as JSON")
     check.add_argument("--lib-policies", default=None,
                        help="directory of <lib_id>.txt policies")
+    check.add_argument("--fail-on-findings", action="store_true",
+                       help="exit 1 when the report has findings "
+                            "(for compliance CI jobs)")
+    add_cache_dir(check)
     check.set_defaults(func=cmd_check)
+
+    batch = sub.add_parser("batch-check",
+                           help="check many app bundles at once")
+    batch.add_argument("bundles", nargs="+",
+                       help="paths to bundle JSONs")
+    batch.add_argument("--json", default=None,
+                       help="write all reports + pipeline stats to "
+                            "this JSON path")
+    batch.add_argument("--lib-policies", default=None,
+                       help="directory of <lib_id>.txt policies")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker threads (default: serial)")
+    batch.add_argument("--fail-on-findings", action="store_true",
+                       help="exit 1 when any report has findings")
+    add_cache_dir(batch)
+    batch.set_defaults(func=cmd_batch_check)
 
     study = sub.add_parser("study", help="run the market study")
     study.add_argument("--apps", type=int, default=1197)
@@ -216,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write results to this JSON path")
     study.add_argument("--html", default=None,
                        help="also render an HTML dashboard here")
+    study.add_argument("--workers", type=int, default=1,
+                       help="worker threads (default: serial)")
+    add_cache_dir(study)
     study.set_defaults(func=cmd_study)
 
     screen = sub.add_parser("screen",

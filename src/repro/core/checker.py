@@ -3,6 +3,15 @@
 Input: an app's privacy policy, description, APK, and its third-party
 libs' privacy policies.  Output: an :class:`repro.core.report.AppReport`
 with the incomplete / incorrect / inconsistent findings.
+
+Since the pipeline refactor, PPChecker is a thin facade over
+:class:`repro.pipeline.Pipeline`: every analysis runs as a
+content-addressed stage whose result is memoized in an artifact store
+(in-memory by default, optionally disk-backed), and batches fan out
+over a worker pool.  The facade keeps the historical call surface --
+``check``, ``analyze_policy``, ``analyze_code``, ``_lib_policy`` --
+so existing call sites and subclasses (e.g.
+:class:`repro.core.extended.ExtendedPPChecker`) work unchanged.
 """
 
 from __future__ import annotations
@@ -11,19 +20,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.android.apk import Apk
-from repro.android.static_analysis import StaticAnalysisResult, analyze_apk
-from repro.core.incomplete import (
-    detect_incomplete_via_code,
-    detect_incomplete_via_description,
-)
-from repro.core.inconsistent import detect_inconsistent
-from repro.core.incorrect import (
-    detect_incorrect_via_code,
-    detect_incorrect_via_description,
-)
+from repro.android.static_analysis import StaticAnalysisResult
 from repro.core.matching import InfoMatcher
 from repro.core.report import AppReport
 from repro.description.autocog import AutoCog
+from repro.pipeline.artifacts import (
+    ArtifactStore,
+    MemoryStore,
+    PipelineStats,
+)
+from repro.pipeline.pipeline import Pipeline
 from repro.policy.analyzer import PolicyAnalyzer
 from repro.policy.model import PolicyAnalysis
 
@@ -46,7 +52,12 @@ class PPChecker:
 
     ``lib_policy_source`` maps a detected lib id to that lib's policy
     text (None when the lib publishes no English policy); lib analyses
-    are cached across apps.
+    are cached in the artifact store, shared across apps *and* across
+    every checker handed the same ``artifact_store``.
+
+    Pass ``artifact_store=build_store(cache_dir=...)`` for a
+    disk-backed cache that survives the process, or a prebuilt
+    ``pipeline`` to share stages wholesale.
     """
 
     lib_policy_source: Callable[[str], str | None] = lambda lib_id: None
@@ -56,32 +67,46 @@ class PPChecker:
     use_reachability: bool = True
     use_uri_analysis: bool = True
     honor_disclaimer: bool = True
-    _lib_cache: dict[str, PolicyAnalysis | None] = field(
-        default_factory=dict, repr=False
-    )
+    artifact_store: ArtifactStore | None = None
+    pipeline: Pipeline | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pipeline is None:
+            self.pipeline = Pipeline(
+                lib_policy_source=self.lib_policy_source,
+                policy_analyzer=self.policy_analyzer,
+                autocog=self.autocog,
+                matcher=self.matcher,
+                use_reachability=self.use_reachability,
+                use_uri_analysis=self.use_uri_analysis,
+                honor_disclaimer=self.honor_disclaimer,
+                # explicit None check: an empty MemoryStore is falsy
+                store=(self.artifact_store
+                       if self.artifact_store is not None
+                       else MemoryStore()),
+            )
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Per-stage wall time and cache-hit counters."""
+        return self.pipeline.stats
 
     # -- pipeline pieces ----------------------------------------------------
 
     def analyze_policy(self, bundle: AppBundle) -> PolicyAnalysis:
-        return self.policy_analyzer.analyze(
-            bundle.policy, html=bundle.policy_is_html
-        )
+        return self.pipeline.policy_analysis(bundle)
 
     def analyze_code(self, bundle: AppBundle) -> StaticAnalysisResult:
-        return analyze_apk(
-            bundle.apk,
-            use_reachability=self.use_reachability,
-            use_uri_analysis=self.use_uri_analysis,
-        )
+        return self.pipeline.static_analysis(bundle)
+
+    def infer_permissions(self, bundle: AppBundle) -> set[str]:
+        """Info_desc gated on the manifest (Alg. 1 considers only
+        permissions the app actually requests)."""
+        return (self.pipeline.description_permissions(bundle)
+                & bundle.apk.manifest.permissions)
 
     def _lib_policy(self, lib_id: str) -> PolicyAnalysis | None:
-        if lib_id not in self._lib_cache:
-            text = self.lib_policy_source(lib_id)
-            self._lib_cache[lib_id] = (
-                None if text is None
-                else self.policy_analyzer.analyze(text)
-            )
-        return self._lib_cache[lib_id]
+        return self.pipeline.lib_policy_analysis(lib_id)
 
     # -- the check ----------------------------------------------------------
 
@@ -89,34 +114,17 @@ class PPChecker:
         """Run all three detectors over one app."""
         policy = self.analyze_policy(bundle)
         static_result = self.analyze_code(bundle)
-        permissions = self.autocog.infer_permissions(bundle.description)
-        # Alg. 1 considers only permissions the app actually requests
-        permissions &= bundle.apk.manifest.permissions
+        permissions = self.infer_permissions(bundle)
+        return self.pipeline.detect(bundle, policy, static_result,
+                                    permissions)
 
-        report = AppReport(package=bundle.package)
-        report.incomplete.extend(detect_incomplete_via_description(
-            policy, permissions, self.matcher,
-        ))
-        report.incomplete.extend(detect_incomplete_via_code(
-            policy, static_result, self.matcher,
-        ))
-        report.incorrect.extend(detect_incorrect_via_description(
-            policy, permissions, self.matcher,
-        ))
-        report.incorrect.extend(detect_incorrect_via_code(
-            policy, static_result, self.matcher,
-        ))
-
-        lib_policies = {
-            spec.lib_id: analysis
-            for spec in static_result.libraries
-            if (analysis := self._lib_policy(spec.lib_id)) is not None
-        }
-        report.inconsistent.extend(detect_inconsistent(
-            policy, lib_policies, self.matcher,
-            honor_disclaimer=self.honor_disclaimer,
-        ))
-        return report
+    def check_batch(self, bundles: list[AppBundle],
+                    workers: int = 1) -> list[AppReport]:
+        """``check`` over many apps, fanned out over *workers*
+        threads; results come back in input order.  ``workers=1`` is
+        a plain serial loop."""
+        return self.pipeline.check_batch(bundles, workers=workers,
+                                         check=self.check)
 
 
 __all__ = ["AppBundle", "PPChecker"]

@@ -25,6 +25,19 @@ class InfoMatcher:
         if self.esa is None:
             self.esa = default_model()
 
+    def fingerprint(self) -> str:
+        """Content hash of the matcher configuration; part of the
+        ``detect`` cache key.  Custom ESA models may expose their own
+        ``fingerprint()``; otherwise the type name stands in."""
+        from repro.hashing import fingerprint
+
+        esa_fp = getattr(self.esa, "fingerprint", None)
+        return fingerprint({
+            "threshold": self.threshold,
+            "esa": esa_fp() if callable(esa_fp)
+            else type(self.esa).__name__,
+        })
+
     def phrase_matches(self, info: InfoType, phrase: str) -> bool:
         """Similarity(info, phrase) > threshold."""
         if normalize_resource(phrase) is info:

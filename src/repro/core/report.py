@@ -133,6 +133,54 @@ class AppReport:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> AppReport:
+        """Rebuild a report from :meth:`to_dict` output (pipeline
+        disk cache); derived fields are recomputed, not read."""
+        report = cls(package=doc["package"])
+        report.incomplete = [
+            IncompleteFinding(
+                info=InfoType(f["info"]),
+                source=f["source"],
+                retained=f.get("retained", False),
+                permission=f.get("permission", ""),
+                evidence=tuple(f.get("evidence", ())),
+            )
+            for f in doc.get("incomplete", ())
+        ]
+        report.incorrect = [
+            IncorrectFinding(
+                info=InfoType(f["info"]),
+                source=f["source"],
+                denial_sentence=f["denial_sentence"],
+                kind=f.get("kind", "collect"),
+                evidence=tuple(f.get("evidence", ())),
+            )
+            for f in doc.get("incorrect", ())
+        ]
+        report.inconsistent = [
+            InconsistentFinding(
+                lib_id=f["lib"],
+                category=VerbCategory(f["category"]),
+                app_sentence=f["app_sentence"],
+                lib_sentence=f["lib_sentence"],
+                app_resource=f["app_resource"],
+                lib_resource=f["lib_resource"],
+            )
+            for f in doc.get("inconsistent", ())
+        ]
+        return report
+
+    def clone(self) -> AppReport:
+        """A defensive copy handed out by the artifact cache
+        (findings are frozen, so shallow list copies suffice)."""
+        return AppReport(
+            package=self.package,
+            incomplete=list(self.incomplete),
+            incorrect=list(self.incorrect),
+            inconsistent=list(self.inconsistent),
+        )
+
     def summary(self) -> str:
         """A one-app human-readable report."""
         lines = [f"=== {self.package} ==="]

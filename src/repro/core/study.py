@@ -22,6 +22,7 @@ from repro.core.checker import PPChecker
 from repro.core.report import AppReport
 from repro.corpus.appstore import AppStore
 from repro.corpus.plans import AppPlan
+from repro.pipeline.artifacts import PipelineStats
 from repro.policy.verbs import VerbCategory
 from repro.semantics.resources import InfoType
 
@@ -60,6 +61,11 @@ class StudyResult:
     n_apps: int
     reports: dict[str, AppReport] = field(default_factory=dict)
     plans: dict[str, AppPlan] = field(default_factory=dict)
+    #: per-stage wall time / cache-hit counters of the run (None for
+    #: hand-assembled results); excluded from :meth:`to_dict` so table
+    #: exports stay stable across timing noise.
+    stats: PipelineStats | None = field(default=None, repr=False,
+                                        compare=False)
 
     # -- incomplete via description (Table III) ---------------------------
 
@@ -272,15 +278,25 @@ def run_study(
     store: AppStore,
     checker: PPChecker | None = None,
     limit: int | None = None,
+    workers: int = 1,
 ) -> StudyResult:
-    """Run PPChecker over every app of the store."""
+    """Run PPChecker over every app of the store.
+
+    ``workers`` fans the per-app checks out over the pipeline's batch
+    executor (thread pool, deterministic ordering); the aggregated
+    numbers are identical for any worker count.  The pipeline's
+    per-stage counters land on ``result.stats``.
+    """
     if checker is None:
         checker = PPChecker(lib_policy_source=store.lib_policy)
     apps = store.apps if limit is None else store.apps[:limit]
     result = StudyResult(n_apps=len(apps))
-    for app in apps:
-        result.reports[app.package] = checker.check(app.bundle)
+    reports = checker.check_batch([app.bundle for app in apps],
+                                  workers=workers)
+    for app, report in zip(apps, reports):
+        result.reports[app.package] = report
         result.plans[app.package] = app.plan
+    result.stats = checker.stats
     return result
 
 

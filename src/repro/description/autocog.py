@@ -90,6 +90,18 @@ class AutoCog:
         if self.esa is None:
             self.esa = default_model()
 
+    def fingerprint(self) -> str:
+        """Content hash of the description model; part of the
+        ``description_permissions`` cache key."""
+        from repro.hashing import fingerprint
+
+        return fingerprint({
+            "model": {perm: list(phrases)
+                      for perm, phrases in self._model.items()},
+            "threshold": self.threshold,
+            "use_esa_fallback": self.use_esa_fallback,
+        })
+
     def infer_permissions(self, description: str) -> set[str]:
         """Permissions the description's sentences imply."""
         inferred: set[str] = set()

@@ -1,0 +1,39 @@
+"""Content hashing for the pipeline's cache keys.
+
+Every pipeline stage (:mod:`repro.pipeline`) is keyed by a SHA-256
+digest of a canonical JSON rendering of its inputs: same content, same
+key, across processes and machines.  This module is a dependency leaf
+so that any layer (policy, android, description) can fingerprint its
+own configuration without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(doc: Any) -> str:
+    """The canonical rendering: sorted keys, no whitespace, raw UTF-8.
+
+    ``doc`` must be JSON-serializable (tuples serialize as lists, so a
+    tuple and the equal list share a digest -- intended).
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False)
+
+
+def fingerprint(doc: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of *doc*."""
+    return hashlib.sha256(
+        canonical_json(doc).encode("utf-8")
+    ).hexdigest()
+
+
+def fingerprint_text(text: str) -> str:
+    """SHA-256 hex digest of raw text (no JSON canonicalization)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+__all__ = ["canonical_json", "fingerprint", "fingerprint_text"]

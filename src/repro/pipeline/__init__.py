@@ -1,0 +1,45 @@
+"""The staged, content-addressed PPChecker pipeline.
+
+- :mod:`repro.pipeline.stages`    stage names, cache-key recipes, codecs
+- :mod:`repro.pipeline.artifacts` artifact stores (memory LRU, disk
+  JSON, tiered) and the per-stage counters
+- :mod:`repro.pipeline.executor`  deterministic batch fan-out
+- :mod:`repro.pipeline.pipeline`  the :class:`Pipeline` orchestrator
+
+Typical use::
+
+    from repro.pipeline import Pipeline, build_store
+
+    pipeline = Pipeline(lib_policy_source=store.lib_policy,
+                        store=build_store(cache_dir=".ppcache"))
+    reports = pipeline.check_batch(bundles, workers=4)
+    print(pipeline.stats.to_dict())
+"""
+
+from repro.pipeline.artifacts import (
+    MISS,
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    PipelineStats,
+    StageStats,
+    TieredStore,
+    build_store,
+)
+from repro.pipeline.executor import BatchExecutor
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stages import STAGES
+
+__all__ = [
+    "MISS",
+    "ArtifactStore",
+    "MemoryStore",
+    "DiskStore",
+    "TieredStore",
+    "build_store",
+    "StageStats",
+    "PipelineStats",
+    "BatchExecutor",
+    "Pipeline",
+    "STAGES",
+]

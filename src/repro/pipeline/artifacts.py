@@ -1,0 +1,235 @@
+"""Artifact stores and per-stage counters for the staged pipeline.
+
+An *artifact* is the output of one pipeline stage (a
+:class:`~repro.policy.model.PolicyAnalysis`, a
+:class:`~repro.android.static_analysis.StaticAnalysisResult`, an
+inferred permission set, ...), addressed by ``(stage name, content
+digest of the stage inputs)``.  Stores answer "have we computed this
+before?":
+
+- :class:`MemoryStore` -- a bounded, thread-safe LRU holding live
+  artifact objects; the default.
+- :class:`DiskStore`   -- one JSON document per artifact under a cache
+  directory, using the stage codecs from :mod:`repro.pipeline.stages`;
+  survives across processes and runs.
+- :class:`TieredStore` -- memory in front of disk, backfilling the
+  memory layer on a disk hit.
+
+:class:`PipelineStats` aggregates per-stage wall time, execution and
+cache-hit counts; it is what ``StudyResult.stats`` and the CLI
+``--json`` output surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+#: Sentinel distinguishing "never computed" from a stored ``None``
+#: artifact (libs without a policy cache as ``None``).
+MISS = object()
+
+
+class ArtifactStore(Protocol):
+    """Minimal store interface the pipeline drives."""
+
+    def get(self, stage: str, digest: str) -> Any:
+        """The stored artifact, or :data:`MISS`."""
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        """Store *artifact* under ``(stage, digest)``."""
+
+
+class MemoryStore:
+    """Thread-safe in-memory LRU over ``(stage, digest)`` keys."""
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, stage: str, digest: str) -> Any:
+        key = (stage, digest)
+        with self._lock:
+            if key not in self._entries:
+                return MISS
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        key = (stage, digest)
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskStore:
+    """One ``<cache_dir>/<stage>/<digest>.json`` document per artifact.
+
+    ``codecs`` maps a stage name to an ``(encode, decode)`` pair
+    translating between the live artifact and its JSON document (the
+    registry lives in :data:`repro.pipeline.stages.STAGE_CODECS`).
+    Stages without a codec are passed through untouched -- their
+    artifacts must already be JSON-serializable.  Writes go through a
+    temp file + atomic rename so concurrent writers can never expose a
+    torn document.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        codecs: dict[str, tuple[Callable[[Any], Any],
+                                Callable[[Any], Any]]] | None = None,
+    ) -> None:
+        if codecs is None:
+            from repro.pipeline.stages import STAGE_CODECS
+            codecs = STAGE_CODECS
+        self.cache_dir = cache_dir
+        self.codecs = codecs
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, stage: str, digest: str) -> str:
+        return os.path.join(self.cache_dir, stage, digest + ".json")
+
+    def get(self, stage: str, digest: str) -> Any:
+        path = self._path(stage, digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return MISS
+        codec = self.codecs.get(stage)
+        return doc if codec is None else codec[1](doc)
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        codec = self.codecs.get(stage)
+        doc = artifact if codec is None else codec[0](artifact)
+        path = self._path(stage, digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+class TieredStore:
+    """Memory in front of disk; disk hits backfill the memory layer."""
+
+    def __init__(self, memory: MemoryStore, disk: DiskStore) -> None:
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, stage: str, digest: str) -> Any:
+        artifact = self.memory.get(stage, digest)
+        if artifact is not MISS:
+            return artifact
+        artifact = self.disk.get(stage, digest)
+        if artifact is not MISS:
+            self.memory.put(stage, digest, artifact)
+        return artifact
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        self.memory.put(stage, digest, artifact)
+        self.disk.put(stage, digest, artifact)
+
+
+def build_store(cache_dir: str | None = None,
+                max_entries: int = 8192) -> ArtifactStore:
+    """The default store layout: in-memory LRU, plus disk when a
+    cache directory is given."""
+    memory = MemoryStore(max_entries=max_entries)
+    if cache_dir is None:
+        return memory
+    return TieredStore(memory, DiskStore(cache_dir))
+
+
+# -- counters ------------------------------------------------------------
+
+
+@dataclass
+class StageStats:
+    """Counters for one stage."""
+
+    executions: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.executions + self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict[str, int | float]:
+        return {
+            "executions": self.executions,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "seconds": self.seconds,
+        }
+
+
+class PipelineStats:
+    """Thread-safe per-stage counters for one pipeline instance."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, StageStats] = {}
+        self._lock = threading.Lock()
+
+    def record(self, stage: str, *, hit: bool, seconds: float) -> None:
+        with self._lock:
+            stats = self._stages.setdefault(stage, StageStats())
+            if hit:
+                stats.cache_hits += 1
+            else:
+                stats.executions += 1
+            stats.seconds += seconds
+
+    def stage(self, name: str) -> StageStats:
+        with self._lock:
+            return self._stages.setdefault(name, StageStats())
+
+    def snapshot(self) -> dict[str, dict[str, int | float]]:
+        """A point-in-time copy (diff two snapshots to scope a run)."""
+        with self._lock:
+            return {name: stats.to_dict()
+                    for name, stats in sorted(self._stages.items())}
+
+    def to_dict(self) -> dict[str, dict[str, int | float]]:
+        return self.snapshot()
+
+
+__all__ = [
+    "MISS",
+    "ArtifactStore",
+    "MemoryStore",
+    "DiskStore",
+    "TieredStore",
+    "build_store",
+    "StageStats",
+    "PipelineStats",
+]

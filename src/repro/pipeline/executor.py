@@ -1,0 +1,55 @@
+"""Batch fan-out with deterministic result ordering.
+
+``BatchExecutor.map`` is the one primitive the batch entry points
+(``run_study``, ``repro.cli study``, ``repro.cli batch-check``) build
+on: apply a function to every item, return results in *input* order
+regardless of completion order, run serially when ``workers <= 1`` so
+the default path is byte-identical to the pre-pipeline behaviour.
+
+Threads are the default worker kind: checker objects (closures over
+lib-policy sources, shared artifact stores) do not need to pickle, and
+the artifact store plus stats counters are shared and lock-protected.
+``kind="process"`` switches to a process pool for picklable workloads
+(see :func:`repro.core.study.run_study_parallel` for the
+regenerate-in-worker pattern that keeps APKs off the wire).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class BatchExecutor:
+    """Maps a function over items with bounded parallelism."""
+
+    workers: int = 1
+    kind: str = "thread"  # "thread" | "process"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("thread", "process"):
+            raise ValueError(f"unknown executor kind: {self.kind!r}")
+
+    def map(self, fn: Callable[[T], R],
+            items: Iterable[T]) -> list[R]:
+        """``[fn(item) for item in items]``, possibly in parallel;
+        result order always matches input order."""
+        todo: Sequence[T] = list(items)
+        workers = max(1, min(self.workers, len(todo) or 1))
+        if workers == 1:
+            return [fn(item) for item in todo]
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if self.kind == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(fn, todo))
+
+
+__all__ = ["BatchExecutor"]

@@ -1,0 +1,221 @@
+"""The staged PPChecker pipeline (Fig. 4, decomposed).
+
+:class:`Pipeline` runs the five stages of :mod:`repro.pipeline.stages`
+over app bundles, memoizing every stage result in an artifact store
+keyed by content hashes of the stage inputs.  Re-checking an unchanged
+app (or a changed app whose policy / APK / description stayed the
+same) never re-runs the corresponding analysis; lib-policy analyses
+are shared across *all* apps and checker instances that share a store.
+
+:class:`repro.core.checker.PPChecker` is a thin facade over this
+class; use the pipeline directly when you need batch fan-out, a disk
+cache, or the per-stage counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.android.static_analysis import (
+    StaticAnalysisResult,
+    analyze_apk,
+)
+from repro.core.incomplete import (
+    detect_incomplete_via_code,
+    detect_incomplete_via_description,
+)
+from repro.core.inconsistent import detect_inconsistent
+from repro.core.incorrect import (
+    detect_incorrect_via_code,
+    detect_incorrect_via_description,
+)
+from repro.core.matching import InfoMatcher
+from repro.core.report import AppReport
+from repro.description.autocog import AutoCog
+from repro.pipeline import stages
+from repro.pipeline.artifacts import (
+    MISS,
+    ArtifactStore,
+    MemoryStore,
+    PipelineStats,
+)
+from repro.pipeline.executor import BatchExecutor
+from repro.policy.analyzer import PolicyAnalyzer
+from repro.policy.model import PolicyAnalysis
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.checker import AppBundle
+
+
+@dataclass
+class Pipeline:
+    """Content-addressed, stage-cached PPChecker execution."""
+
+    lib_policy_source: Callable[[str], str | None] = lambda lib_id: None
+    policy_analyzer: PolicyAnalyzer = field(default_factory=PolicyAnalyzer)
+    autocog: AutoCog = field(default_factory=AutoCog)
+    matcher: InfoMatcher = field(default_factory=InfoMatcher)
+    use_reachability: bool = True
+    use_uri_analysis: bool = True
+    honor_disclaimer: bool = True
+    store: ArtifactStore = field(default_factory=MemoryStore)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    def __post_init__(self) -> None:
+        self._lib_lock = Lock()
+
+    # -- stage runner ------------------------------------------------------
+
+    def _run(self, stage: str, digest: str,
+             compute: Callable[[], Any]) -> Any:
+        """Look up ``(stage, digest)``; compute-and-store on a miss.
+        Returns a defensive copy so cached artifacts stay pristine."""
+        clone = stages.STAGE_CLONES[stage]
+        started = time.perf_counter()
+        artifact = self.store.get(stage, digest)
+        if artifact is not MISS:
+            self.stats.record(stage, hit=True,
+                              seconds=time.perf_counter() - started)
+            return clone(artifact)
+        artifact = compute()
+        self.store.put(stage, digest, artifact)
+        self.stats.record(stage, hit=False,
+                          seconds=time.perf_counter() - started)
+        return clone(artifact)
+
+    # -- the five stages ---------------------------------------------------
+
+    def policy_analysis(self, bundle: "AppBundle") -> PolicyAnalysis:
+        digest = stages.policy_key(self.policy_analyzer.fingerprint(),
+                                   bundle.policy, bundle.policy_is_html)
+        return self._run(
+            stages.POLICY_ANALYSIS, digest,
+            lambda: self.policy_analyzer.analyze(
+                bundle.policy, html=bundle.policy_is_html),
+        )
+
+    def static_analysis(self, bundle: "AppBundle") -> StaticAnalysisResult:
+        # unpack before keying (in place, exactly what analyze_apk's
+        # auto_unpack would do): the cache key must address the real
+        # bytecode, not the packer stub, so a re-check of the same
+        # bundle hits regardless of when the unpack happened
+        was_packed = bundle.apk.packed
+        if was_packed:
+            from repro.android.packer import unpack
+
+            unpack(bundle.apk)
+        digest = stages.static_key(
+            bundle.apk,
+            use_reachability=self.use_reachability,
+            use_uri_analysis=self.use_uri_analysis,
+        )
+        result = self._run(
+            stages.STATIC_ANALYSIS, digest,
+            lambda: analyze_apk(
+                bundle.apk,
+                use_reachability=self.use_reachability,
+                use_uri_analysis=self.use_uri_analysis,
+            ),
+        )
+        if was_packed:
+            result.was_packed = True  # mutates the clone, not the cache
+        return result
+
+    def description_permissions(self, bundle: "AppBundle") -> set[str]:
+        """The raw inferred permission set (before the manifest
+        intersection, which is app-specific and free)."""
+        digest = stages.description_key(self.autocog.fingerprint(),
+                                        bundle.description)
+        return self._run(
+            stages.DESCRIPTION_PERMISSIONS, digest,
+            lambda: self.autocog.infer_permissions(bundle.description),
+        )
+
+    def lib_policy_analysis(self, lib_id: str) -> PolicyAnalysis | None:
+        """The analyzed policy of one third-party lib (None when the
+        lib publishes no policy), shared across apps and checkers."""
+        text = self.lib_policy_source(lib_id)
+        digest = stages.lib_policy_key(
+            self.policy_analyzer.fingerprint(), lib_id, text)
+        # serialize lib computes: the handful of shared lib policies
+        # would otherwise be analyzed once per worker on a cold start
+        with self._lib_lock:
+            return self._run(
+                stages.LIB_POLICY_ANALYSIS, digest,
+                lambda: None if text is None
+                else self.policy_analyzer.analyze(text),
+            )
+
+    def detect(
+        self,
+        bundle: "AppBundle",
+        policy: PolicyAnalysis,
+        static_result: StaticAnalysisResult,
+        permissions: set[str],
+    ) -> AppReport:
+        """The three detectors over precomputed stage artifacts."""
+        lib_analyses = {
+            spec.lib_id: analysis
+            for spec in static_result.libraries
+            if (analysis := self.lib_policy_analysis(spec.lib_id))
+            is not None
+        }
+        digest = stages.detect_key(
+            bundle.package, policy, static_result, permissions,
+            lib_analyses,
+            matcher_fingerprint=self.matcher.fingerprint(),
+            honor_disclaimer=self.honor_disclaimer,
+        )
+
+        def compute() -> AppReport:
+            report = AppReport(package=bundle.package)
+            report.incomplete.extend(detect_incomplete_via_description(
+                policy, permissions, self.matcher,
+            ))
+            report.incomplete.extend(detect_incomplete_via_code(
+                policy, static_result, self.matcher,
+            ))
+            report.incorrect.extend(detect_incorrect_via_description(
+                policy, permissions, self.matcher,
+            ))
+            report.incorrect.extend(detect_incorrect_via_code(
+                policy, static_result, self.matcher,
+            ))
+            report.inconsistent.extend(detect_inconsistent(
+                policy, lib_analyses, self.matcher,
+                honor_disclaimer=self.honor_disclaimer,
+            ))
+            return report
+
+        return self._run(stages.DETECT, digest, compute)
+
+    # -- whole-app and batch entry points ----------------------------------
+
+    def check(self, bundle: "AppBundle") -> AppReport:
+        """All five stages over one app (Alg. 1-5, cached)."""
+        policy = self.policy_analysis(bundle)
+        static_result = self.static_analysis(bundle)
+        # Alg. 1 considers only permissions the app actually requests
+        permissions = (self.description_permissions(bundle)
+                       & bundle.apk.manifest.permissions)
+        return self.detect(bundle, policy, static_result, permissions)
+
+    def check_batch(
+        self,
+        bundles: list["AppBundle"],
+        workers: int = 1,
+        check: Callable[["AppBundle"], AppReport] | None = None,
+    ) -> list[AppReport]:
+        """``check`` over every bundle, fanned out over *workers*
+        threads; results come back in input order.  ``check`` defaults
+        to :meth:`check` -- pass a bound override (e.g. an
+        :class:`~repro.core.extended.ExtendedPPChecker` method) to
+        keep subclass behaviour under fan-out."""
+        return BatchExecutor(workers=workers).map(
+            check or self.check, bundles)
+
+
+__all__ = ["Pipeline"]

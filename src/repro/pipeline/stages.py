@@ -1,0 +1,167 @@
+"""Stage definitions: names, cache-key recipes, and disk codecs.
+
+The pipeline decomposes one PPChecker run into five independently
+cacheable stages.  Each stage is keyed by a content hash of exactly
+the inputs that determine its output:
+
+===========================  ===========================================
+stage                        cache key = SHA-256 of
+===========================  ===========================================
+``policy_analysis``          analyzer fingerprint + html flag
+                             + policy-text digest
+``static_analysis``          APK content digest + analysis flags
+``description_permissions``  AutoCog fingerprint + description digest
+``lib_policy_analysis``      analyzer fingerprint + lib id
+                             + lib-policy-text digest (or null)
+``detect``                   package + content digests of the three
+                             upstream artifacts + sorted permissions
+                             + per-lib analysis digests + matcher
+                             fingerprint + honor_disclaimer flag
+===========================  ===========================================
+
+``detect`` hashes the upstream *artifact contents* rather than reusing
+the upstream keys, so a transformed analysis (e.g. the constraint
+adjustment of :class:`repro.core.extended.ExtendedPPChecker`) gets its
+own detect key even though the raw policy text is unchanged.
+
+``STAGE_CODECS`` maps each stage to the ``(encode, decode)`` pair the
+:class:`repro.pipeline.artifacts.DiskStore` uses; live artifacts keep
+their types, documents are plain JSON (same idiom as
+:mod:`repro.android.serialization`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.android.static_analysis import StaticAnalysisResult
+from repro.core.report import AppReport
+from repro.hashing import fingerprint, fingerprint_text
+from repro.policy.model import PolicyAnalysis
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.apk import Apk
+
+POLICY_ANALYSIS = "policy_analysis"
+STATIC_ANALYSIS = "static_analysis"
+DESCRIPTION_PERMISSIONS = "description_permissions"
+LIB_POLICY_ANALYSIS = "lib_policy_analysis"
+DETECT = "detect"
+
+STAGES = (
+    POLICY_ANALYSIS,
+    STATIC_ANALYSIS,
+    DESCRIPTION_PERMISSIONS,
+    LIB_POLICY_ANALYSIS,
+    DETECT,
+)
+
+
+# -- cache keys ----------------------------------------------------------
+
+
+def policy_key(analyzer_fingerprint: str, policy: str,
+               html: bool) -> str:
+    return fingerprint([POLICY_ANALYSIS, analyzer_fingerprint,
+                        bool(html), fingerprint_text(policy)])
+
+
+def static_key(apk: "Apk", *, use_reachability: bool,
+               use_uri_analysis: bool) -> str:
+    return fingerprint([STATIC_ANALYSIS, apk.content_digest(),
+                        bool(use_reachability), bool(use_uri_analysis)])
+
+
+def description_key(autocog_fingerprint: str, description: str) -> str:
+    return fingerprint([DESCRIPTION_PERMISSIONS, autocog_fingerprint,
+                        fingerprint_text(description)])
+
+
+def lib_policy_key(analyzer_fingerprint: str, lib_id: str,
+                   text: str | None) -> str:
+    return fingerprint([LIB_POLICY_ANALYSIS, analyzer_fingerprint,
+                        lib_id,
+                        None if text is None else fingerprint_text(text)])
+
+
+def detect_key(
+    package: str,
+    policy: PolicyAnalysis,
+    static_result: StaticAnalysisResult,
+    permissions: set[str],
+    lib_analyses: dict[str, PolicyAnalysis],
+    *,
+    matcher_fingerprint: str,
+    honor_disclaimer: bool,
+) -> str:
+    return fingerprint([
+        DETECT,
+        package,
+        fingerprint(policy.to_dict()),
+        fingerprint(static_result.to_dict()),
+        sorted(permissions),
+        {lib_id: fingerprint(analysis.to_dict())
+         for lib_id, analysis in lib_analyses.items()},
+        matcher_fingerprint,
+        bool(honor_disclaimer),
+    ])
+
+
+# -- disk codecs ---------------------------------------------------------
+
+
+def _encode_optional_policy(analysis: PolicyAnalysis | None) -> Any:
+    return None if analysis is None else analysis.to_dict()
+
+
+def _decode_optional_policy(doc: Any) -> PolicyAnalysis | None:
+    return None if doc is None else PolicyAnalysis.from_dict(doc)
+
+
+#: stage -> (encode to JSON document, decode back to a live artifact)
+STAGE_CODECS: dict[str, tuple[Callable[[Any], Any],
+                              Callable[[Any], Any]]] = {
+    POLICY_ANALYSIS: (PolicyAnalysis.to_dict, PolicyAnalysis.from_dict),
+    STATIC_ANALYSIS: (StaticAnalysisResult.to_dict,
+                      StaticAnalysisResult.from_dict),
+    DESCRIPTION_PERMISSIONS: (sorted, set),
+    LIB_POLICY_ANALYSIS: (_encode_optional_policy,
+                          _decode_optional_policy),
+    DETECT: (AppReport.to_dict, AppReport.from_dict),
+}
+
+
+# -- defensive copies ----------------------------------------------------
+
+def _clone_optional_policy(
+    analysis: PolicyAnalysis | None,
+) -> PolicyAnalysis | None:
+    return None if analysis is None else analysis.clone()
+
+
+#: stage -> copy handed to callers, so cached artifacts can never be
+#: mutated through a returned reference.
+STAGE_CLONES: dict[str, Callable[[Any], Any]] = {
+    POLICY_ANALYSIS: PolicyAnalysis.clone,
+    STATIC_ANALYSIS: StaticAnalysisResult.clone,
+    DESCRIPTION_PERMISSIONS: set,
+    LIB_POLICY_ANALYSIS: _clone_optional_policy,
+    DETECT: AppReport.clone,
+}
+
+
+__all__ = [
+    "POLICY_ANALYSIS",
+    "STATIC_ANALYSIS",
+    "DESCRIPTION_PERMISSIONS",
+    "LIB_POLICY_ANALYSIS",
+    "DETECT",
+    "STAGES",
+    "policy_key",
+    "static_key",
+    "description_key",
+    "lib_policy_key",
+    "detect_key",
+    "STAGE_CODECS",
+    "STAGE_CLONES",
+]

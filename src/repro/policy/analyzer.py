@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.hashing import fingerprint, fingerprint_text
 from repro.nlp.sentences import split_sentences
 from repro.policy.extraction import extract_statement
 from repro.policy.html_text import html_to_text
@@ -55,12 +56,40 @@ class PolicyAnalyzer:
 
     patterns: tuple[Pattern, ...] = SEED_PATTERNS
     verbs: frozenset[str] = ALL_CATEGORY_VERBS
-    _cache: dict[int, PolicyAnalysis] = field(default_factory=dict,
+    _cache: dict[str, PolicyAnalysis] = field(default_factory=dict,
                                               repr=False)
+    _fingerprint: str | None = field(default=None, repr=False)
+
+    def fingerprint(self) -> str:
+        """Content hash of the analyzer configuration.
+
+        Part of every ``policy_analysis`` / ``lib_policy_analysis``
+        cache key: two analyzers with the same patterns and verb sets
+        share artifacts; a custom pattern list (e.g. a bootstrap
+        top-n) gets its own key space.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint({
+                "patterns": [
+                    {
+                        "name": p.name,
+                        "chain": list(p.chain),
+                        "voice": p.voice,
+                        "require_advcl": p.require_advcl,
+                        "category": p.category.value if p.category
+                        else None,
+                    }
+                    for p in self.patterns
+                ],
+                "verbs": sorted(self.verbs),
+            })
+        return self._fingerprint
 
     def analyze(self, policy: str, html: bool = False) -> PolicyAnalysis:
         """Run the six-step pipeline over one policy document."""
-        key = hash((policy, html))
+        # content digest, not hash(): hash collisions must never alias
+        # two different policies to one analysis
+        key = f"{int(html)}:{fingerprint_text(policy)}"
         cached = self._cache.get(key)
         if cached is not None:
             return cached

@@ -11,6 +11,7 @@ notation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.policy.verbs import VerbCategory
 
@@ -31,6 +32,34 @@ class Statement:
 
     def mentions(self, resource: str) -> bool:
         return resource in self.resources
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable rendering (pipeline disk cache)."""
+        return {
+            "sentence": self.sentence,
+            "category": self.category.value,
+            "verb": self.verb,
+            "executor": self.executor,
+            "resources": list(self.resources),
+            "negated": self.negated,
+            "constraint": self.constraint,
+            "constraint_kind": self.constraint_kind,
+            "pattern": self.pattern,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> Statement:
+        return cls(
+            sentence=doc["sentence"],
+            category=VerbCategory(doc["category"]),
+            verb=doc["verb"],
+            executor=doc["executor"],
+            resources=tuple(doc.get("resources", ())),
+            negated=doc["negated"],
+            constraint=doc.get("constraint"),
+            constraint_kind=doc.get("constraint_kind"),
+            pattern=doc.get("pattern", ""),
+        )
 
 
 @dataclass
@@ -100,6 +129,35 @@ class PolicyAnalysis:
 
     def negative_statements(self) -> list[Statement]:
         return [s for s in self.statements if s.negated]
+
+    # -- pipeline artifact protocol ---------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable rendering (pipeline disk cache)."""
+        return {
+            "statements": [s.to_dict() for s in self.statements],
+            "sentences": list(self.sentences),
+            "has_third_party_disclaimer": self.has_third_party_disclaimer,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> PolicyAnalysis:
+        return cls(
+            statements=[Statement.from_dict(s)
+                        for s in doc.get("statements", ())],
+            sentences=list(doc.get("sentences", ())),
+            has_third_party_disclaimer=doc.get(
+                "has_third_party_disclaimer", False),
+        )
+
+    def clone(self) -> PolicyAnalysis:
+        """A defensive copy handed out by the artifact cache
+        (statements are frozen, so shallow list copies suffice)."""
+        return PolicyAnalysis(
+            statements=list(self.statements),
+            sentences=list(self.sentences),
+            has_third_party_disclaimer=self.has_third_party_disclaimer,
+        )
 
 
 __all__ = ["Statement", "PolicyAnalysis"]

@@ -42,13 +42,20 @@ def clean_bundle_path(tmp_path):
 
 
 class TestCheck:
-    def test_problem_app_exits_1(self, bad_bundle_path, capsys):
-        assert main(["check", bad_bundle_path]) == 1
+    def test_problem_app_exits_0_by_default(self, bad_bundle_path,
+                                            capsys):
+        assert main(["check", bad_bundle_path]) == 0
         out = capsys.readouterr().out
         assert "INCOMPLETE" in out
 
+    def test_fail_on_findings_exits_1(self, bad_bundle_path, capsys):
+        assert main(["check", bad_bundle_path,
+                     "--fail-on-findings"]) == 1
+        assert "INCOMPLETE" in capsys.readouterr().out
+
     def test_clean_app_exits_0(self, clean_bundle_path, capsys):
-        assert main(["check", clean_bundle_path]) == 0
+        assert main(["check", clean_bundle_path,
+                     "--fail-on-findings"]) == 0
         assert "no problems" in capsys.readouterr().out
 
     def test_json_output(self, bad_bundle_path, capsys):
@@ -74,9 +81,49 @@ class TestCheck:
         (libdir / "unity3d.txt").write_text(
             "We may receive your location information."
         )
-        code = main(["check", path, "--lib-policies", str(libdir)])
+        code = main(["check", path, "--lib-policies", str(libdir),
+                     "--fail-on-findings"])
         assert code == 1
         assert "INCONSISTENT" in capsys.readouterr().out
+
+
+class TestBatchCheck:
+    def test_batch_over_two_bundles(self, bad_bundle_path,
+                                    clean_bundle_path, capsys,
+                                    tmp_path):
+        out_json = str(tmp_path / "batch.json")
+        code = main(["batch-check", bad_bundle_path,
+                     clean_bundle_path, "--workers", "2",
+                     "--json", out_json])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 apps checked, 1 with findings" in out
+        assert "pipeline" in out
+        with open(out_json) as handle:
+            payload = json.load(handle)
+        assert len(payload["reports"]) == 2
+        assert "pipeline_stats" in payload
+        assert payload["pipeline_stats"]["policy_analysis"][
+            "executions"] == 2
+
+    def test_fail_on_findings(self, bad_bundle_path):
+        assert main(["batch-check", bad_bundle_path,
+                     "--fail-on-findings"]) == 1
+
+    def test_cache_dir_warm_rerun_hits(self, bad_bundle_path,
+                                       tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch-check", bad_bundle_path,
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        out_json = str(tmp_path / "warm.json")
+        assert main(["batch-check", bad_bundle_path,
+                     "--cache-dir", cache, "--json", out_json]) == 0
+        with open(out_json) as handle:
+            stats = json.load(handle)["pipeline_stats"]
+        for stage in ("policy_analysis", "static_analysis", "detect"):
+            assert stats[stage]["executions"] == 0
+            assert stats[stage]["cache_hits"] == 1
 
 
 class TestStudy:
@@ -92,6 +139,23 @@ class TestStudy:
         assert payload["summary"]["apps"] == 64
         with open(out_html) as handle:
             assert "PPChecker study report" in handle.read()
+
+    def test_study_workers_and_cache_dir(self, capsys, tmp_path):
+        serial_json = str(tmp_path / "serial.json")
+        parallel_json = str(tmp_path / "parallel.json")
+        assert main(["study", "--apps", "64",
+                     "--json", serial_json]) == 0
+        assert main(["study", "--apps", "64", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", parallel_json]) == 0
+        with open(serial_json) as handle:
+            serial = json.load(handle)
+        with open(parallel_json) as handle:
+            parallel = json.load(handle)
+        # the tables must be identical; only the stats may differ
+        serial.pop("pipeline_stats")
+        parallel.pop("pipeline_stats")
+        assert serial == parallel
 
     def test_screen_command(self, capsys):
         assert main(["screen", "--apps", "250", "--top", "5"]) == 0

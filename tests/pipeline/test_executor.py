@@ -1,0 +1,47 @@
+"""Batch executor ordering and fan-out."""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.executor import BatchExecutor
+
+
+class TestBatchExecutor:
+    def test_serial_default(self):
+        assert BatchExecutor().map(lambda x: x * 2, [1, 2, 3]) == \
+            [2, 4, 6]
+
+    def test_empty_input(self):
+        assert BatchExecutor(workers=4).map(lambda x: x, []) == []
+
+    def test_result_order_matches_input_order(self):
+        def slow_for_small(x):
+            time.sleep(0.02 if x < 2 else 0.0)
+            return x
+
+        result = BatchExecutor(workers=4).map(slow_for_small,
+                                              list(range(8)))
+        assert result == list(range(8))
+
+    def test_actually_fans_out(self):
+        seen = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def rendezvous(x):
+            seen.add(threading.get_ident())
+            barrier.wait()
+            return x
+
+        BatchExecutor(workers=2).map(rendezvous, [1, 2])
+        assert len(seen) == 2
+
+    def test_workers_capped_by_items(self):
+        # 100 workers over 2 items must not explode
+        assert BatchExecutor(workers=100).map(lambda x: x, [1, 2]) == \
+            [1, 2]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(kind="fiber")

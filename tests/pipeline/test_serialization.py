@@ -1,0 +1,73 @@
+"""Stage-artifact JSON roundtrips (the disk-cache format)."""
+
+import json
+
+from repro.android.static_analysis import (
+    StaticAnalysisResult,
+    analyze_apk,
+)
+from repro.core.report import AppReport
+from repro.policy.model import PolicyAnalysis
+
+
+class TestPolicyAnalysisRoundtrip:
+    def test_roundtrip_preserves_everything(self, analyzer):
+        analysis = analyzer.analyze(
+            "We collect your location and your email address. "
+            "We do not disclose your contacts to third parties. "
+            "We are not responsible for the privacy practices of "
+            "third parties."
+        )
+        assert analysis.statements, "fixture policy must parse"
+        doc = json.loads(json.dumps(analysis.to_dict()))
+        loaded = PolicyAnalysis.from_dict(doc)
+        assert loaded.to_dict() == analysis.to_dict()
+        assert loaded.all_positive() == analysis.all_positive()
+        assert loaded.all_negative() == analysis.all_negative()
+        assert loaded.has_third_party_disclaimer
+
+    def test_clone_is_independent(self, analyzer):
+        analysis = analyzer.analyze("We collect your location.")
+        copy = analysis.clone()
+        copy.statements.clear()
+        assert analysis.statements
+
+
+class TestStaticResultRoundtrip:
+    def test_roundtrip_over_a_corpus_apk(self, small_store):
+        # index 5 ships ad libs; exercise facts, taint, and libraries
+        for app in small_store.apps[:8]:
+            result = analyze_apk(app.bundle.apk)
+            doc = json.loads(json.dumps(result.to_dict()))
+            loaded = StaticAnalysisResult.from_dict(doc)
+            assert loaded.to_dict() == result.to_dict()
+            assert loaded.collected_infos() == result.collected_infos()
+            assert loaded.retained_infos() == result.retained_infos()
+            assert [s.lib_id for s in loaded.libraries] == \
+                [s.lib_id for s in result.libraries]
+
+    def test_clone_is_independent(self, small_store):
+        result = analyze_apk(small_store.apps[0].bundle.apk)
+        copy = result.clone()
+        copy.facts.clear()
+        copy.libraries.clear()
+        assert result.facts or result.libraries
+
+
+class TestAppReportRoundtrip:
+    def test_roundtrip_over_checker_output(self, small_store, checker):
+        seen_kinds = set()
+        for app in small_store.apps[:24]:
+            report = checker.check(app.bundle)
+            seen_kinds |= report.problem_kinds()
+            doc = json.loads(json.dumps(report.to_dict()))
+            loaded = AppReport.from_dict(doc)
+            assert loaded.to_dict() == report.to_dict()
+        assert "incomplete" in seen_kinds, \
+            "slice must exercise at least one finding kind"
+
+    def test_clone_is_independent(self):
+        report = AppReport(package="com.example.x")
+        copy = report.clone()
+        copy.incomplete.append("sentinel")
+        assert report.incomplete == []
