@@ -33,6 +33,7 @@ Reproducing the paper's study::
 from repro.core.checker import AppBundle, PPChecker
 from repro.pipeline import Pipeline, build_store
 from repro.core.report import (
+    AppFailure,
     AppReport,
     IncompleteFinding,
     InconsistentFinding,
@@ -53,6 +54,7 @@ __all__ = [
     "PPChecker",
     "Pipeline",
     "build_store",
+    "AppFailure",
     "AppReport",
     "IncompleteFinding",
     "IncorrectFinding",

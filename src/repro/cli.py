@@ -4,16 +4,23 @@ Subcommands::
 
     python -m repro.cli check BUNDLE.json [--json] [--lib-policies DIR]
             [--cache-dir PATH] [--fail-on-findings]
+            [--max-retries N] [--stage-timeout SECONDS]
         Run PPChecker over one serialized app bundle.
 
     python -m repro.cli batch-check BUNDLE.json... [--json PATH]
             [--workers N] [--cache-dir PATH] [--fail-on-findings]
+            [--max-retries N] [--stage-timeout SECONDS]
+            [--keep-going | --no-keep-going]
         Run PPChecker over many bundles at once, fanned out over a
         worker pool and sharing one artifact cache (compliance-CI
-        entry point).
+        entry point).  With --keep-going (the default) a failing
+        bundle is quarantined as a structured failure record instead
+        of aborting the batch.
 
     python -m repro.cli study [--apps N] [--seed S] [--json PATH]
             [--workers N] [--cache-dir PATH]
+            [--max-retries N] [--stage-timeout SECONDS]
+            [--keep-going | --no-keep-going]
         Run the full market study over the synthetic corpus and print
         the paper's tables.
 
@@ -63,25 +70,47 @@ def _lib_policy_source(directory: str | None):
 
 
 def _build_checker(args: argparse.Namespace, lib_policy_source) -> PPChecker:
-    """A checker honoring the shared --cache-dir flag."""
+    """A checker honoring the shared --cache-dir and resilience
+    flags (--max-retries / --stage-timeout / --fault-plan)."""
     from repro.pipeline.artifacts import build_store
+    from repro.pipeline.faults import FaultPlan
+    from repro.pipeline.resilience import RetryPolicy
 
+    fault_plan = None
+    fault_path = getattr(args, "fault_plan", None)
+    if fault_path is not None:
+        fault_plan = FaultPlan.from_json_file(fault_path)
     return PPChecker(
         lib_policy_source=lib_policy_source,
         artifact_store=build_store(
             cache_dir=getattr(args, "cache_dir", None)
         ),
+        retry_policy=RetryPolicy(
+            max_retries=getattr(args, "max_retries", 0),
+            stage_timeout=getattr(args, "stage_timeout", None),
+        ),
+        fault_plan=fault_plan,
     )
 
 
 def _print_stage_stats(stats) -> None:
     print("\n== pipeline ==")
-    print(f"  {'stage':<26} {'exec':>6} {'hits':>6} {'hit%':>6} "
-          f"{'seconds':>8}")
+    print(f"  {'stage':<26} {'exec':>6} {'hits':>6} {'fail':>6} "
+          f"{'hit%':>6} {'seconds':>8}")
     for name, row in stats.to_dict().items():
         print(f"  {name:<26} {row['executions']:>6} "
-              f"{row['cache_hits']:>6} {row['hit_rate'] * 100:>5.1f}% "
+              f"{row['cache_hits']:>6} {row['failures']:>6} "
+              f"{row['hit_rate'] * 100:>5.1f}% "
               f"{row['seconds']:>8.3f}")
+
+
+def _print_quarantine(failures) -> None:
+    if not failures:
+        return
+    print("\n== quarantine ==")
+    for failure in failures:
+        print(f"  {failure.package:<44} {failure.stage}: "
+              f"{failure.error} after {failure.attempts} attempt(s)")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -103,29 +132,41 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_batch_check(args: argparse.Namespace) -> int:
     from repro.android.serialization import load_bundle
+    from repro.core.report import AppFailure, partition_outcomes
 
     checker = _build_checker(
         args, _lib_policy_source(args.lib_policies)
     )
     bundles = [load_bundle(path) for path in args.bundles]
-    reports = checker.check_batch(bundles, workers=args.workers)
+    outcomes = checker.check_batch(
+        bundles, workers=args.workers,
+        on_error="quarantine" if args.keep_going else "raise",
+    )
+    reports, failures = partition_outcomes(outcomes)
 
     flagged = sum(1 for report in reports if report.has_problem)
-    for report in reports:
-        kinds = ",".join(sorted(report.problem_kinds())) or "clean"
-        print(f"  {report.package:<44} {kinds}")
-    print(f"{len(reports)} apps checked, {flagged} with findings")
+    for outcome in outcomes:
+        if isinstance(outcome, AppFailure):
+            print(f"  {outcome.package:<44} FAILED at "
+                  f"{outcome.stage}: {outcome.error}")
+        else:
+            kinds = ",".join(sorted(outcome.problem_kinds())) or "clean"
+            print(f"  {outcome.package:<44} {kinds}")
+    print(f"{len(reports)} apps checked, {flagged} with findings, "
+          f"{len(failures)} quarantined")
+    _print_quarantine(failures)
     _print_stage_stats(checker.stats)
 
     if args.json:
         payload = {
             "reports": [report.to_dict() for report in reports],
+            "quarantine": [failure.to_dict() for failure in failures],
             "pipeline_stats": checker.stats.to_dict(),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
-    return 1 if args.fail_on_findings and flagged else 0
+    return 1 if args.fail_on_findings and (flagged or failures) else 0
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -134,7 +175,8 @@ def cmd_study(args: argparse.Namespace) -> int:
 
     store = generate_app_store(seed=args.seed, n_apps=args.apps)
     checker = _build_checker(args, store.lib_policy)
-    result = run_study(store, checker=checker, workers=args.workers)
+    result = run_study(store, checker=checker, workers=args.workers,
+                       keep_going=args.keep_going)
     summary = result.summary()
 
     print("== study summary ==")
@@ -158,6 +200,8 @@ def cmd_study(args: argparse.Namespace) -> int:
               f"P={row.precision:.3f} R={row.recall:.3f} "
               f"F1={row.f1:.3f}")
 
+    _print_quarantine([result.failures[pkg]
+                       for pkg in sorted(result.failures)])
     if result.stats is not None:
         _print_stage_stats(result.stats)
 
@@ -268,6 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist stage artifacts under this "
                             "directory (reruns skip unchanged inputs)")
 
+    def add_resilience(p: argparse.ArgumentParser,
+                       batch: bool = False) -> None:
+        p.add_argument("--max-retries", type=int, default=0,
+                       help="retry a failing stage this many times "
+                            "with exponential backoff (default: 0)")
+        p.add_argument("--stage-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cut off any single stage execution "
+                            "after this many seconds")
+        p.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="inject faults from this JSON plan "
+                            "(test/benchmark harness; see "
+                            "repro.pipeline.faults)")
+        if batch:
+            p.add_argument("--keep-going", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="quarantine failing apps and finish "
+                                "the batch (--no-keep-going aborts "
+                                "on the first failure)")
+
     check = sub.add_parser("check", help="check one app bundle")
     check.add_argument("bundle", help="path to a bundle JSON")
     check.add_argument("--json", action="store_true",
@@ -278,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 1 when the report has findings "
                             "(for compliance CI jobs)")
     add_cache_dir(check)
+    add_resilience(check)
     check.set_defaults(func=cmd_check)
 
     batch = sub.add_parser("batch-check",
@@ -292,8 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="worker threads (default: serial)")
     batch.add_argument("--fail-on-findings", action="store_true",
-                       help="exit 1 when any report has findings")
+                       help="exit 1 when any report has findings "
+                            "or any app is quarantined")
     add_cache_dir(batch)
+    add_resilience(batch, batch=True)
     batch.set_defaults(func=cmd_batch_check)
 
     study = sub.add_parser("study", help="run the market study")
@@ -306,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--workers", type=int, default=1,
                        help="worker threads (default: serial)")
     add_cache_dir(study)
+    add_resilience(study, batch=True)
     study.set_defaults(func=cmd_study)
 
     screen = sub.add_parser("screen",

@@ -22,14 +22,16 @@ from typing import Callable
 from repro.android.apk import Apk
 from repro.android.static_analysis import StaticAnalysisResult
 from repro.core.matching import InfoMatcher
-from repro.core.report import AppReport
+from repro.core.report import AppFailure, AppReport
 from repro.description.autocog import AutoCog
 from repro.pipeline.artifacts import (
     ArtifactStore,
     MemoryStore,
     PipelineStats,
 )
+from repro.pipeline.faults import FaultPlan
 from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.resilience import RetryPolicy
 from repro.policy.analyzer import PolicyAnalyzer
 from repro.policy.model import PolicyAnalysis
 
@@ -68,6 +70,11 @@ class PPChecker:
     use_uri_analysis: bool = True
     honor_disclaimer: bool = True
     artifact_store: ArtifactStore | None = None
+    #: per-stage timeouts and bounded retries (defaults: no timeout,
+    #: no retries -- historical behaviour)
+    retry_policy: RetryPolicy | None = None
+    #: fault-injection hook for tests and benchmarks
+    fault_plan: FaultPlan | None = None
     pipeline: Pipeline | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -84,6 +91,10 @@ class PPChecker:
                 store=(self.artifact_store
                        if self.artifact_store is not None
                        else MemoryStore()),
+                resilience=(self.retry_policy
+                            if self.retry_policy is not None
+                            else RetryPolicy()),
+                faults=self.fault_plan,
             )
 
     @property
@@ -119,12 +130,17 @@ class PPChecker:
                                     permissions)
 
     def check_batch(self, bundles: list[AppBundle],
-                    workers: int = 1) -> list[AppReport]:
+                    workers: int = 1,
+                    on_error: str = "raise",
+                    ) -> list[AppReport | AppFailure]:
         """``check`` over many apps, fanned out over *workers*
         threads; results come back in input order.  ``workers=1`` is
-        a plain serial loop."""
+        a plain serial loop.  ``on_error="quarantine"`` isolates
+        per-app failures as :class:`~repro.core.report.AppFailure`
+        slots instead of aborting the batch."""
         return self.pipeline.check_batch(bundles, workers=workers,
-                                         check=self.check)
+                                         check=self.check,
+                                         on_error=on_error)
 
 
 __all__ = ["AppBundle", "PPChecker"]

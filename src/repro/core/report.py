@@ -8,6 +8,7 @@ pairs).
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 
 from repro.policy.verbs import VerbCategory
@@ -209,9 +210,111 @@ class AppReport:
         return "\n".join(lines)
 
 
+#: frames kept when truncating a failure traceback -- the deepest ones
+#: identify the raise site and stay identical across serial/parallel
+#: execution paths, which the determinism tests rely on.
+_TRACEBACK_FRAMES = 3
+
+
+def _truncated_traceback(exc: BaseException,
+                         max_frames: int = _TRACEBACK_FRAMES) -> str:
+    frames = traceback.extract_tb(exc.__traceback__)[-max_frames:]
+    return "\n".join(
+        f"{frame.filename}:{frame.lineno} in {frame.name}"
+        for frame in frames
+    )
+
+
+@dataclass
+class AppFailure:
+    """One quarantined app: why the pipeline could not produce an
+    :class:`AppReport` for it.
+
+    Batch entry points running in keep-going mode return these in
+    place of reports for failing bundles, so one broken APK or policy
+    page degrades a study instead of aborting it (Section V at corpus
+    scale).  ``stage`` is the pipeline stage that failed (``"check"``
+    when the failure happened outside any stage), ``attempts`` how
+    many executions the retry policy tried.
+    """
+
+    package: str
+    stage: str
+    error: str                   # exception class name
+    message: str
+    traceback: str = ""          # truncated: deepest frames only
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(cls, package: str,
+                       exc: BaseException) -> AppFailure:
+        """Build the quarantine record for *exc*.
+
+        :class:`repro.pipeline.resilience.StageError` is recognized
+        structurally (``stage`` / ``attempts`` attributes plus the
+        original exception as ``__cause__``) to keep this module free
+        of a pipeline import.
+        """
+        stage = getattr(exc, "stage", None)
+        if stage is not None:
+            cause = exc.__cause__ or exc
+            attempts = getattr(exc, "attempts", 1)
+        else:
+            stage, cause, attempts = "check", exc, 1
+        return cls(
+            package=package,
+            stage=stage,
+            error=type(cause).__name__,
+            message=str(cause),
+            traceback=_truncated_traceback(cause),
+            attempts=attempts,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "package": self.package,
+            "stage": self.stage,
+            "error": self.error,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> AppFailure:
+        return cls(
+            package=doc["package"],
+            stage=doc["stage"],
+            error=doc["error"],
+            message=doc.get("message", ""),
+            traceback=doc.get("traceback", ""),
+            attempts=doc.get("attempts", 1),
+        )
+
+    def summary(self) -> str:
+        """A one-line human-readable quarantine entry."""
+        return (
+            f"=== {self.package} ===\n"
+            f"FAILED at {self.stage} after {self.attempts} "
+            f"attempt(s): {self.error}: {self.message}"
+        )
+
+
+def partition_outcomes(
+    outcomes: list,
+) -> tuple[list[AppReport], list[AppFailure]]:
+    """Split a keep-going batch result into (reports, failures),
+    each preserving input order."""
+    reports = [o for o in outcomes if isinstance(o, AppReport)]
+    failures = [o for o in outcomes if isinstance(o, AppFailure)]
+    return reports, failures
+
+
 __all__ = [
     "IncompleteFinding",
     "IncorrectFinding",
     "InconsistentFinding",
     "AppReport",
+    "AppFailure",
+    "partition_outcomes",
 ]

@@ -19,7 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.checker import PPChecker
-from repro.core.report import AppReport
+from repro.core.report import AppFailure, AppReport
 from repro.corpus.appstore import AppStore
 from repro.corpus.plans import AppPlan
 from repro.pipeline.artifacts import PipelineStats
@@ -61,6 +61,9 @@ class StudyResult:
     n_apps: int
     reports: dict[str, AppReport] = field(default_factory=dict)
     plans: dict[str, AppPlan] = field(default_factory=dict)
+    #: apps the pipeline could not check (degraded mode): package ->
+    #: the structured failure record; never counted in the tables.
+    failures: dict[str, AppFailure] = field(default_factory=dict)
     #: per-stage wall time / cache-hit counters of the run (None for
     #: hand-assembled results); excluded from :meth:`to_dict` so table
     #: exports stay stable across timing noise.
@@ -221,6 +224,7 @@ class StudyResult:
                  if self.plans[p].gt_incorrect}
             ),
             "inconsistent_apps": len(inconsistent_tp),
+            "quarantined_apps": len(self.failures),
         }
 
     # -- export & paper comparison ------------------------------------------
@@ -241,6 +245,10 @@ class StudyResult:
                        "recall": row.recall, "f1": row.f1}
                 for name, row in self.table4().items()
             },
+            "quarantine": [
+                self.failures[pkg].to_dict()
+                for pkg in sorted(self.failures)
+            ],
         }
 
     def deviations_from_paper(self) -> dict[str, tuple]:
@@ -279,6 +287,7 @@ def run_study(
     checker: PPChecker | None = None,
     limit: int | None = None,
     workers: int = 1,
+    keep_going: bool = True,
 ) -> StudyResult:
     """Run PPChecker over every app of the store.
 
@@ -286,16 +295,26 @@ def run_study(
     executor (thread pool, deterministic ordering); the aggregated
     numbers are identical for any worker count.  The pipeline's
     per-stage counters land on ``result.stats``.
+
+    With ``keep_going`` (the default) an app whose check fails is
+    quarantined on ``result.failures`` instead of aborting the study
+    -- broken inputs are the norm at corpus scale; pass
+    ``keep_going=False`` to fail fast on the first broken bundle.
     """
     if checker is None:
         checker = PPChecker(lib_policy_source=store.lib_policy)
     apps = store.apps if limit is None else store.apps[:limit]
     result = StudyResult(n_apps=len(apps))
-    reports = checker.check_batch([app.bundle for app in apps],
-                                  workers=workers)
-    for app, report in zip(apps, reports):
-        result.reports[app.package] = report
+    outcomes = checker.check_batch(
+        [app.bundle for app in apps], workers=workers,
+        on_error="quarantine" if keep_going else "raise",
+    )
+    for app, outcome in zip(apps, outcomes):
         result.plans[app.package] = app.plan
+        if isinstance(outcome, AppFailure):
+            result.failures[app.package] = outcome
+        else:
+            result.reports[app.package] = outcome
     result.stats = checker.stats
     return result
 

@@ -1,10 +1,14 @@
 """The staged, content-addressed PPChecker pipeline.
 
-- :mod:`repro.pipeline.stages`    stage names, cache-key recipes, codecs
-- :mod:`repro.pipeline.artifacts` artifact stores (memory LRU, disk
+- :mod:`repro.pipeline.stages`     stage names, cache-key recipes, codecs
+- :mod:`repro.pipeline.artifacts`  artifact stores (memory LRU, disk
   JSON, tiered) and the per-stage counters
-- :mod:`repro.pipeline.executor`  deterministic batch fan-out
-- :mod:`repro.pipeline.pipeline`  the :class:`Pipeline` orchestrator
+- :mod:`repro.pipeline.executor`   deterministic batch fan-out
+- :mod:`repro.pipeline.resilience` per-stage timeouts, bounded retries
+  with deterministic backoff, :class:`StageError`
+- :mod:`repro.pipeline.faults`     injectable fault plans (the chaos
+  harness tests and benchmarks drive)
+- :mod:`repro.pipeline.pipeline`   the :class:`Pipeline` orchestrator
 
 Typical use::
 
@@ -26,8 +30,20 @@ from repro.pipeline.artifacts import (
     TieredStore,
     build_store,
 )
-from repro.pipeline.executor import BatchExecutor
+from repro.pipeline.executor import BatchExecutor, BatchItemError
+from repro.pipeline.faults import (
+    CorruptArtifact,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
 from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.resilience import (
+    PipelineError,
+    RetryPolicy,
+    StageError,
+    StageTimeout,
+)
 from repro.pipeline.stages import STAGES
 
 __all__ = [
@@ -40,6 +56,15 @@ __all__ = [
     "StageStats",
     "PipelineStats",
     "BatchExecutor",
+    "BatchItemError",
     "Pipeline",
     "STAGES",
+    "PipelineError",
+    "RetryPolicy",
+    "StageError",
+    "StageTimeout",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "CorruptArtifact",
 ]

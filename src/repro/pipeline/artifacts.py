@@ -111,10 +111,21 @@ class DiskStore:
         try:
             with open(path, encoding="utf-8") as handle:
                 doc = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # missing, unreadable, truncated, or not-JSON documents
+            # are cache misses, never crashes (ValueError covers both
+            # JSONDecodeError and UnicodeDecodeError on binary garbage)
             return MISS
         codec = self.codecs.get(stage)
-        return doc if codec is None else codec[1](doc)
+        if codec is None:
+            return doc
+        try:
+            return codec[1](doc)
+        except Exception:
+            # valid JSON but the wrong shape (a torn write that
+            # happened to parse, a document from an older schema):
+            # recompute rather than crash the whole batch
+            return MISS
 
     def put(self, stage: str, digest: str, artifact: Any) -> None:
         codec = self.codecs.get(stage)
@@ -174,11 +185,12 @@ class StageStats:
 
     executions: int = 0
     cache_hits: int = 0
+    failures: int = 0
     seconds: float = 0.0
 
     @property
     def requests(self) -> int:
-        return self.executions + self.cache_hits
+        return self.executions + self.cache_hits + self.failures
 
     @property
     def hit_rate(self) -> float:
@@ -188,6 +200,7 @@ class StageStats:
         return {
             "executions": self.executions,
             "cache_hits": self.cache_hits,
+            "failures": self.failures,
             "hit_rate": self.hit_rate,
             "seconds": self.seconds,
         }
@@ -200,10 +213,13 @@ class PipelineStats:
         self._stages: dict[str, StageStats] = {}
         self._lock = threading.Lock()
 
-    def record(self, stage: str, *, hit: bool, seconds: float) -> None:
+    def record(self, stage: str, *, hit: bool, seconds: float,
+               failed: bool = False) -> None:
         with self._lock:
             stats = self._stages.setdefault(stage, StageStats())
-            if hit:
+            if failed:
+                stats.failures += 1
+            elif hit:
                 stats.cache_hits += 1
             else:
                 stats.executions += 1

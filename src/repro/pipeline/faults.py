@@ -1,0 +1,179 @@
+"""Injectable fault plans: the pipeline's chaos harness.
+
+A :class:`FaultPlan` is handed to :class:`repro.pipeline.Pipeline`
+(or ``PPChecker(fault_plan=...)``, or the CLI ``--fault-plan`` flag)
+and fires at stage boundaries, forcing the three failure shapes real
+corpora produce:
+
+- ``raise``   -- the stage throws (:class:`InjectedFault`),
+- ``hang``    -- the stage sleeps past any reasonable budget, so a
+  configured stage timeout must cut it off,
+- ``corrupt`` -- the stage completes but yields a garbage artifact
+  (:class:`CorruptArtifact`) that poisons downstream consumers.
+
+Each :class:`FaultSpec` matches a stage name (or ``"*"``) and an
+app/lib context substring (or ``"*"``), and can be budgeted to fire
+only the first ``times`` matching attempts -- the recipe for testing
+"fails twice, then the retry succeeds".  Firing decisions are counted
+per ``(spec, stage, context)`` under a lock, so a plan behaves
+identically under serial and parallel batch execution.
+
+Plans serialize to/from JSON (:meth:`FaultPlan.to_dict`,
+:meth:`FaultPlan.from_dict`, :meth:`FaultPlan.from_json_file`) so the
+CLI and CI can replay the exact same fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+RAISE = "raise"
+HANG = "hang"
+CORRUPT = "corrupt"
+
+KINDS = (RAISE, HANG, CORRUPT)
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``-kind fault throws."""
+
+
+class CorruptArtifact:
+    """A deliberately unusable stand-in for a stage artifact.
+
+    It carries none of the attributes downstream stages expect, so the
+    first consumer blows up -- exactly how a corrupt cached document
+    or a half-written analysis manifests in the wild.
+    """
+
+    def __init__(self, message: str = "corrupt artifact") -> None:
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"CorruptArtifact({self.message!r})"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    stage: str = "*"            # stage name or "*" for any
+    match: str = "*"            # context substring or "*" for any
+    kind: str = RAISE           # "raise" | "hang" | "corrupt"
+    message: str = "injected fault"
+    times: int | None = None    # fire only the first N attempts; None = always
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+    def applies_to(self, stage: str, context: str) -> bool:
+        if self.stage not in ("*", stage):
+            return False
+        return self.match == "*" or self.match in context
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "match": self.match,
+            "kind": self.kind,
+            "message": self.message,
+            "times": self.times,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> FaultSpec:
+        return cls(
+            stage=doc.get("stage", "*"),
+            match=doc.get("match", "*"),
+            kind=doc.get("kind", RAISE),
+            message=doc.get("message", "injected fault"),
+            times=doc.get("times"),
+            hang_seconds=doc.get("hang_seconds", 60.0),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of :class:`FaultSpec`; first match fires."""
+
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        # (spec index, stage, context) -> attempts the spec already hit
+        self._fired: dict[tuple[int, str, str], int] = {}
+
+    # -- firing ------------------------------------------------------------
+
+    def fire(self, stage: str, context: str) -> FaultSpec | None:
+        """The spec that fires for this attempt, consuming one unit of
+        its budget; ``None`` when no spec applies (or all budgets are
+        spent)."""
+        with self._lock:
+            for index, spec in enumerate(self.faults):
+                if not spec.applies_to(stage, context):
+                    continue
+                key = (index, stage, context)
+                used = self._fired.get(key, 0)
+                if spec.times is not None and used >= spec.times:
+                    continue
+                self._fired[key] = used + 1
+                return spec
+        return None
+
+    def wrap(self, stage: str, context: str,
+             compute: Callable[[], Any]) -> Callable[[], Any]:
+        """*compute* with this plan's faults applied; the plan is
+        consulted per call, so every retry attempt re-rolls."""
+
+        def invoke() -> Any:
+            spec = self.fire(stage, context)
+            if spec is None:
+                return compute()
+            if spec.kind == RAISE:
+                raise InjectedFault(
+                    f"{context}:{stage}: {spec.message}"
+                )
+            if spec.kind == HANG:
+                time.sleep(spec.hang_seconds)
+                return compute()
+            compute()  # pay the real cost, then hand back garbage
+            return CorruptArtifact(
+                f"{context}:{stage}: {spec.message}"
+            )
+
+        return invoke
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> FaultPlan:
+        return cls(faults=[FaultSpec.from_dict(f)
+                           for f in doc.get("faults", ())])
+
+    @classmethod
+    def from_json_file(cls, path: str) -> FaultPlan:
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+__all__ = [
+    "RAISE",
+    "HANG",
+    "CORRUPT",
+    "KINDS",
+    "InjectedFault",
+    "CorruptArtifact",
+    "FaultSpec",
+    "FaultPlan",
+]

@@ -15,9 +15,10 @@ cache, or the per-stage counters.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from threading import Lock
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.android.static_analysis import (
     StaticAnalysisResult,
@@ -33,7 +34,7 @@ from repro.core.incorrect import (
     detect_incorrect_via_description,
 )
 from repro.core.matching import InfoMatcher
-from repro.core.report import AppReport
+from repro.core.report import AppFailure, AppReport
 from repro.description.autocog import AutoCog
 from repro.pipeline import stages
 from repro.pipeline.artifacts import (
@@ -43,6 +44,8 @@ from repro.pipeline.artifacts import (
     PipelineStats,
 )
 from repro.pipeline.executor import BatchExecutor
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.resilience import RetryPolicy, StageError
 from repro.policy.analyzer import PolicyAnalyzer
 from repro.policy.model import PolicyAnalysis
 
@@ -63,16 +66,34 @@ class Pipeline:
     honor_disclaimer: bool = True
     store: ArtifactStore = field(default_factory=MemoryStore)
     stats: PipelineStats = field(default_factory=PipelineStats)
+    #: per-stage timeout / bounded-retry configuration
+    resilience: RetryPolicy = field(default_factory=RetryPolicy)
+    #: chaos hook for tests and benchmarks; None in production
+    faults: FaultPlan | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._lib_lock = Lock()
 
     # -- stage runner ------------------------------------------------------
 
+    @contextmanager
+    def _stage_guard(self, stage: str, context: str) -> Iterator[None]:
+        """Attribute any failure in the block to *stage* -- key
+        computation, input unpacking, codec encoding, and the compute
+        itself all count as that stage failing for that app/lib."""
+        try:
+            yield
+        except StageError:
+            raise  # already attributed (possibly to an inner stage)
+        except Exception as exc:
+            raise StageError(stage, context, exc) from exc
+
     def _run(self, stage: str, digest: str,
-             compute: Callable[[], Any]) -> Any:
-        """Look up ``(stage, digest)``; compute-and-store on a miss.
-        Returns a defensive copy so cached artifacts stay pristine."""
+             compute: Callable[[], Any], context: str = "") -> Any:
+        """Look up ``(stage, digest)``; compute-and-store on a miss,
+        under the resilience policy (timeout + bounded retries) and
+        any armed fault plan.  Returns a defensive copy so cached
+        artifacts stay pristine."""
         clone = stages.STAGE_CLONES[stage]
         started = time.perf_counter()
         artifact = self.store.get(stage, digest)
@@ -80,74 +101,103 @@ class Pipeline:
             self.stats.record(stage, hit=True,
                               seconds=time.perf_counter() - started)
             return clone(artifact)
-        artifact = compute()
-        self.store.put(stage, digest, artifact)
+        if self.faults is not None:
+            compute = self.faults.wrap(stage, context, compute)
+        try:
+            artifact = self.resilience.execute(
+                compute, stage=stage, context=context, digest=digest,
+            )
+        except StageError:
+            self.stats.record(stage, hit=False, failed=True,
+                              seconds=time.perf_counter() - started)
+            raise
+        # clone before put: a malformed artifact (e.g. an injected
+        # corruption) fails validation here, before it can poison the
+        # shared cache entry for every app with the same digest
+        try:
+            out = clone(artifact)
+            self.store.put(stage, digest, artifact)
+        except Exception:
+            self.stats.record(stage, hit=False, failed=True,
+                              seconds=time.perf_counter() - started)
+            raise
         self.stats.record(stage, hit=False,
                           seconds=time.perf_counter() - started)
-        return clone(artifact)
+        return out
 
     # -- the five stages ---------------------------------------------------
 
     def policy_analysis(self, bundle: "AppBundle") -> PolicyAnalysis:
-        digest = stages.policy_key(self.policy_analyzer.fingerprint(),
-                                   bundle.policy, bundle.policy_is_html)
-        return self._run(
-            stages.POLICY_ANALYSIS, digest,
-            lambda: self.policy_analyzer.analyze(
-                bundle.policy, html=bundle.policy_is_html),
-        )
+        with self._stage_guard(stages.POLICY_ANALYSIS, bundle.package):
+            digest = stages.policy_key(
+                self.policy_analyzer.fingerprint(),
+                bundle.policy, bundle.policy_is_html)
+            return self._run(
+                stages.POLICY_ANALYSIS, digest,
+                lambda: self.policy_analyzer.analyze(
+                    bundle.policy, html=bundle.policy_is_html),
+                context=bundle.package,
+            )
 
     def static_analysis(self, bundle: "AppBundle") -> StaticAnalysisResult:
-        # unpack before keying (in place, exactly what analyze_apk's
-        # auto_unpack would do): the cache key must address the real
-        # bytecode, not the packer stub, so a re-check of the same
-        # bundle hits regardless of when the unpack happened
-        was_packed = bundle.apk.packed
-        if was_packed:
-            from repro.android.packer import unpack
+        with self._stage_guard(stages.STATIC_ANALYSIS, bundle.package):
+            # unpack before keying (in place, exactly what analyze_apk's
+            # auto_unpack would do): the cache key must address the real
+            # bytecode, not the packer stub, so a re-check of the same
+            # bundle hits regardless of when the unpack happened
+            was_packed = bundle.apk.packed
+            if was_packed:
+                from repro.android.packer import unpack
 
-            unpack(bundle.apk)
-        digest = stages.static_key(
-            bundle.apk,
-            use_reachability=self.use_reachability,
-            use_uri_analysis=self.use_uri_analysis,
-        )
-        result = self._run(
-            stages.STATIC_ANALYSIS, digest,
-            lambda: analyze_apk(
+                unpack(bundle.apk)
+            digest = stages.static_key(
                 bundle.apk,
                 use_reachability=self.use_reachability,
                 use_uri_analysis=self.use_uri_analysis,
-            ),
-        )
-        if was_packed:
-            result.was_packed = True  # mutates the clone, not the cache
-        return result
+            )
+            result = self._run(
+                stages.STATIC_ANALYSIS, digest,
+                lambda: analyze_apk(
+                    bundle.apk,
+                    use_reachability=self.use_reachability,
+                    use_uri_analysis=self.use_uri_analysis,
+                ),
+                context=bundle.package,
+            )
+            if was_packed:
+                result.was_packed = True  # mutates the clone, not the cache
+            return result
 
     def description_permissions(self, bundle: "AppBundle") -> set[str]:
         """The raw inferred permission set (before the manifest
         intersection, which is app-specific and free)."""
-        digest = stages.description_key(self.autocog.fingerprint(),
-                                        bundle.description)
-        return self._run(
-            stages.DESCRIPTION_PERMISSIONS, digest,
-            lambda: self.autocog.infer_permissions(bundle.description),
-        )
+        with self._stage_guard(stages.DESCRIPTION_PERMISSIONS,
+                               bundle.package):
+            digest = stages.description_key(self.autocog.fingerprint(),
+                                            bundle.description)
+            return self._run(
+                stages.DESCRIPTION_PERMISSIONS, digest,
+                lambda: self.autocog.infer_permissions(
+                    bundle.description),
+                context=bundle.package,
+            )
 
     def lib_policy_analysis(self, lib_id: str) -> PolicyAnalysis | None:
         """The analyzed policy of one third-party lib (None when the
         lib publishes no policy), shared across apps and checkers."""
-        text = self.lib_policy_source(lib_id)
-        digest = stages.lib_policy_key(
-            self.policy_analyzer.fingerprint(), lib_id, text)
-        # serialize lib computes: the handful of shared lib policies
-        # would otherwise be analyzed once per worker on a cold start
-        with self._lib_lock:
-            return self._run(
-                stages.LIB_POLICY_ANALYSIS, digest,
-                lambda: None if text is None
-                else self.policy_analyzer.analyze(text),
-            )
+        with self._stage_guard(stages.LIB_POLICY_ANALYSIS, lib_id):
+            text = self.lib_policy_source(lib_id)
+            digest = stages.lib_policy_key(
+                self.policy_analyzer.fingerprint(), lib_id, text)
+            # serialize lib computes: the handful of shared lib policies
+            # would otherwise be analyzed once per worker on a cold start
+            with self._lib_lock:
+                return self._run(
+                    stages.LIB_POLICY_ANALYSIS, digest,
+                    lambda: None if text is None
+                    else self.policy_analyzer.analyze(text),
+                    context=lib_id,
+                )
 
     def detect(
         self,
@@ -157,6 +207,17 @@ class Pipeline:
         permissions: set[str],
     ) -> AppReport:
         """The three detectors over precomputed stage artifacts."""
+        with self._stage_guard(stages.DETECT, bundle.package):
+            return self._detect(bundle, policy, static_result,
+                                permissions)
+
+    def _detect(
+        self,
+        bundle: "AppBundle",
+        policy: PolicyAnalysis,
+        static_result: StaticAnalysisResult,
+        permissions: set[str],
+    ) -> AppReport:
         lib_analyses = {
             spec.lib_id: analysis
             for spec in static_result.libraries
@@ -190,7 +251,8 @@ class Pipeline:
             ))
             return report
 
-        return self._run(stages.DETECT, digest, compute)
+        return self._run(stages.DETECT, digest, compute,
+                         context=bundle.package)
 
     # -- whole-app and batch entry points ----------------------------------
 
@@ -208,14 +270,35 @@ class Pipeline:
         bundles: list["AppBundle"],
         workers: int = 1,
         check: Callable[["AppBundle"], AppReport] | None = None,
-    ) -> list[AppReport]:
+        on_error: str = "raise",
+    ) -> list[AppReport | AppFailure]:
         """``check`` over every bundle, fanned out over *workers*
         threads; results come back in input order.  ``check`` defaults
         to :meth:`check` -- pass a bound override (e.g. an
         :class:`~repro.core.extended.ExtendedPPChecker` method) to
-        keep subclass behaviour under fan-out."""
-        return BatchExecutor(workers=workers).map(
-            check or self.check, bundles)
+        keep subclass behaviour under fan-out.
+
+        ``on_error="raise"`` (the default) aborts the batch on the
+        first failing bundle, as a
+        :class:`~repro.pipeline.executor.BatchItemError` naming the
+        item.  ``on_error="quarantine"`` isolates failures per app: a
+        failing bundle yields an
+        :class:`~repro.core.report.AppFailure` in its slot and the
+        rest of the batch proceeds (split the mix with
+        :func:`repro.core.report.partition_outcomes`)."""
+        check = check or self.check
+        if on_error == "raise":
+            return BatchExecutor(workers=workers).map(check, bundles)
+        if on_error != "quarantine":
+            raise ValueError(f"unknown on_error mode: {on_error!r}")
+
+        def safe(bundle: "AppBundle") -> AppReport | AppFailure:
+            try:
+                return check(bundle)
+            except Exception as exc:
+                return AppFailure.from_exception(bundle.package, exc)
+
+        return BatchExecutor(workers=workers).map(safe, bundles)
 
 
 __all__ = ["Pipeline"]

@@ -1,0 +1,169 @@
+"""Per-stage resilience: bounded retries, timeouts, and backoff.
+
+Large compliance batches (the ROADMAP's longitudinal re-checking
+workload) run over inputs where broken policies, truncated APKs, and
+wedged analyses are the norm, so a stage execution must be allowed to
+fail *bounded* -- retried a configurable number of times with
+deterministic exponential backoff, cut off by a wall-clock timeout --
+and then fail *loud but contained*: every terminal stage failure is a
+:class:`StageError` carrying the stage name, the app/lib context, the
+attempt count, and the original exception, which the batch layer turns
+into a quarantine record instead of aborting the run.
+
+Backoff jitter is seeded from the stage/digest/attempt triple, so two
+runs of the same batch (serial or parallel) sleep the same schedule --
+determinism is a repo-wide invariant the fault-injection suite checks.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hashing import fingerprint
+
+
+class PipelineError(Exception):
+    """Base class for pipeline execution failures."""
+
+
+class StageTimeout(PipelineError):
+    """A stage execution exceeded its wall-clock budget."""
+
+    def __init__(self, stage: str, context: str,
+                 timeout: float) -> None:
+        self.stage = stage
+        self.context = context
+        self.timeout = timeout
+        super().__init__(
+            f"{context or '<no context>'}: stage {stage!r} exceeded "
+            f"its {timeout:g}s timeout"
+        )
+
+
+class StageError(PipelineError):
+    """Terminal failure of one stage for one app/lib.
+
+    ``stage`` is the pipeline stage name, ``context`` the package or
+    lib id being processed, ``attempts`` how many executions were
+    tried; the original exception rides along as ``__cause__``.
+    """
+
+    def __init__(self, stage: str, context: str,
+                 cause: BaseException, attempts: int = 1) -> None:
+        self.stage = stage
+        self.context = context
+        self.attempts = attempts
+        super().__init__(
+            f"{context or '<no context>'}: stage {stage!r} failed "
+            f"after {attempts} attempt(s): {cause!r}"
+        )
+        self.__cause__ = cause
+
+
+def call_with_timeout(
+    fn: Callable[[], Any],
+    timeout: float | None,
+    *,
+    stage: str = "",
+    context: str = "",
+) -> Any:
+    """``fn()``, bounded by *timeout* seconds (``None`` = unbounded).
+
+    The callable runs on a daemon thread; on timeout the thread is
+    abandoned (Python cannot kill it) and :class:`StageTimeout` is
+    raised, so a wedged analysis costs one parked thread instead of a
+    hung batch.
+    """
+    if timeout is None:
+        return fn()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=runner, daemon=True,
+        name=f"stage-{stage or 'anon'}",
+    )
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise StageTimeout(stage, context, timeout)
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+@dataclass
+class RetryPolicy:
+    """How hard one stage execution tries before giving up.
+
+    ``max_retries`` extra attempts follow a failed first one; between
+    attempts the policy sleeps an exponential backoff with jitter
+    seeded from ``(seed, stage, digest, attempt)`` -- fully
+    deterministic, so retrying batches stay reproducible.
+    ``stage_timeout`` bounds every attempt's wall clock (None =
+    unbounded, the default).
+    """
+
+    max_retries: int = 0
+    stage_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    #: injectable for tests; real runs sleep for real
+    sleep: Callable[[float], None] = field(default=time.sleep,
+                                           repr=False, compare=False)
+
+    def delay_for(self, stage: str, digest: str,
+                  attempt: int) -> float:
+        """The backoff before retrying *attempt* (1-based) -- a pure
+        function of the policy and the stage/digest/attempt triple."""
+        if self.backoff_base <= 0:
+            return 0.0
+        base = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        rng = random.Random(
+            fingerprint([self.seed, stage, digest, attempt])
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+    def execute(
+        self,
+        fn: Callable[[], Any],
+        *,
+        stage: str,
+        context: str = "",
+        digest: str = "",
+    ) -> Any:
+        """Run *fn* under the policy; terminal failure raises
+        :class:`StageError` wrapping the last exception."""
+        attempts = self.max_retries + 1
+        last: BaseException | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return call_with_timeout(
+                    fn, self.stage_timeout, stage=stage, context=context,
+                )
+            except Exception as exc:  # noqa: BLE001 - policy boundary
+                last = exc
+                if attempt < attempts:
+                    self.sleep(self.delay_for(stage, digest, attempt))
+        assert last is not None
+        raise StageError(stage, context, last, attempts=attempts)
+
+
+__all__ = [
+    "PipelineError",
+    "StageTimeout",
+    "StageError",
+    "call_with_timeout",
+    "RetryPolicy",
+]

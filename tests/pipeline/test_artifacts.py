@@ -91,6 +91,15 @@ class TestDiskStore:
         (bad / "broken.json").write_text("{not json")
         assert store.get(stages.DETECT, "broken") is MISS
 
+    def test_wrong_schema_document_is_a_miss(self, tmp_path):
+        # valid JSON whose shape the codec rejects: recompute, don't
+        # crash the stage
+        store = DiskStore(str(tmp_path))
+        bad = tmp_path / stages.POLICY_ANALYSIS
+        bad.mkdir()
+        (bad / "odd.json").write_text('[1, 2, 3]')
+        assert store.get(stages.POLICY_ANALYSIS, "odd") is MISS
+
     def test_none_lib_analysis_roundtrips(self, tmp_path):
         store = DiskStore(str(tmp_path))
         store.put(stages.LIB_POLICY_ANALYSIS, "d", None)
@@ -130,6 +139,16 @@ class TestPipelineStats:
         assert row.requests == 2
         assert row.hit_rate == pytest.approx(0.5)
         assert row.seconds == pytest.approx(0.75)
+
+    def test_failures_counter(self):
+        stats = PipelineStats()
+        stats.record("s", hit=False, seconds=0.1, failed=True)
+        stats.record("s", hit=False, seconds=0.2)
+        row = stats.stage("s")
+        assert row.failures == 1
+        assert row.executions == 1
+        assert row.requests == 2
+        assert stats.to_dict()["s"]["failures"] == 1
 
     def test_snapshot_is_a_copy(self):
         stats = PipelineStats()

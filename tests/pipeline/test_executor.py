@@ -1,11 +1,18 @@
-"""Batch executor ordering and fan-out."""
+"""Batch executor ordering, fan-out, and failure attribution."""
 
 import threading
 import time
 
 import pytest
 
-from repro.pipeline.executor import BatchExecutor
+from repro.pipeline.executor import BatchExecutor, BatchItemError
+
+
+def _reject_three(x):
+    """Module-level so process pools can pickle it."""
+    if x == 3:
+        raise RuntimeError("three is right out")
+    return x
 
 
 class TestBatchExecutor:
@@ -45,3 +52,28 @@ class TestBatchExecutor:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             BatchExecutor(kind="fiber")
+
+
+class TestFailureAttribution:
+    """A worker exception names the input item that caused it,
+    whatever the executor kind."""
+
+    @pytest.mark.parametrize("executor", [
+        BatchExecutor(),
+        BatchExecutor(workers=2),
+        BatchExecutor(workers=2, kind="process"),
+    ], ids=["serial", "thread", "process"])
+    def test_failure_carries_index_and_item(self, executor):
+        with pytest.raises(BatchItemError) as excinfo:
+            executor.map(_reject_three, [0, 1, 2, 3, 4])
+        assert excinfo.value.index == 3
+        assert excinfo.value.item == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "item 3" in str(excinfo.value)
+
+    def test_error_message_truncates_huge_items(self):
+        huge = {"k": list(range(10_000))}
+        with pytest.raises(BatchItemError) as excinfo:
+            BatchExecutor().map(lambda _: 1 / 0, [huge])
+        assert len(str(excinfo.value)) < 500
+        assert excinfo.value.item is huge
