@@ -1,0 +1,145 @@
+"""Load generator for the check service.
+
+Drives a real in-process ``ppchecker serve`` instance (ephemeral
+port, HTTP round-trips through :class:`repro.service.ServiceClient`)
+with a pool of concurrent clients over a corpus slice, twice:
+
+- **cold** -- fresh service, empty artifact caches: every request
+  pays the full pipeline;
+- **warm** -- the same requests again: the completed-job LRU and the
+  stage caches answer without recomputation.
+
+Emits ``BENCH_service.json`` with throughput and p50/p95/p99 request
+latency for both phases, so later serving-layer PRs have a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.android.serialization import bundle_to_dict
+from repro.service import ServiceClient, ServiceConfig, start_service
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_service.json")
+
+N_APPS = 32
+CLIENT_THREADS = 8
+WORKERS = 4
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def drive(client: ServiceClient, docs: list[dict]) -> dict:
+    """Fan *docs* out over CLIENT_THREADS concurrent clients; wall
+    time, throughput, and per-request latency percentiles."""
+    pending = list(enumerate(docs))
+    lock = threading.Lock()
+    latencies: list[float] = []
+    reports: dict[int, dict] = {}
+    errors: list[Exception] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                index, doc = pending.pop()
+            started = time.perf_counter()
+            try:
+                report = client.check(doc)
+            except Exception as exc:  # pragma: no cover
+                with lock:
+                    errors.append(exc)
+                return
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                reports[index] = report
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(CLIENT_THREADS)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    assert not errors, errors[0]
+    assert len(reports) == len(docs)
+    return {
+        "seconds": wall,
+        "throughput_rps": len(docs) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1000,
+        "p95_ms": percentile(latencies, 0.95) * 1000,
+        "p99_ms": percentile(latencies, 0.99) * 1000,
+        "_reports": reports,
+    }
+
+
+def test_service_throughput(benchmark, store):
+    from repro.android.packer import unpack
+
+    docs = []
+    for app in store.apps[64:64 + N_APPS]:
+        if app.bundle.apk.packed:
+            unpack(app.bundle.apk)  # a wire bundle is never packed
+        docs.append(bundle_to_dict(app.bundle))
+
+    def run() -> dict:
+        handle = start_service(ServiceConfig(
+            port=0, workers=WORKERS, queue_size=max(64, N_APPS),
+            completed_jobs=max(256, N_APPS),
+            lib_policy_source=store.lib_policy,
+        ))
+        try:
+            client = ServiceClient(port=handle.port, timeout=120.0)
+            cold = drive(client, docs)
+            warm = drive(client, docs)
+            assert warm.pop("_reports") == cold.pop("_reports")
+            metrics = handle.service.metrics
+            result = {
+                "n_apps": len(docs),
+                "workers": WORKERS,
+                "client_threads": CLIENT_THREADS,
+                "cold": cold,
+                "warm": warm,
+                "warm_speedup": (cold["seconds"] / warm["seconds"]
+                                 if warm["seconds"] else 0.0),
+                "jobs_completed": metrics.jobs.value(
+                    status="completed"),
+                "jobs_coalesced": metrics.coalesced.value(),
+                "stage_stats": handle.service.runner.stats.to_dict(),
+            }
+        finally:
+            handle.close(deadline=10.0)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+
+    print(f"\nService throughput over {result['n_apps']} apps "
+          f"({result['client_threads']} clients, "
+          f"{result['workers']} workers)")
+    for phase in ("cold", "warm"):
+        row = result[phase]
+        print(f"  {phase:<5} {row['throughput_rps']:>8.1f} req/s  "
+              f"p50 {row['p50_ms']:>7.1f} ms  "
+              f"p95 {row['p95_ms']:>7.1f} ms  "
+              f"p99 {row['p99_ms']:>7.1f} ms")
+    print(f"  warm speedup {result['warm_speedup']:.1f}x")
+    print(f"  wrote {BENCH_PATH}")
+
+    # warm requests resolve from the completed-job LRU: the second
+    # sweep must coalesce entirely and run no new pipeline work
+    assert result["jobs_completed"] == result["n_apps"]
+    assert result["jobs_coalesced"] >= result["n_apps"]
+    assert result["warm_speedup"] > 1.0

@@ -34,6 +34,17 @@ Subcommands::
     python -m repro.cli export-corpus INDEX PATH
         Serialize one synthetic-corpus app to a bundle JSON (handy for
         inspecting or replaying single apps).
+
+    python -m repro.cli serve [--host H] [--port P] [--workers N]
+            [--queue-size N] [--cache-dir PATH] [--lib-policies DIR]
+            [--max-retries N] [--stage-timeout SECONDS]
+            [--request-timeout SECONDS] [--drain-timeout SECONDS]
+            [--fault-plan PATH]
+        Run the long-running check service: a REST API over a shared,
+        warm pipeline with a bounded job queue, request coalescing,
+        and /healthz + /metrics endpoints (see docs/API.md).
+
+``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -158,11 +169,13 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
     _print_stage_stats(checker.stats)
 
     if args.json:
-        payload = {
+        from repro.core.schema import versioned
+
+        payload = versioned({
             "reports": [report.to_dict() for report in reports],
             "quarantine": [failure.to_dict() for failure in failures],
             "pipeline_stats": checker.stats.to_dict(),
-        }
+        })
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
@@ -210,7 +223,9 @@ def cmd_study(args: argparse.Namespace) -> int:
         write_study_html(result, args.html)
         print(f"\nwrote {args.html}")
     if args.json:
-        payload = result.to_dict()
+        from repro.core.schema import versioned
+
+        payload = versioned(result.to_dict())
         if result.stats is not None:
             payload["pipeline_stats"] = result.stats.to_dict()
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -282,6 +297,29 @@ def cmd_genpolicy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline.faults import FaultPlan
+    from repro.service.runner import ServiceConfig
+    from repro.service.server import serve
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.from_json_file(args.fault_plan)
+    return serve(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_dir=args.cache_dir,
+        max_retries=args.max_retries,
+        stage_timeout=args.stage_timeout,
+        fault_plan=fault_plan,
+        lib_policy_source=_lib_policy_source(args.lib_policies),
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+    ))
+
+
 def cmd_export_corpus(args: argparse.Namespace) -> int:
     from repro.android.serialization import save_bundle
     from repro.corpus.appstore import generate_app_store
@@ -305,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="PPChecker: detect incomplete, incorrect, and "
                     "inconsistent Android privacy policies",
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_cache_dir(p: argparse.ArgumentParser) -> None:
@@ -397,6 +439,32 @@ def build_parser() -> argparse.ArgumentParser:
                                help="generate a policy from bytecode")
     genpolicy.add_argument("bundle", help="path to a bundle JSON")
     genpolicy.set_defaults(func=cmd_genpolicy)
+
+    srv = sub.add_parser("serve",
+                         help="run the long-running check service")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8742,
+                     help="listen port; 0 binds an ephemeral port "
+                          "(default: 8742)")
+    srv.add_argument("--workers", type=int, default=4,
+                     help="check worker threads (default: 4)")
+    srv.add_argument("--queue-size", type=int, default=64,
+                     help="job queue capacity; a full queue answers "
+                          "429 + Retry-After (default: 64)")
+    srv.add_argument("--lib-policies", default=None,
+                     help="directory of <lib_id>.txt policies")
+    srv.add_argument("--request-timeout", type=float, default=300.0,
+                     metavar="SECONDS",
+                     help="how long a synchronous /v1/check waits "
+                          "before answering 504 (default: 300)")
+    srv.add_argument("--drain-timeout", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="SIGTERM drain budget before queued jobs "
+                          "are abandoned (default: 10)")
+    add_cache_dir(srv)
+    add_resilience(srv)
+    srv.set_defaults(func=cmd_serve)
 
     export = sub.add_parser("export-corpus",
                             help="serialize one corpus app")

@@ -207,11 +207,28 @@ class StageStats:
 
 
 class PipelineStats:
-    """Thread-safe per-stage counters for one pipeline instance."""
+    """Thread-safe per-stage counters for one pipeline instance.
+
+    Listeners registered with :meth:`add_listener` observe every
+    recorded stage event (the serving layer's metrics registry hooks
+    in here); they run outside the counter lock and after the
+    counters are updated, and never change stage behaviour.
+    """
 
     def __init__(self) -> None:
         self._stages: dict[str, StageStats] = {}
         self._lock = threading.Lock()
+        self._listeners: list[Callable[..., None]] = []
+
+    def add_listener(
+        self, listener: Callable[..., None],
+    ) -> None:
+        """Call ``listener(stage, hit=..., failed=..., seconds=...)``
+        for every subsequent :meth:`record`.  Listeners must be
+        thread-safe and cheap; exceptions propagate to the recording
+        thread."""
+        with self._lock:
+            self._listeners.append(listener)
 
     def record(self, stage: str, *, hit: bool, seconds: float,
                failed: bool = False) -> None:
@@ -224,6 +241,9 @@ class PipelineStats:
             else:
                 stats.executions += 1
             stats.seconds += seconds
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(stage, hit=hit, failed=failed, seconds=seconds)
 
     def stage(self, name: str) -> StageStats:
         with self._lock:

@@ -1,0 +1,170 @@
+"""A thin stdlib client for the check service.
+
+Used by the test suite, the throughput benchmark, and as the
+reference for how to talk to ``ppchecker serve`` from Python.  One
+:class:`ServiceClient` is safe to share across threads: every call
+opens its own :class:`http.client.HTTPConnection`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        detail = ""
+        if isinstance(payload, dict):
+            detail = payload.get("error", {}).get("message", "")
+        super().__init__(f"HTTP {status}: {detail or payload}")
+
+
+class ServiceBusy(ServiceError):
+    """429: the job queue is full; retry after ``retry_after``."""
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """503: the service is draining."""
+
+
+class CheckQuarantined(ServiceError):
+    """422: the check failed; ``error`` is the structured
+    :class:`~repro.core.report.AppFailure` document."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(status, payload)
+        self.error = (payload.get("error", {})
+                      if isinstance(payload, dict) else {})
+
+
+class ServiceClient:
+    """Talk to one ``ppchecker serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8742,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def request(self, method: str, path: str, doc: Any = None,
+                ) -> tuple[int, dict[str, str], Any]:
+        """One round-trip; returns ``(status, headers, payload)``
+        with the payload JSON-decoded when the response is JSON."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if doc is not None:
+                body = json.dumps(doc).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            response_headers = dict(response.getheaders())
+            content_type = response_headers.get("Content-Type", "")
+            if content_type.startswith("application/json"):
+                payload = json.loads(raw) if raw else None
+            else:
+                payload = raw.decode("utf-8", "replace")
+            return response.status, response_headers, payload
+        finally:
+            conn.close()
+
+    def _raise_for(self, status: int, headers: dict[str, str],
+                   payload: Any) -> None:
+        if status == 429:
+            raise ServiceBusy(
+                status, payload,
+                retry_after=float(headers.get("Retry-After", 1)))
+        if status == 503:
+            raise ServiceUnavailable(status, payload)
+        if status == 422:
+            raise CheckQuarantined(status, payload)
+        raise ServiceError(status, payload)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        status, headers, payload = self.request("GET", "/healthz")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        status, headers, payload = self.request("GET", "/metrics")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def version(self) -> str:
+        return self.healthz()["version"]
+
+    def check(self, bundle_doc: dict) -> dict:
+        """Synchronous check; the report document on success, a
+        :class:`CheckQuarantined` on a quarantined check."""
+        status, headers, payload = self.request(
+            "POST", "/v1/check", bundle_doc)
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def submit(self, bundle_doc: dict) -> dict:
+        """Asynchronous submit; the job stub (``id``, ``key``,
+        ``state``, ``coalesced``)."""
+        status, headers, payload = self.request(
+            "POST", "/v1/jobs", bundle_doc)
+        if status != 202:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def job(self, job_id: str) -> dict:
+        status, headers, payload = self.request(
+            "GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             interval: float = 0.05) -> dict:
+        """Poll until the job is terminal; its final document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("completed", "quarantined"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(interval)
+
+    def batch(self, bundle_docs: list[dict]) -> dict:
+        status, headers, payload = self.request(
+            "POST", "/v1/batch", {"bundles": bundle_docs})
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+
+__all__ = [
+    "ServiceError",
+    "ServiceBusy",
+    "ServiceUnavailable",
+    "CheckQuarantined",
+    "ServiceClient",
+]

@@ -1,0 +1,171 @@
+"""The shared pipeline behind the service, and its worker pool.
+
+:class:`PipelineRunner` owns one :class:`~repro.core.checker.PPChecker`
+built from the :class:`ServiceConfig` -- a tiered artifact store when
+``cache_dir`` is set, the configured retry policy, and an optional
+fault plan -- and executes jobs with quarantine semantics: a failing
+check becomes a structured :class:`~repro.core.report.AppFailure`
+document, never an unhandled exception.
+
+:class:`WorkerPool` runs N daemon threads draining the
+:class:`~repro.service.jobs.JobQueue` through the runner.  Workers
+exist for the life of the service, so the pipeline's caches stay warm
+across requests -- the whole point of serving instead of one-shot CLI
+invocations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.checker import PPChecker
+from repro.core.report import AppFailure
+from repro.pipeline.artifacts import build_store
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.resilience import RetryPolicy
+from repro.service import jobs as jobstates
+from repro.service.coalescing import JobIndex
+from repro.service.jobs import Job, JobQueue
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``ppchecker serve`` needs to build a service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8742
+    workers: int = 4
+    queue_size: int = 64
+    cache_dir: str | None = None
+    max_retries: int = 0
+    stage_timeout: float | None = None
+    fault_plan: FaultPlan | None = None
+    #: lib id -> policy text; resolved by the CLI (directory or
+    #: corpus), injected directly by in-process tests/benchmarks
+    lib_policy_source: Callable[[str], str | None] | None = None
+    #: how long a synchronous ``POST /v1/check`` waits for its job
+    request_timeout: float = 300.0
+    #: SIGTERM drain budget before workers are abandoned
+    drain_timeout: float = 10.0
+    #: completed jobs kept resolvable by id and content hash
+    completed_jobs: int = 256
+    #: cap on request bodies (a serialized bundle), bytes
+    max_body_bytes: int = 32 * 1024 * 1024
+
+
+class PipelineRunner:
+    """One shared checker; executes jobs with quarantine semantics."""
+
+    def __init__(self, config: ServiceConfig,
+                 metrics: ServiceMetrics) -> None:
+        self.config = config
+        self.metrics = metrics
+        kwargs = {}
+        if config.lib_policy_source is not None:
+            kwargs["lib_policy_source"] = config.lib_policy_source
+        self.checker = PPChecker(
+            artifact_store=build_store(cache_dir=config.cache_dir),
+            retry_policy=RetryPolicy(
+                max_retries=config.max_retries,
+                stage_timeout=config.stage_timeout,
+            ),
+            fault_plan=config.fault_plan,
+            **kwargs,
+        )
+        # stage timing / cache counters flow into /metrics without
+        # changing stage behaviour
+        self.stats.add_listener(metrics.observe_stage)
+
+    @property
+    def stats(self):
+        return self.checker.stats
+
+    def run(self, job: Job) -> None:
+        """Check the job's bundle; leave it completed or quarantined."""
+        try:
+            report = self.checker.check(job.bundle)
+        except Exception as exc:
+            failure = AppFailure.from_exception(job.package, exc)
+            self.metrics.jobs.inc(status=jobstates.QUARANTINED)
+            self.metrics.quarantined.inc()
+            job.quarantine(failure.to_dict())
+            return
+        self.metrics.jobs.inc(status=jobstates.COMPLETED)
+        job.finish(report.to_dict())
+
+
+class WorkerPool:
+    """N threads draining the queue through the shared runner."""
+
+    def __init__(self, queue: JobQueue, index: JobIndex,
+                 runner: PipelineRunner, workers: int) -> None:
+        self.queue = queue
+        self.index = index
+        self.runner = runner
+        self.workers = workers
+        self._stop = threading.Event()
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._loop, daemon=True,
+                             name=f"ppchecker-worker-{i}")
+            for i in range(workers)
+        ]
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                continue
+            with self._active_lock:
+                self._active += 1
+            try:
+                job.state = jobstates.RUNNING
+                self.runner.run(job)
+                # index first, then the job's own event is already
+                # set -- late submissions of the same key resolve to
+                # the finished job either way
+                self.index.complete(job)
+            finally:
+                with self._active_lock:
+                    self._active -= 1
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    @property
+    def active(self) -> int:
+        with self._active_lock:
+            return self._active
+
+    def idle(self) -> bool:
+        return self.queue.depth == 0 and self.active == 0
+
+    def drain(self, deadline: float) -> bool:
+        """Wait up to *deadline* seconds for queued + running jobs to
+        finish; True when fully drained."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if self.idle():
+                return True
+            time.sleep(0.02)
+        return self.idle()
+
+    def stop(self, deadline: float = 5.0) -> None:
+        """Stop the loops and join workers within *deadline*."""
+        self._stop.set()
+        end = time.monotonic() + deadline
+        for thread in self._threads:
+            thread.join(max(0.0, end - time.monotonic()))
+
+
+__all__ = ["ServiceConfig", "PipelineRunner", "WorkerPool"]

@@ -1,0 +1,470 @@
+"""The long-running check service: HTTP surface and lifecycle.
+
+``ppchecker serve`` keeps one :class:`~repro.service.runner.PipelineRunner`
+resident -- warm analyzer models, warm artifact caches -- behind a
+bounded job queue and a small REST API:
+
+=====================  ==================================================
+``POST /v1/check``     synchronous check; body is a bundle JSON document
+                       (the ``export-corpus`` / ``save_bundle`` format),
+                       response is the ``check --json`` report schema
+``POST /v1/jobs``      asynchronous submit -> ``202`` + job id
+``GET /v1/jobs/<id>``  job state, report or structured error when done
+``POST /v1/batch``     many bundles in one request, quarantine semantics
+``GET /healthz``       liveness: version, queue depth, workers alive
+``GET /metrics``       Prometheus text exposition
+=====================  ==================================================
+
+Identical bundles coalesce onto one job by content hash; a full queue
+returns ``429`` with ``Retry-After``; a draining service (SIGTERM)
+returns ``503`` for new work while queued jobs finish.  Everything is
+stdlib (:mod:`http.server`), no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import __version__
+from repro.android.serialization import bundle_from_dict, bundle_to_dict
+from repro.core.schema import versioned
+from repro.hashing import fingerprint
+from repro.service import jobs as jobstates
+from repro.service.coalescing import JobIndex
+from repro.service.jobs import Job, JobQueue, QueueFull, ServiceDraining
+from repro.service.metrics import ServiceMetrics
+from repro.service.runner import PipelineRunner, ServiceConfig, WorkerPool
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
+
+
+class InvalidBundle(ValueError):
+    """The request body is JSON but not a valid bundle document."""
+
+
+class CheckService:
+    """Queue + coalescing index + worker pool over one shared runner."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.runner = PipelineRunner(config, self.metrics)
+        self.queue = JobQueue(config.queue_size)
+        self.index = JobIndex(completed_capacity=config.completed_jobs)
+        self.pool = WorkerPool(self.queue, self.index, self.runner,
+                               workers=config.workers)
+        self._draining = threading.Event()
+        self.metrics.registry.gauge(
+            "ppchecker_queue_depth",
+            "Jobs waiting for a worker.",
+            callback=lambda: self.queue.depth,
+        )
+        self.metrics.registry.gauge(
+            "ppchecker_queue_capacity",
+            "Job queue capacity (backpressure threshold).",
+            callback=lambda: self.queue.capacity,
+        )
+        self.metrics.registry.gauge(
+            "ppchecker_workers_alive",
+            "Worker threads currently alive.",
+            callback=lambda: self.pool.alive,
+        )
+        self.pool.start()
+
+    # -- work intake -------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def submit(self, doc: Any) -> tuple[Job, bool]:
+        """Resolve a bundle document to a (possibly shared) job.
+
+        Raises :class:`ServiceDraining` during shutdown,
+        :class:`InvalidBundle` on a malformed document, and
+        :class:`~repro.service.jobs.QueueFull` when over capacity.
+        """
+        if self.draining:
+            self.metrics.rejected.inc(reason="draining")
+            raise ServiceDraining("service is draining")
+        try:
+            bundle = bundle_from_dict(doc)
+            # re-serialize to canonical form so key order, defaulted
+            # fields, and equivalent documents share one content hash
+            key = fingerprint(bundle_to_dict(bundle))
+        except Exception as exc:
+            raise InvalidBundle(f"invalid bundle document: {exc}") \
+                from exc
+        try:
+            job, coalesced = self.index.submit(
+                key,
+                lambda job_id, k: Job(job_id, k, bundle),
+                self.queue.put,
+            )
+        except QueueFull:
+            self.metrics.rejected.inc(reason="queue_full")
+            raise
+        if coalesced:
+            self.metrics.coalesced.inc()
+        return job, coalesced
+
+    def job(self, job_id: str) -> Job | None:
+        return self.index.by_id(job_id)
+
+    def healthz(self) -> dict:
+        return versioned({
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.capacity,
+            "workers": self.config.workers,
+            "workers_alive": self.pool.alive,
+            "active_jobs": self.pool.active,
+            "inflight_jobs": self.index.inflight,
+            "completed_jobs": self.index.completed,
+        })
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; queued jobs keep running."""
+        self._draining.set()
+
+    def shutdown(self, drain: bool = True,
+                 deadline: float | None = None) -> bool:
+        """Drain (optionally) and join the workers.  Returns True
+        when the queue fully drained before the deadline."""
+        if deadline is None:
+            deadline = self.config.drain_timeout
+        self.begin_drain()
+        drained = self.pool.drain(deadline) if drain else False
+        self.pool.stop(deadline)
+        return drained
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: CheckService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"ppchecker/{__version__}"
+
+    def version_string(self) -> str:
+        return self.server_version  # no sys_version leak
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> CheckService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # /metrics is the observability surface, not stderr
+
+    def _endpoint(self) -> str:
+        path = self.path.split("?", 1)[0]
+        if _JOB_PATH.match(path):
+            return "/v1/jobs/{id}"
+        if path in ("/healthz", "/metrics", "/v1/check", "/v1/jobs",
+                    "/v1/batch"):
+            return path
+        return "other"
+
+    def _count(self, status: int) -> None:
+        self.service.metrics.requests.inc(
+            endpoint=self._endpoint(), status=str(status))
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              headers: dict[str, str] | None = None) -> None:
+        self._count(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json", headers)
+
+    def _send_error_json(self, status: int, kind: str, message: str,
+                         headers: dict[str, str] | None = None,
+                         **extra: Any) -> None:
+        self._send_json(status, versioned(
+            {"error": {"kind": kind, "message": message, **extra}}
+        ), headers)
+
+    def _read_json(self) -> Any:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self._send_error_json(411, "length_required",
+                                  "Content-Length is required")
+            return None
+        length = int(length)
+        if length > self.service.config.max_body_bytes:
+            self.close_connection = True
+            self._send_error_json(
+                413, "too_large",
+                f"body exceeds "
+                f"{self.service.config.max_body_bytes} bytes")
+            return None
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except ValueError:
+            self._send_error_json(400, "bad_request",
+                                  "request body is not valid JSON")
+            return None
+
+    # -- submission helpers ------------------------------------------------
+
+    def _submit(self, doc: Any) -> tuple[Job, bool] | None:
+        """Submit, translating intake failures to responses."""
+        try:
+            return self.service.submit(doc)
+        except ServiceDraining:
+            self._send_error_json(503, "draining",
+                                  "service is shutting down",
+                                  headers={"Retry-After": "5"})
+        except QueueFull:
+            self._send_error_json(429, "queue_full",
+                                  "job queue is at capacity",
+                                  headers={"Retry-After": "1"})
+        except InvalidBundle as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        return None
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+            return
+        if path == "/metrics":
+            self._send(200, self.service.metrics.render().encode(),
+                       "text/plain; version=0.0.4; charset=utf-8")
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            job = self.service.job(match.group(1))
+            if job is None:
+                self._send_error_json(
+                    404, "not_found",
+                    f"no such job: {match.group(1)}")
+                return
+            self._send_json(200, versioned(job.to_dict()))
+            return
+        self._send_error_json(404, "not_found",
+                              f"no such endpoint: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/check":
+            self._check_sync()
+        elif path == "/v1/jobs":
+            self._submit_async()
+        elif path == "/v1/batch":
+            self._batch()
+        else:
+            doc = self._read_json()
+            if doc is not None:
+                self._send_error_json(404, "not_found",
+                                      f"no such endpoint: {path}")
+
+    def _check_sync(self) -> None:
+        doc = self._read_json()
+        if doc is None:
+            return
+        submitted = self._submit(doc)
+        if submitted is None:
+            return
+        job, _ = submitted
+        if not job.wait(self.service.config.request_timeout):
+            self._send_error_json(
+                504, "timeout",
+                f"job {job.id} did not finish within "
+                f"{self.service.config.request_timeout:g}s; poll "
+                f"/v1/jobs/{job.id}",
+                job_id=job.id)
+            return
+        if job.state == jobstates.QUARANTINED:
+            self._send_json(422, versioned({
+                "error": {"kind": "quarantined", **(job.error or {})},
+                "job_id": job.id,
+            }))
+            return
+        # exactly the `check --json` schema: the bare report document
+        self._send_json(200, job.result or {})
+
+    def _submit_async(self) -> None:
+        doc = self._read_json()
+        if doc is None:
+            return
+        submitted = self._submit(doc)
+        if submitted is None:
+            return
+        job, coalesced = submitted
+        self._send_json(202, versioned({
+            "id": job.id,
+            "key": job.key,
+            "state": job.state,
+            "coalesced": coalesced,
+            "location": f"/v1/jobs/{job.id}",
+        }), headers={"Location": f"/v1/jobs/{job.id}"})
+
+    def _batch(self) -> None:
+        doc = self._read_json()
+        if doc is None:
+            return
+        bundles = doc.get("bundles") if isinstance(doc, dict) else doc
+        if not isinstance(bundles, list) or not bundles:
+            self._send_error_json(
+                400, "bad_request",
+                'body must be {"bundles": [bundle, ...]}')
+            return
+        slots: list[dict | Job] = []
+        for bundle_doc in bundles:
+            try:
+                job, _ = self.service.submit(bundle_doc)
+                slots.append(job)
+            except ServiceDraining:
+                self._send_error_json(503, "draining",
+                                      "service is shutting down",
+                                      headers={"Retry-After": "5"})
+                return
+            except QueueFull:
+                slots.append({"status": "rejected", "error": {
+                    "kind": "queue_full",
+                    "message": "job queue is at capacity",
+                }})
+            except InvalidBundle as exc:
+                slots.append({"status": "invalid", "error": {
+                    "kind": "bad_request", "message": str(exc),
+                }})
+        results = []
+        for slot in slots:
+            if isinstance(slot, dict):
+                results.append(slot)
+                continue
+            slot.wait(self.service.config.request_timeout)
+            if slot.state == jobstates.COMPLETED:
+                results.append({"status": "ok", "job_id": slot.id,
+                                "report": slot.result})
+            elif slot.state == jobstates.QUARANTINED:
+                results.append({"status": "quarantined",
+                                "job_id": slot.id,
+                                "error": slot.error})
+            else:
+                results.append({"status": "pending",
+                                "job_id": slot.id})
+        counts = {"ok": 0, "quarantined": 0, "rejected": 0,
+                  "invalid": 0, "pending": 0}
+        for result in results:
+            counts[result["status"]] += 1
+        self._send_json(200, versioned({
+            "results": results,
+            "checked": counts["ok"],
+            "quarantined": counts["quarantined"],
+            "rejected": counts["rejected"] + counts["invalid"],
+        }))
+
+
+# -- embedding & the blocking entry point --------------------------------
+
+
+class ServiceHandle:
+    """A running service + HTTP listener (tests, benchmarks, serve)."""
+
+    def __init__(self, service: CheckService,
+                 httpd: _ServiceHTTPServer,
+                 thread: threading.Thread) -> None:
+        self.service = service
+        self.httpd = httpd
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def close(self, drain: bool = True,
+              deadline: float | None = None) -> bool:
+        """Graceful stop: reject new work, drain, join workers, stop
+        the listener.  Returns True when the drain completed."""
+        drained = self.service.shutdown(drain=drain, deadline=deadline)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(5.0)
+        return drained
+
+
+def start_service(config: ServiceConfig) -> ServiceHandle:
+    """Start the service and its HTTP listener on a daemon thread.
+    ``config.port=0`` binds an ephemeral port (see ``handle.port``)."""
+    service = CheckService(config)
+    httpd = _ServiceHTTPServer((config.host, config.port), service)
+    thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True, name="ppchecker-http",
+    )
+    thread.start()
+    return ServiceHandle(service, httpd, thread)
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking ``ppchecker serve``: run until SIGTERM/SIGINT, then
+    drain gracefully (503 for new work, queued jobs finish, workers
+    join within ``config.drain_timeout``)."""
+    handle = start_service(config)
+    print(f"ppchecker {__version__} serving on "
+          f"http://{handle.host}:{handle.port} "
+          f"({config.workers} workers, queue {config.queue_size})",
+          flush=True)
+    stop = threading.Event()
+
+    def _signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("draining...", flush=True)
+    drained = handle.close(drain=True)
+    print("drained, bye" if drained
+          else "drain deadline exceeded, abandoning queued jobs",
+          flush=True)
+    return 0
+
+
+__all__ = [
+    "CheckService",
+    "InvalidBundle",
+    "ServiceHandle",
+    "start_service",
+    "serve",
+]

@@ -101,6 +101,7 @@ class TestBatchCheck:
         assert "pipeline" in out
         with open(out_json) as handle:
             payload = json.load(handle)
+        assert payload["schema_version"] == 1
         assert len(payload["reports"]) == 2
         assert "pipeline_stats" in payload
         assert payload["pipeline_stats"]["policy_analysis"][
@@ -136,6 +137,7 @@ class TestStudy:
         assert "Table III" in out
         with open(out_json) as handle:
             payload = json.load(handle)
+        assert payload["schema_version"] == 1
         assert payload["summary"]["apps"] == 64
         with open(out_html) as handle:
             assert "PPChecker study report" in handle.read()
@@ -161,6 +163,16 @@ class TestStudy:
         assert main(["screen", "--apps", "250", "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "score" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestOtherCommands:

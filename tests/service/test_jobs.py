@@ -1,0 +1,153 @@
+"""Unit tests for the job queue and the coalescing index."""
+
+import pytest
+
+from repro.core.checker import AppBundle
+from repro.service.coalescing import JobIndex
+from repro.service.jobs import (
+    COMPLETED,
+    QUARANTINED,
+    Job,
+    JobQueue,
+    QueueFull,
+)
+
+from tests.android.appbuilder import add_activity, empty_apk
+
+
+def make_bundle(package="com.example.app"):
+    apk = empty_apk()
+    add_activity(apk)
+    return AppBundle(package=package, apk=apk,
+                     policy="We may collect your email address.",
+                     description="An app.")
+
+
+def make_job(job_id="job-1", key="k1", package="com.example.app"):
+    return Job(job_id, key, make_bundle(package))
+
+
+class TestJob:
+    def test_lifecycle_completed(self):
+        job = make_job()
+        assert not job.done
+        assert not job.wait(timeout=0.0)
+        job.finish({"package": "com.example.app"})
+        assert job.done and job.state == COMPLETED
+        assert job.wait(timeout=0.0)
+        assert job.to_dict()["report"] == {"package": "com.example.app"}
+
+    def test_lifecycle_quarantined(self):
+        job = make_job()
+        job.quarantine({"stage": "detect", "error": "Boom"})
+        assert job.done and job.state == QUARANTINED
+        doc = job.to_dict()
+        assert doc["state"] == QUARANTINED
+        assert doc["error"]["stage"] == "detect"
+        assert "report" not in doc
+
+
+class TestJobQueue:
+    def test_fifo(self):
+        q = JobQueue(capacity=4)
+        a, b = make_job("job-1"), make_job("job-2", key="k2")
+        q.put(a)
+        q.put(b)
+        assert q.depth == 2
+        assert q.get() is a
+        assert q.get() is b
+
+    def test_backpressure(self):
+        q = JobQueue(capacity=1)
+        q.put(make_job())
+        with pytest.raises(QueueFull) as excinfo:
+            q.put(make_job("job-2", key="k2"))
+        assert excinfo.value.capacity == 1
+        assert q.depth == 1
+
+    def test_get_timeout_returns_none(self):
+        assert JobQueue(capacity=1).get(timeout=0.01) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(capacity=0)
+
+
+class TestJobIndex:
+    def make(self, index, queue, key="k1",
+             package="com.example.app"):
+        return index.submit(
+            key,
+            lambda job_id, k: Job(job_id, k, make_bundle(package)),
+            queue.put,
+        )
+
+    def test_first_submit_enqueues(self):
+        index, queue = JobIndex(), JobQueue(capacity=4)
+        job, coalesced = self.make(index, queue)
+        assert not coalesced
+        assert queue.depth == 1
+        assert index.inflight == 1
+        assert index.by_id(job.id) is job
+
+    def test_inflight_coalesces(self):
+        index, queue = JobIndex(), JobQueue(capacity=4)
+        first, _ = self.make(index, queue)
+        second, coalesced = self.make(index, queue)
+        assert coalesced and second is first
+        assert first.waiters == 2
+        assert queue.depth == 1  # no second queue slot
+
+    def test_completed_coalesces_without_queueing(self):
+        index, queue = JobIndex(), JobQueue(capacity=4)
+        job, _ = self.make(index, queue)
+        queue.get()
+        job.finish({"package": job.package})
+        index.complete(job)
+        assert index.inflight == 0 and index.completed == 1
+        again, coalesced = self.make(index, queue)
+        assert coalesced and again is job
+        assert queue.depth == 0
+
+    def test_completed_lru_eviction_drops_id(self):
+        index, queue = JobIndex(completed_capacity=2), \
+            JobQueue(capacity=8)
+        jobs = []
+        for i in range(3):
+            job, _ = self.make(index, queue, key=f"k{i}",
+                               package=f"com.example.a{i}")
+            queue.get()
+            job.finish({})
+            index.complete(job)
+            jobs.append(job)
+        assert index.completed == 2
+        assert index.by_id(jobs[0].id) is None  # evicted
+        assert index.by_id(jobs[2].id) is jobs[2]
+
+    def test_full_queue_registers_nothing(self):
+        index, queue = JobIndex(), JobQueue(capacity=1)
+        self.make(index, queue)
+        with pytest.raises(QueueFull):
+            self.make(index, queue, key="k2",
+                      package="com.example.other")
+        assert index.inflight == 1  # the failed submit left no trace
+
+    def test_concurrent_submits_share_one_job(self):
+        import threading
+
+        index, queue = JobIndex(), JobQueue(capacity=64)
+        results = []
+
+        def submit():
+            results.append(self.make(index, queue))
+
+        threads = [threading.Thread(target=submit)
+                   for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        jobs = {id(job) for job, _ in results}
+        assert len(jobs) == 1
+        assert queue.depth == 1
+        assert sum(1 for _, coalesced in results if coalesced) == 15

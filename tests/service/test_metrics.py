@@ -1,0 +1,145 @@
+"""Unit tests for the Prometheus-style metrics registry."""
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("x_total", "help")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_labels(self):
+        c = Counter("req_total", "help", ("endpoint", "status"))
+        c.inc(endpoint="/v1/check", status="200")
+        c.inc(endpoint="/v1/check", status="200")
+        c.inc(endpoint="/v1/check", status="429")
+        assert c.value(endpoint="/v1/check", status="200") == 2
+        assert c.value(endpoint="/v1/check", status="429") == 1
+        assert c.total() == 3
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("x_total", "help", ("a",))
+        with pytest.raises(ValueError):
+            c.inc(b="1")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x_total", "help").inc(-1)
+
+    def test_render(self):
+        c = Counter("req_total", "requests", ("status",))
+        c.inc(status="200")
+        text = "\n".join(c.render())
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{status="200"} 1' in text
+
+    def test_unlabelled_counter_renders_zero(self):
+        text = "\n".join(Counter("x_total", "h").render())
+        assert "x_total 0" in text
+
+    def test_label_escaping(self):
+        c = Counter("x_total", "h", ("p",))
+        c.inc(p='say "hi"\nnow')
+        line = [l for l in c.render() if not l.startswith("#")][0]
+        assert r'p="say \"hi\"\nnow"' in line
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "h")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+        assert "depth 4" in "\n".join(g.render())
+
+    def test_callback(self):
+        state = {"v": 7}
+        g = Gauge("depth", "h", callback=lambda: state["v"])
+        assert g.value() == 7
+        state["v"] = 9
+        assert "depth 9" in "\n".join(g.render())
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self):
+        h = Histogram("lat", "h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert "lat_sum 6.05" in text
+        assert h.count() == 4
+
+    def test_labelled(self):
+        h = Histogram("lat", "h", ("stage",), buckets=(1.0,))
+        h.observe(0.5, stage="detect")
+        h.observe(2.0, stage="detect")
+        text = "\n".join(h.render())
+        assert 'lat_bucket{stage="detect",le="1"} 1' in text
+        assert 'lat_bucket{stage="detect",le="+Inf"} 2' in text
+        assert h.count(stage="detect") == 2
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "h")
+        with pytest.raises(ValueError):
+            r.gauge("x_total", "h")
+
+    def test_render_concatenates_in_order(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "h").inc()
+        r.gauge("b", "h").set(2)
+        text = r.render()
+        assert text.index("a_total") < text.index("# TYPE b gauge")
+        assert text.endswith("\n")
+
+
+class TestServiceMetrics:
+    def test_observe_stage_maps_outcomes(self):
+        m = ServiceMetrics()
+        m.observe_stage("detect", hit=False, failed=False,
+                        seconds=0.01)
+        m.observe_stage("detect", hit=True, failed=False,
+                        seconds=0.0001)
+        m.observe_stage("detect", hit=False, failed=True,
+                        seconds=0.5)
+        assert m.stage_requests.value(stage="detect",
+                                      outcome="execution") == 1
+        assert m.stage_requests.value(stage="detect",
+                                      outcome="cache_hit") == 1
+        assert m.stage_requests.value(stage="detect",
+                                      outcome="failure") == 1
+        assert m.stage_latency.count(stage="detect") == 3
+
+    def test_listener_signature_matches_pipeline_stats(self):
+        from repro.pipeline.artifacts import PipelineStats
+
+        m = ServiceMetrics()
+        stats = PipelineStats()
+        stats.add_listener(m.observe_stage)
+        stats.record("policy_analysis", hit=False, seconds=0.2)
+        stats.record("policy_analysis", hit=True, seconds=0.001)
+        assert m.stage_requests.value(stage="policy_analysis",
+                                      outcome="execution") == 1
+        assert m.stage_requests.value(stage="policy_analysis",
+                                      outcome="cache_hit") == 1
+        # the counters themselves are unchanged by the listener
+        assert stats.stage("policy_analysis").executions == 1
+        assert stats.stage("policy_analysis").cache_hits == 1
