@@ -1,0 +1,156 @@
+"""ESA/NLP matching hot-path benchmark.
+
+Drives the study-scale phrase-matching workload -- every information
+surface scored against every policy resource phrase, across hundreds
+of simulated apps that repeat phrases the way a real corpus does --
+three times:
+
+- **no-memo** -- :func:`repro.memo.set_memo_enabled` ``(False)``:
+  the original compute-every-pair code path;
+- **cold** -- memoization on, caches empty: distinct pairs are
+  computed once, repeats hit the LRU;
+- **warm** -- memoization on, caches primed: everything hits.
+
+Emits ``BENCH_nlp.json`` (schema-versioned) with per-phase wall
+time, pair throughput, and cache counters, and asserts the speedup
+floor the optimization PR promises (>= 3x warm vs. no-memo) plus
+result equality across all three phases -- the fast paths must be
+exact, not approximate.
+
+``benchmarks/compare.py`` gates later PRs against the committed
+baseline copy of this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.matching import InfoMatcher
+from repro.corpus.mutations import ALIAS_SWAPS
+from repro.description.permission_map import INFO_SURFACE
+from repro.memo import cache_stats, clear_caches, set_memo_enabled
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_nlp.json")
+
+#: how many policy-holding apps the workload simulates; phrase pools
+#: cycle over a real corpus slice, so phrases repeat across apps the
+#: way the 1,197-app study repeats them
+N_SIM_APPS = 240
+POOL_APPS = slice(64, 104)
+
+
+def build_workload(store, checker) -> tuple[list[str], list[list[str]]]:
+    """(surfaces, per-app phrase pools) for the matching sweep.
+
+    Surfaces are every alias the matcher scores
+    (:data:`INFO_SURFACE`); pools are the policy resource phrases of a
+    real corpus slice, cycled over ``N_SIM_APPS`` simulated apps with
+    every third app speaking in :data:`ALIAS_SWAPS` paraphrases.
+    """
+    surfaces = sorted({
+        surface
+        for aliases in INFO_SURFACE.values()
+        for surface in aliases
+    } | set(ALIAS_SWAPS.values()))
+
+    base_pools = []
+    for app in store.apps[POOL_APPS]:
+        analysis = checker.analyze_policy(app.bundle)
+        pool = sorted(analysis.all_positive() | analysis.all_negative())
+        if pool:
+            base_pools.append(pool)
+
+    def swapped(pool: list[str]) -> list[str]:
+        return [ALIAS_SWAPS.get(phrase, phrase) for phrase in pool]
+
+    pools = []
+    for index in range(N_SIM_APPS):
+        pool = base_pools[index % len(base_pools)]
+        pools.append(swapped(pool) if index % 3 == 2 else pool)
+    return surfaces, pools
+
+
+def sweep(matcher: InfoMatcher,
+          surfaces: list[str],
+          pools: list[list[str]]) -> tuple[float, list]:
+    """One full matching pass; (seconds, all match decisions)."""
+    hits = []
+    started = time.perf_counter()
+    for pool in pools:
+        hits.append(matcher.esa.match_sets(surfaces, pool,
+                                           matcher.threshold))
+    return time.perf_counter() - started, hits
+
+
+def test_nlp_hotpath(benchmark, store, checker):
+    matcher = InfoMatcher()
+    surfaces, pools = build_workload(store, checker)
+    n_pairs = sum(len(surfaces) * len(pool) for pool in pools)
+
+    def profile() -> dict:
+        set_memo_enabled(False)
+        clear_caches()
+        nomemo_s, nomemo_hits = sweep(matcher, surfaces, pools)
+
+        set_memo_enabled(True)
+        clear_caches()
+        cold_s, cold_hits = sweep(matcher, surfaces, pools)
+        warm_s, warm_hits = sweep(matcher, surfaces, pools)
+        caches = cache_stats()
+
+        # the fast paths are exact: every phase agrees pair-for-pair
+        assert cold_hits == nomemo_hits
+        assert warm_hits == nomemo_hits
+
+        def phase(seconds: float) -> dict:
+            return {
+                "seconds": seconds,
+                "pairs_per_second": n_pairs / seconds if seconds
+                else 0.0,
+            }
+
+        return {
+            "n_apps": len(pools),
+            "n_surfaces": len(surfaces),
+            "n_pairs": n_pairs,
+            "n_matches": sum(len(h) for h in nomemo_hits),
+            "no_memo": phase(nomemo_s),
+            "cold": phase(cold_s),
+            "warm": phase(warm_s),
+            "cold_speedup": nomemo_s / cold_s if cold_s else 0.0,
+            "warm_speedup": nomemo_s / warm_s if warm_s else 0.0,
+            "caches": {
+                name: {"hits": row["hits"], "misses": row["misses"]}
+                for name, row in caches.items()
+            },
+        }
+
+    try:
+        result = benchmark.pedantic(profile, rounds=3, iterations=1)
+    finally:
+        set_memo_enabled(None)
+        clear_caches()
+
+    from repro.core.schema import versioned
+
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
+
+    print(f"\nNLP hot path over {result['n_apps']} simulated apps "
+          f"({result['n_pairs']} pairs, "
+          f"{result['n_matches']} matches)")
+    for phase_name in ("no_memo", "cold", "warm"):
+        row = result[phase_name]
+        print(f"  {phase_name:<8} {row['seconds'] * 1000:>8.1f} ms  "
+              f"{row['pairs_per_second']:>10.0f} pairs/s")
+    print(f"  cold speedup {result['cold_speedup']:.1f}x, "
+          f"warm speedup {result['warm_speedup']:.1f}x")
+    print(f"  wrote {BENCH_PATH}")
+
+    # the optimization PR's promise: the memoized hot path beats the
+    # compute-everything path by at least 3x on the study workload
+    assert result["warm_speedup"] >= 3.0
+    assert result["cold_speedup"] > 1.0

@@ -136,8 +136,10 @@ def test_pipeline_profile(benchmark, store):
         }
 
     result = benchmark.pedantic(profile, rounds=3, iterations=1)
+    from repro.core.schema import versioned
+
     with open(BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
 
     print(f"\nPipeline profile over {result['n_apps']} apps")
     print(f"  serial   {result['serial_seconds'] * 1000:>8.1f} ms")

@@ -123,8 +123,10 @@ def test_service_throughput(benchmark, store):
         return result
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.core.schema import versioned
+
     with open(BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
 
     print(f"\nService throughput over {result['n_apps']} apps "
           f"({result['client_threads']} clients, "

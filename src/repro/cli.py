@@ -113,6 +113,17 @@ def _print_stage_stats(stats) -> None:
               f"{row['cache_hits']:>6} {row['failures']:>6} "
               f"{row['hit_rate'] * 100:>5.1f}% "
               f"{row['seconds']:>8.3f}")
+    caches = stats.nlp_caches()
+    if not caches:
+        return
+    print("\n== nlp caches ==")
+    print(f"  {'cache':<26} {'hits':>8} {'miss':>8} {'hit%':>6} "
+          f"{'entries':>8}")
+    for name, row in caches.items():
+        lookups = row["hits"] + row["misses"]
+        rate = row["hits"] / lookups * 100 if lookups else 0.0
+        print(f"  {name:<26} {row['hits']:>8} {row['misses']:>8} "
+              f"{rate:>5.1f}% {row['entries']:>8}")
 
 
 def _print_quarantine(failures) -> None:
@@ -133,7 +144,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     report = checker.check(bundle)
     if args.json:
-        json.dump(report.to_dict(), sys.stdout, indent=2,
+        from repro.core.schema import versioned
+
+        json.dump(versioned(report.to_dict()), sys.stdout, indent=2,
                   sort_keys=True)
         print()
     else:
@@ -175,6 +188,7 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
             "reports": [report.to_dict() for report in reports],
             "quarantine": [failure.to_dict() for failure in failures],
             "pipeline_stats": checker.stats.to_dict(),
+            "nlp_caches": checker.stats.nlp_caches(),
         })
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -228,6 +242,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         payload = versioned(result.to_dict())
         if result.stats is not None:
             payload["pipeline_stats"] = result.stats.to_dict()
+            payload["nlp_caches"] = result.stats.nlp_caches()
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")

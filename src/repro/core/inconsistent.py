@@ -65,11 +65,8 @@ def _matching_resources(
     lib_resources: tuple[str, ...],
     matcher: InfoMatcher,
 ) -> tuple[str, str] | None:
-    for app_res in app_resources:
-        for lib_res in lib_resources:
-            if matcher.phrases_match(app_res, lib_res):
-                return app_res, lib_res
-    return None
+    # batch scan (inverted-index pruned) preserving nested-loop order
+    return matcher.first_match_pair(app_resources, lib_resources)
 
 
 __all__ = ["detect_inconsistent"]

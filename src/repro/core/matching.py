@@ -42,14 +42,22 @@ class InfoMatcher:
         """Similarity(info, phrase) > threshold."""
         if normalize_resource(phrase) is info:
             return True
-        for surface in INFO_SURFACE.get(info, (info.value,)):
-            if self.esa.similarity(surface, phrase) > self.threshold:
-                return True
-        return False
+        surfaces = list(INFO_SURFACE.get(info, (info.value,)))
+        return self.esa.any_match(surfaces, [phrase], self.threshold)
 
     def covered(self, info: InfoType, phrases: set[str]) -> bool:
-        """Is *info* mentioned by any of the policy *phrases*?"""
-        return any(self.phrase_matches(info, phrase) for phrase in phrases)
+        """Is *info* mentioned by any of the policy *phrases*?
+
+        Batch form of ``any(phrase_matches(info, p) for p in
+        phrases)``: the exact alias lookup runs first, then every
+        (surface, phrase) pair goes through the ESA batch matcher with
+        shared-concept pruning.
+        """
+        if any(normalize_resource(phrase) is info for phrase in phrases):
+            return True
+        surfaces = list(INFO_SURFACE.get(info, (info.value,)))
+        return self.esa.any_match(surfaces, list(phrases),
+                                  self.threshold)
 
     def phrases_match(self, phrase_a: str, phrase_b: str) -> bool:
         """Resource-to-resource matching (Alg. 5 line 11)."""
@@ -58,6 +66,33 @@ class InfoMatcher:
         if info_a is not None and info_a is info_b:
             return True
         return self.esa.similarity(phrase_a, phrase_b) > self.threshold
+
+    def first_match_pair(
+        self, phrases_a: tuple[str, ...] | list[str],
+        phrases_b: tuple[str, ...] | list[str],
+    ) -> tuple[str, str] | None:
+        """The first ``(a, b)`` pair (nested-loop order: *a* outer)
+        for which :meth:`phrases_match` holds, or None.
+
+        Batch form of the Alg. 5 resource scan: ESA pairs are scored
+        through :meth:`~repro.semantics.esa.EsaModel.match_sets`
+        (inverted-index pruned), then the decision replays in the
+        reference order so the selected pair is byte-identical to the
+        nested loop's.
+        """
+        infos_a = [normalize_resource(p) for p in phrases_a]
+        infos_b = [normalize_resource(p) for p in phrases_b]
+        esa_hits = {
+            (i, j) for i, j, _sim in self.esa.match_sets(
+                list(phrases_a), list(phrases_b), self.threshold)
+        }
+        for i, phrase_a in enumerate(phrases_a):
+            for j, phrase_b in enumerate(phrases_b):
+                if infos_a[i] is not None and infos_a[i] is infos_b[j]:
+                    return phrase_a, phrase_b
+                if (i, j) in esa_hits:
+                    return phrase_a, phrase_b
+        return None
 
 
 __all__ = ["InfoMatcher"]

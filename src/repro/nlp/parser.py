@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.memo import MISS, MemoCache
 from repro.nlp.chunker import NounPhrase, chunk_covering, chunk_noun_phrases
 from repro.nlp.deptree import ROOT_INDEX, DependencyTree
 from repro.nlp.postag import pos_tag
@@ -478,15 +479,37 @@ class _Parser:
                 self.tree.add(root_gov, tok.index, rel)
 
 
+#: sentence -> parsed dependency tree.  Corpus policies share template
+#: sentences across thousands of apps, and one check consults the same
+#: sentence in several stages; the cache makes each sentence pay for
+#: tokenization, tagging, and parsing once per process.  Cached trees
+#: are shared and read-only by convention (nothing outside this module
+#: mutates a DependencyTree after construction).
+_PARSE_CACHE = MemoCache("nlp_parse", max_entries=16384)
+
+
 def parse(sentence: str | list[Token]) -> DependencyTree:
-    """Parse a sentence (string or pre-tokenized) to a dependency tree."""
-    if isinstance(sentence, str):
-        tokens = tokenize(sentence)
-    else:
+    """Parse a sentence (string or pre-tokenized) to a dependency tree.
+
+    String inputs are memoized process-wide (disable with
+    ``REPRO_NO_MEMO=1``); treat the returned tree as read-only.
+    Pre-tokenized inputs always parse fresh -- their tags may differ
+    from what the tagger would assign.
+    """
+    if not isinstance(sentence, str):
         tokens = sentence
+        if tokens and not tokens[0].pos:
+            pos_tag(tokens)
+        return _Parser(tokens).parse()
+    cached = _PARSE_CACHE.get(sentence)
+    if cached is not MISS:
+        return cached
+    tokens = tokenize(sentence)
     if tokens and not tokens[0].pos:
         pos_tag(tokens)
-    return _Parser(tokens).parse()
+    tree = _Parser(tokens).parse()
+    _PARSE_CACHE.put(sentence, tree)
+    return tree
 
 
 __all__ = ["parse", "VerbGroup"]

@@ -258,6 +258,17 @@ class PipelineStats:
     def to_dict(self) -> dict[str, dict[str, int | float]]:
         return self.snapshot()
 
+    @staticmethod
+    def nlp_caches() -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters of the process-wide NLP/ESA memo
+        caches (ESA interpretation vectors, pair similarities, parsed
+        sentences; see :mod:`repro.memo`).  Process-wide rather than
+        per-pipeline: the caches sit below the stage layer and are
+        shared by every pipeline in the process."""
+        from repro.memo import cache_stats
+
+        return cache_stats()
+
 
 __all__ = [
     "MISS",

@@ -92,18 +92,25 @@ def _match(
     negative: Statement,
     matcher: InfoMatcher,
 ) -> tuple[str, str, str] | None:
-    for neg_res in negative.resources:
-        for pos_res in positive.resources:
+    neg_infos = [normalize_resource(r) for r in negative.resources]
+    pos_infos = [normalize_resource(r) for r in positive.resources]
+    # ESA pairs scored in batch (inverted-index pruned); the decision
+    # replays in nested-loop order so the selected pair is unchanged
+    esa_hits = {
+        (i, j) for i, j, _sim in matcher.esa.match_sets(
+            list(negative.resources), list(positive.resources),
+            matcher.threshold)
+    }
+    for i, neg_res in enumerate(negative.resources):
+        for j, pos_res in enumerate(positive.resources):
             # exact: the two resources are the same thing
-            neg_info = normalize_resource(neg_res)
-            pos_info = normalize_resource(pos_res)
-            if neg_info is not None and neg_info is pos_info:
+            if neg_infos[i] is not None and neg_infos[i] is pos_infos[j]:
                 return "exact", pos_res, neg_res
-            if neg_info is None and pos_info is None and \
-                    matcher.phrases_match(pos_res, neg_res):
+            if neg_infos[i] is None and pos_infos[j] is None and \
+                    (i, j) in esa_hits:
                 return "exact", pos_res, neg_res
             # subsumption: broad denial vs narrow specific positive
-            if _is_broad(neg_res) and pos_info is not None:
+            if _is_broad(neg_res) and pos_infos[j] is not None:
                 return "subsumption", pos_res, neg_res
     return None
 

@@ -10,7 +10,13 @@ decision threshold.
 """
 
 from repro.semantics.resources import InfoType, INFO_TYPES, normalize_resource
-from repro.semantics.esa import EsaModel, default_model, similarity
+from repro.semantics.esa import (
+    EsaModel,
+    default_model,
+    match_sets,
+    similarity,
+    similarity_many,
+)
 
 __all__ = [
     "InfoType",
@@ -19,4 +25,6 @@ __all__ = [
     "EsaModel",
     "default_model",
     "similarity",
+    "similarity_many",
+    "match_sets",
 ]

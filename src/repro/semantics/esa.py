@@ -8,6 +8,17 @@ similarity of two texts is the cosine of their interpretation vectors.
 PPChecker uses ``Similarity(a, b) > threshold`` with ``threshold =
 0.67`` (following AutoCog) to decide whether two information phrases
 refer to the same thing.
+
+The matching algorithms call ``similarity`` for every (surface,
+phrase) pair of every app, and study-scale corpora repeat the same
+phrases across thousands of apps.  Each model therefore memoizes its
+interpretation vectors and pair similarities in bounded LRUs
+(:mod:`repro.memo`), prunes pairs whose sparse vectors share no
+concept (their cosine is exactly 0), and offers batch entry points
+(:meth:`EsaModel.similarity_many`, :meth:`EsaModel.match_sets`,
+:meth:`EsaModel.any_match`) that the detectors drive.  All fast paths
+are exact: ``REPRO_NO_MEMO=1`` disables them and the differential
+suite proves the output is byte-identical either way.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import math
 import re
 from dataclasses import dataclass, field
 
+from repro.memo import MISS, MemoCache, memo_enabled
 from repro.nlp.tokenizer import lemmatize
 from repro.semantics.knowledge import CONCEPT_ARTICLES
 
@@ -34,6 +46,25 @@ _STOPWORDS = {
 }
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+
+def _norm_key(text: str) -> str:
+    """Cache key: casefold and collapse whitespace.  Tokenization is
+    case-insensitive and whitespace-blind, so two texts with the same
+    key always yield the same interpretation vector."""
+    return " ".join(text.lower().split())
+
+
+def _cosine(key_a: str, vec_a: dict[int, float],
+            key_b: str, vec_b: dict[int, float]) -> float:
+    """Dot product of two L2-normalized sparse vectors, clamped to
+    [0, 1].  The iteration order is canonical (smaller vector first,
+    ties broken by key) so the float result is independent of the
+    argument order -- a prerequisite for the symmetric pair cache."""
+    if (len(vec_b), key_b) < (len(vec_a), key_a):
+        vec_a, vec_b = vec_b, vec_a
+    dot = sum(w * vec_b.get(c, 0.0) for c, w in vec_a.items())
+    return max(0.0, min(1.0, dot))
 
 
 def _terms(text: str) -> list[str]:
@@ -61,6 +92,10 @@ class EsaModel:
     _concepts: list[str] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
+        # bounded memo caches (see repro.memo); texts repeat massively
+        # across apps, so both have study-scale hit rates
+        self._interp_cache = MemoCache("esa_interpret")
+        self._sim_cache = MemoCache("esa_similarity", max_entries=262144)
         self._concepts = sorted(self.articles)
         # term frequency per concept
         tf: dict[str, dict[int, float]] = {}
@@ -84,7 +119,12 @@ class EsaModel:
     # -- interpretation ----------------------------------------------------
 
     def interpret(self, text: str) -> dict[int, float]:
-        """Interpretation vector of *text* (sparse, L2-normalized)."""
+        """Interpretation vector of *text* (sparse, L2-normalized).
+
+        Returns a fresh dict; the memoized vector stays private."""
+        return dict(self._interp(text)[1])
+
+    def _compute_interpret(self, text: str) -> dict[int, float]:
         acc: dict[int, float] = {}
         terms = _terms(text)
         if not terms:
@@ -100,22 +140,117 @@ class EsaModel:
             return {}
         return {c: w / norm for c, w in acc.items()}
 
+    def _interp(self, text: str) -> tuple[str, dict[int, float]]:
+        """(cache key, memoized vector).  The vector is shared and
+        must be treated as immutable."""
+        key = _norm_key(text)
+        vec = self._interp_cache.get(key)
+        if vec is MISS:
+            vec = self._compute_interpret(text)
+            self._interp_cache.put(key, vec)
+        return key, vec
+
+    def _pair_sim(self, key_a: str, vec_a: dict[int, float],
+                  key_b: str, vec_b: dict[int, float]) -> float:
+        if not vec_a or not vec_b:
+            return 0.0
+        pair = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        cached = self._sim_cache.get(pair)
+        if cached is not MISS:
+            return cached
+        # shared-concept prune: disjoint sparse supports have an
+        # exactly-zero dot product, so skipping the sum is exact
+        if memo_enabled() and vec_a.keys().isdisjoint(vec_b.keys()):
+            sim = 0.0
+        else:
+            sim = _cosine(key_a, vec_a, key_b, vec_b)
+        self._sim_cache.put(pair, sim)
+        return sim
+
     def similarity(self, text_a: str, text_b: str) -> float:
         """Cosine similarity of the two interpretation vectors in [0, 1]."""
-        va = self.interpret(text_a)
-        vb = self.interpret(text_b)
-        if not va or not vb:
-            return 0.0
-        if len(vb) < len(va):
-            va, vb = vb, va
-        dot = sum(w * vb.get(c, 0.0) for c, w in va.items())
-        return max(0.0, min(1.0, dot))
+        key_a, vec_a = self._interp(text_a)
+        key_b, vec_b = self._interp(text_b)
+        return self._pair_sim(key_a, vec_a, key_b, vec_b)
 
     def same_thing(self, text_a: str, text_b: str,
                    threshold: float | None = None) -> bool:
         """The paper's matching predicate: similarity above threshold."""
         limit = self.threshold if threshold is None else threshold
         return self.similarity(text_a, text_b) > limit
+
+    # -- batch entry points ------------------------------------------------
+
+    def similarity_many(self, text: str,
+                        candidates: list[str]) -> list[float]:
+        """``similarity(text, c)`` for every candidate, interpreting
+        *text* once.  Agrees pairwise with :meth:`similarity`."""
+        key, vec = self._interp(text)
+        return [self._pair_sim(key, vec, *self._interp(c))
+                for c in candidates]
+
+    def any_match(self, texts_a: list[str], texts_b: list[str],
+                  threshold: float | None = None) -> bool:
+        """Is any (a, b) pair above the threshold?  Early-exits on the
+        first hit; equals ``any(same_thing(a, b) for a for b)``."""
+        limit = self.threshold if threshold is None else threshold
+        interps_b = [self._interp(t) for t in texts_b]
+        for text_a in texts_a:
+            key_a, vec_a = self._interp(text_a)
+            if not vec_a:
+                continue
+            for key_b, vec_b in interps_b:
+                if self._pair_sim(key_a, vec_a, key_b, vec_b) > limit:
+                    return True
+        return False
+
+    def match_sets(self, texts_a: list[str], texts_b: list[str],
+                   threshold: float | None = None,
+                   ) -> list[tuple[int, int, float]]:
+        """All ``(i, j, similarity)`` with similarity above the
+        threshold, ordered by ``(i, j)`` -- the order of the nested
+        reference loop, so first-hit call sites stay byte-identical.
+
+        With memoization enabled, candidates are pruned through a
+        shared-concept inverted index over *texts_b*: a pair whose
+        vectors share no concept has cosine exactly 0 and is never
+        scored.  The pruning is exact for any ``threshold >= 0``.
+        """
+        limit = self.threshold if threshold is None else threshold
+        interps_b = [self._interp(t) for t in texts_b]
+        out: list[tuple[int, int, float]] = []
+        if not memo_enabled():
+            for i, text_a in enumerate(texts_a):
+                for j, text_b in enumerate(texts_b):
+                    sim = self.similarity(text_a, text_b)
+                    if sim > limit:
+                        out.append((i, j, sim))
+            return out
+        index: dict[int, list[int]] = {}
+        for j, (_key, vec) in enumerate(interps_b):
+            for concept in vec:
+                index.setdefault(concept, []).append(j)
+        for i, text_a in enumerate(texts_a):
+            key_a, vec_a = self._interp(text_a)
+            if not vec_a:
+                continue
+            candidates = sorted({
+                j for concept in vec_a
+                for j in index.get(concept, ())
+            })
+            for j in candidates:
+                key_b, vec_b = interps_b[j]
+                sim = self._pair_sim(key_a, vec_a, key_b, vec_b)
+                if sim > limit:
+                    out.append((i, j, sim))
+        return out
+
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters of this model's memo caches."""
+        return {
+            "interpret": self._interp_cache.stats(),
+            "similarity": self._sim_cache.stats(),
+        }
 
     def top_concepts(self, text: str, k: int = 3) -> list[tuple[str, float]]:
         """The k concepts with the highest interpretation weight."""
@@ -140,4 +275,23 @@ def similarity(text_a: str, text_b: str) -> float:
     return default_model().similarity(text_a, text_b)
 
 
-__all__ = ["EsaModel", "DEFAULT_THRESHOLD", "default_model", "similarity"]
+def similarity_many(text: str, candidates: list[str]) -> list[float]:
+    """Module-level convenience wrapper over :func:`default_model`."""
+    return default_model().similarity_many(text, candidates)
+
+
+def match_sets(texts_a: list[str], texts_b: list[str],
+               threshold: float | None = None,
+               ) -> list[tuple[int, int, float]]:
+    """Module-level convenience wrapper over :func:`default_model`."""
+    return default_model().match_sets(texts_a, texts_b, threshold)
+
+
+__all__ = [
+    "EsaModel",
+    "DEFAULT_THRESHOLD",
+    "default_model",
+    "similarity",
+    "similarity_many",
+    "match_sets",
+]

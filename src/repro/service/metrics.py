@@ -226,6 +226,33 @@ class Histogram(_Metric):
         return lines
 
 
+class CallbackGaugeFamily(_Metric):
+    """A labelled gauge family sampled at render time.
+
+    ``callback`` returns ``{label value: number}``; every render emits
+    one sample per entry, sorted by label value.  Used to surface the
+    process-wide NLP memo-cache counters (:mod:`repro.memo`) without
+    the service having to observe every cache lookup.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelname: str,
+                 callback: Callable[[], dict[str, float]]) -> None:
+        super().__init__(name, help, (labelname,))
+        self._callback = callback
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        for value_label, value in sorted(self._callback().items()):
+            lines.append(
+                f"{self.name}"
+                f"{_format_labels(self.labelnames, (value_label,))} "
+                f"{_format_value(float(value))}"
+            )
+        return lines
+
+
 class MetricsRegistry:
     """Holds instruments; renders the exposition document."""
 
@@ -316,6 +343,30 @@ class ServiceMetrics:
             ("stage",),
         )
 
+        def _cache_field(field_name: str) -> Callable[[], dict[str, float]]:
+            def sample() -> dict[str, float]:
+                from repro.memo import cache_stats
+
+                return {name: float(row[field_name])
+                        for name, row in cache_stats().items()}
+            return sample
+
+        self.nlp_cache_hits = r.register(CallbackGaugeFamily(
+            "ppchecker_nlp_cache_hits",
+            "NLP/ESA memo-cache hits since process start, by cache.",
+            "cache", _cache_field("hits"),
+        ))
+        self.nlp_cache_misses = r.register(CallbackGaugeFamily(
+            "ppchecker_nlp_cache_misses",
+            "NLP/ESA memo-cache misses since process start, by cache.",
+            "cache", _cache_field("misses"),
+        ))
+        self.nlp_cache_entries = r.register(CallbackGaugeFamily(
+            "ppchecker_nlp_cache_entries",
+            "Live entries in each NLP/ESA memo cache.",
+            "cache", _cache_field("entries"),
+        ))
+
     # -- PipelineStats listener -------------------------------------------
 
     def observe_stage(self, stage: str, *, hit: bool, failed: bool,
@@ -331,6 +382,7 @@ class ServiceMetrics:
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "CallbackGaugeFamily",
     "Counter",
     "Gauge",
     "Histogram",

@@ -309,8 +309,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "job_id": job.id,
             }))
             return
-        # exactly the `check --json` schema: the bare report document
-        self._send_json(200, job.result or {})
+        # exactly the `check --json` schema: the report document,
+        # stamped with schema_version (copy: the stored job result
+        # is shared with coalesced waiters and /v1/jobs readers)
+        self._send_json(200, versioned(dict(job.result or {})))
 
     def _submit_async(self) -> None:
         doc = self._read_json()

@@ -4,6 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden JSON snapshots under "
+             "tests/integration/goldens/ instead of comparing "
+             "against them",
+    )
+
 from repro.core.checker import PPChecker
 from repro.core.matching import InfoMatcher
 from repro.corpus.appstore import generate_app_store

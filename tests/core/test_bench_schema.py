@@ -1,0 +1,58 @@
+"""Every committed BENCH_*.json carries the payload schema version.
+
+The benchmark emitters (pipeline, service, nlp) stamp their output
+through :func:`repro.core.schema.versioned`; this suite pins the
+committed copies -- repo root and ``benchmarks/baselines/`` -- to the
+shared validator so a benchmark file can never silently drift from
+the payload contract ``benchmarks/compare.py`` relies on.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.schema import (
+    SCHEMA_VERSION,
+    validate_versioned,
+    versioned,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+BENCH_FILES = ("BENCH_nlp.json", "BENCH_pipeline.json",
+               "BENCH_service.json")
+
+
+def bench_paths():
+    for filename in BENCH_FILES:
+        yield os.path.join(REPO_ROOT, filename)
+        yield os.path.join(REPO_ROOT, "benchmarks", "baselines",
+                           filename)
+
+
+@pytest.mark.parametrize("path", list(bench_paths()),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_committed_bench_files_are_versioned(path):
+    assert os.path.exists(path), f"missing benchmark file: {path}"
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_versioned(payload, source=path)
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+
+class TestValidateVersioned:
+    def test_accepts_stamped_payload(self):
+        validate_versioned(versioned({"x": 1}))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            validate_versioned([1, 2, 3], source="bench")
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(ValueError, match="missing schema_version"):
+            validate_versioned({"x": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_versioned({"schema_version": SCHEMA_VERSION + 1})

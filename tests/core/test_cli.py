@@ -154,9 +154,10 @@ class TestStudy:
             serial = json.load(handle)
         with open(parallel_json) as handle:
             parallel = json.load(handle)
-        # the tables must be identical; only the stats may differ
-        serial.pop("pipeline_stats")
-        parallel.pop("pipeline_stats")
+        # the tables must be identical; only the telemetry may differ
+        for payload in (serial, parallel):
+            payload.pop("pipeline_stats")
+            payload.pop("nlp_caches")
         assert serial == parallel
 
     def test_screen_command(self, capsys):

@@ -9,6 +9,10 @@ import pytest
 
 from repro.core.study import run_study
 
+# corpus scale: CI's fast lane deselects this module (-m "not slow")
+# and a dedicated step runs it (-m slow)
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def result(full_store, checker):

@@ -1,0 +1,101 @@
+"""Property tests for the memoized ESA hot paths.
+
+The optimization layer promises exactness, not approximation: the
+memoized ``similarity`` must agree with the compute-everything path
+to the last ulp, stay symmetric, and the batch entry points
+(``similarity_many``, ``match_sets``) must agree pairwise with the
+scalar predicate.  Phrases are drawn from the corpus vocabulary --
+information surfaces, :data:`ALIAS_SWAPS` paraphrases, and policy
+resource wording -- because that is what the detectors actually
+score.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.mutations import ALIAS_SWAPS
+from repro.description.permission_map import INFO_SURFACE
+from repro.memo import clear_caches, set_memo_enabled
+from repro.semantics.esa import default_model
+
+_POOL = sorted(
+    {surface for aliases in INFO_SURFACE.values() for surface in aliases}
+    | set(ALIAS_SWAPS)
+    | set(ALIAS_SWAPS.values())
+    | {
+        "your precise location", "personal information",
+        "usage data", "ip address", "cookies", "crash data",
+        "  Location  ", "DEVICE ID",  # normalization fodder
+        "zxqwv unknown terms", "",
+    }
+)
+
+_PHRASES = st.sampled_from(_POOL)
+_PHRASE_LISTS = st.lists(_PHRASES, min_size=0, max_size=6)
+
+
+@pytest.fixture(autouse=True)
+def restore_memo_state():
+    yield
+    set_memo_enabled(None)
+    clear_caches()
+
+
+class TestMemoExactness:
+    @given(_PHRASES, _PHRASES)
+    @settings(max_examples=150, deadline=None)
+    def test_memoized_equals_unmemoized(self, a, b):
+        esa = default_model()
+        set_memo_enabled(True)
+        clear_caches()
+        memoized = esa.similarity(a, b)
+        set_memo_enabled(False)
+        plain = esa.similarity(a, b)
+        assert abs(memoized - plain) <= 1e-9
+        # the canonical cosine makes the agreement exact, not approximate
+        assert memoized == plain
+
+    @given(_PHRASES, _PHRASES)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry_exact(self, a, b):
+        esa = default_model()
+        for enabled in (True, False):
+            set_memo_enabled(enabled)
+            clear_caches()
+            assert esa.similarity(a, b) == esa.similarity(b, a)
+
+
+class TestBatchAgreement:
+    @given(_PHRASES, _PHRASE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_similarity_many_pairwise(self, text, candidates):
+        esa = default_model()
+        batched = esa.similarity_many(text, candidates)
+        assert batched == [esa.similarity(text, c) for c in candidates]
+
+    @given(_PHRASE_LISTS, _PHRASE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_match_sets_agrees_with_nested_loop(self, texts_a, texts_b):
+        esa = default_model()
+        reference = [
+            (i, j, esa.similarity(a, b))
+            for i, a in enumerate(texts_a)
+            for j, b in enumerate(texts_b)
+            if esa.similarity(a, b) > esa.threshold
+        ]
+        for enabled in (True, False):
+            set_memo_enabled(enabled)
+            clear_caches()
+            assert esa.match_sets(texts_a, texts_b) == reference
+
+    @given(_PHRASE_LISTS, _PHRASE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_any_match_agrees_with_nested_loop(self, texts_a, texts_b):
+        esa = default_model()
+        reference = any(
+            esa.same_thing(a, b) for a in texts_a for b in texts_b
+        )
+        assert esa.any_match(texts_a, texts_b) == reference

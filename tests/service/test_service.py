@@ -75,10 +75,12 @@ class TestHTTPBasics:
 
     def test_check_matches_cli_json_schema(self, client):
         report = client.check(make_doc(with_location=True))
-        # the exact report a direct PPChecker produces
+        # the exact report a direct PPChecker produces, stamped with
+        # schema_version exactly like `check --json`
         from repro.android.serialization import bundle_from_dict
-        expected = PPChecker().check(
-            bundle_from_dict(make_doc(with_location=True))).to_dict()
+        from repro.core.schema import versioned
+        expected = versioned(PPChecker().check(
+            bundle_from_dict(make_doc(with_location=True))).to_dict())
         assert report == expected
         assert report["has_problem"]
         assert "incomplete" in report
