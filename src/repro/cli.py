@@ -11,18 +11,24 @@ Subcommands::
             [--workers N] [--cache-dir PATH] [--fail-on-findings]
             [--max-retries N] [--stage-timeout SECONDS]
             [--keep-going | --no-keep-going]
+            [--journal PATH] [--resume]
         Run PPChecker over many bundles at once, fanned out over a
         worker pool and sharing one artifact cache (compliance-CI
         entry point).  With --keep-going (the default) a failing
         bundle is quarantined as a structured failure record instead
-        of aborting the batch.
+        of aborting the batch.  --journal checkpoints each finished
+        bundle to a write-ahead journal; after a crash, --resume
+        replays the finished ones and checks only the rest.
 
     python -m repro.cli study [--apps N] [--seed S] [--json PATH]
             [--workers N] [--cache-dir PATH]
             [--max-retries N] [--stage-timeout SECONDS]
             [--keep-going | --no-keep-going]
+            [--journal PATH] [--resume]
         Run the full market study over the synthetic corpus and print
-        the paper's tables.
+        the paper's tables.  --journal / --resume give the study
+        crash-safe per-app checkpoints: a killed run restarted with
+        --resume reproduces the uninterrupted run's report exactly.
 
     python -m repro.cli bootstrap [--top N]
         Train the pattern bootstrapping and print the top-N patterns.
@@ -39,10 +45,15 @@ Subcommands::
             [--queue-size N] [--cache-dir PATH] [--lib-policies DIR]
             [--max-retries N] [--stage-timeout SECONDS]
             [--request-timeout SECONDS] [--drain-timeout SECONDS]
-            [--fault-plan PATH]
+            [--fault-plan PATH] [--state-dir DIR]
+            [--max-redeliveries N]
         Run the long-running check service: a REST API over a shared,
         warm pipeline with a bounded job queue, request coalescing,
-        and /healthz + /metrics endpoints (see docs/API.md).
+        and /healthz + /metrics endpoints (see docs/API.md).  With
+        --state-dir, accepted jobs are journaled and replayed across
+        restarts; jobs that crash the process more than
+        --max-redeliveries times are dead-lettered
+        (GET /v1/deadletter).
 
 ``repro --version`` prints the package version.
 """
@@ -126,6 +137,36 @@ def _print_stage_stats(stats) -> None:
               f"{rate:>5.1f}% {row['entries']:>8}")
 
 
+def _print_recovery(recovery) -> None:
+    print("== recovery ==")
+    print(f"  {'journal':<22} {recovery.path}")
+    print(f"  {'resumed':<22} {'yes' if recovery.resumed else 'no'}")
+    print(f"  {'records replayed':<22} {recovery.records_replayed}")
+    print(f"  {'reports replayed':<22} {recovery.reports_replayed}")
+    print(f"  {'quarantine replayed':<22} "
+          f"{recovery.quarantine_replayed}")
+    print(f"  {'torn bytes dropped':<22} {recovery.torn_bytes}")
+    print()
+
+
+def _open_run_log(args: argparse.Namespace, meta: dict):
+    """``(runlog, skip)`` for --journal/--resume, or ``(None, {})``
+    without --journal.  Raises SystemExit(2) on a journal that
+    belongs to a different run or would be clobbered."""
+    if args.journal is None:
+        return None, {}
+    from repro.durability.study_log import RunLogError, open_run_log
+
+    try:
+        runlog, skip = open_run_log(args.journal, meta,
+                                    resume=args.resume)
+    except RunLogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    _print_recovery(runlog.recovery)
+    return runlog, skip
+
+
 def _print_quarantine(failures) -> None:
     if not failures:
         return
@@ -155,17 +196,40 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_batch_check(args: argparse.Namespace) -> int:
-    from repro.android.serialization import load_bundle
+    from repro.android.serialization import bundle_to_dict, load_bundle
     from repro.core.report import AppFailure, partition_outcomes
+    from repro.hashing import fingerprint
 
     checker = _build_checker(
         args, _lib_policy_source(args.lib_policies)
     )
     bundles = [load_bundle(path) for path in args.bundles]
-    outcomes = checker.check_batch(
-        bundles, workers=args.workers,
-        on_error="quarantine" if args.keep_going else "raise",
-    )
+    # outcomes are keyed by bundle content digest, so a resumed run
+    # matches journal records to bundles regardless of path order
+    keys = [fingerprint(bundle_to_dict(bundle)) for bundle in bundles]
+    runlog, skip = _open_run_log(args, {
+        "kind": "batch-check",
+        "bundles": fingerprint(sorted(keys)),
+    })
+    on_error = "quarantine" if args.keep_going else "raise"
+    if runlog is None:
+        outcomes = checker.check_batch(bundles, workers=args.workers,
+                                       on_error=on_error)
+    else:
+        key_by_id = {id(b): k for b, k in zip(bundles, keys)}
+        by_key = dict(skip)
+        remaining = [b for b, k in zip(bundles, keys)
+                     if k not in by_key]
+
+        def checkpoint(bundle, outcome) -> None:
+            runlog.record_outcome(key_by_id[id(bundle)], outcome)
+
+        fresh = checker.check_batch(remaining, workers=args.workers,
+                                    on_error=on_error,
+                                    on_outcome=checkpoint)
+        for bundle, outcome in zip(remaining, fresh):
+            by_key[key_by_id[id(bundle)]] = outcome
+        outcomes = [by_key[key] for key in keys]
     reports, failures = partition_outcomes(outcomes)
 
     flagged = sum(1 for report in reports if report.has_problem)
@@ -193,6 +257,8 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    if runlog is not None:
+        runlog.close()
     return 1 if args.fail_on_findings and (flagged or failures) else 0
 
 
@@ -202,8 +268,16 @@ def cmd_study(args: argparse.Namespace) -> int:
 
     store = generate_app_store(seed=args.seed, n_apps=args.apps)
     checker = _build_checker(args, store.lib_policy)
-    result = run_study(store, checker=checker, workers=args.workers,
-                       keep_going=args.keep_going)
+    runlog, skip = _open_run_log(args, {
+        "kind": "study", "seed": args.seed, "apps": args.apps,
+    })
+    result = run_study(
+        store, checker=checker, workers=args.workers,
+        keep_going=args.keep_going,
+        skip=skip or None,
+        on_outcome=runlog.record_outcome if runlog is not None
+        else None,
+    )
     summary = result.summary()
 
     print("== study summary ==")
@@ -255,6 +329,8 @@ def cmd_study(args: argparse.Namespace) -> int:
                 print(f"  {key}: paper {paper}, measured {measured}")
         else:
             print("\nno deviations from the paper's summary numbers")
+    if runlog is not None:
+        runlog.close()
     return 0
 
 
@@ -332,6 +408,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         lib_policy_source=_lib_policy_source(args.lib_policies),
         request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout,
+        state_dir=args.state_dir,
+        max_redeliveries=args.max_redeliveries,
     ))
 
 
@@ -368,6 +446,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="persist stage artifacts under this "
                             "directory (reruns skip unchanged inputs)")
+
+    def add_journal(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint every finished app to this "
+                            "write-ahead journal (crash-safe; see "
+                            "--resume)")
+        p.add_argument("--resume", action="store_true",
+                       help="replay finished apps from --journal "
+                            "and check only the rest; the final "
+                            "report matches an uninterrupted run")
 
     def add_resilience(p: argparse.ArgumentParser,
                        batch: bool = False) -> None:
@@ -418,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "or any app is quarantined")
     add_cache_dir(batch)
     add_resilience(batch, batch=True)
+    add_journal(batch)
     batch.set_defaults(func=cmd_batch_check)
 
     study = sub.add_parser("study", help="run the market study")
@@ -431,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads (default: serial)")
     add_cache_dir(study)
     add_resilience(study, batch=True)
+    add_journal(study)
     study.set_defaults(func=cmd_study)
 
     screen = sub.add_parser("screen",
@@ -477,6 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="SIGTERM drain budget before queued jobs "
                           "are abandoned (default: 10)")
+    srv.add_argument("--state-dir", default=None, metavar="DIR",
+                     help="journal accepted jobs under this "
+                          "directory and replay unfinished ones on "
+                          "restart (default: in-memory only)")
+    srv.add_argument("--max-redeliveries", type=int, default=3,
+                     metavar="N",
+                     help="deliveries a journaled job may burn "
+                          "before restart recovery dead-letters it "
+                          "(default: 3)")
     add_cache_dir(srv)
     add_resilience(srv)
     srv.set_defaults(func=cmd_serve)

@@ -132,15 +132,21 @@ class PPChecker:
     def check_batch(self, bundles: list[AppBundle],
                     workers: int = 1,
                     on_error: str = "raise",
+                    on_outcome: Callable[
+                        [AppBundle, AppReport | AppFailure],
+                        None] | None = None,
                     ) -> list[AppReport | AppFailure]:
         """``check`` over many apps, fanned out over *workers*
         threads; results come back in input order.  ``workers=1`` is
         a plain serial loop.  ``on_error="quarantine"`` isolates
         per-app failures as :class:`~repro.core.report.AppFailure`
-        slots instead of aborting the batch."""
+        slots instead of aborting the batch.  ``on_outcome`` observes
+        each finished app as it completes (checkpoint hook; must be
+        thread-safe under ``workers > 1``)."""
         return self.pipeline.check_batch(bundles, workers=workers,
                                          check=self.check,
-                                         on_error=on_error)
+                                         on_error=on_error,
+                                         on_outcome=on_outcome)
 
 
 __all__ = ["AppBundle", "PPChecker"]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.checker import PPChecker
 from repro.core.report import AppFailure, AppReport
@@ -288,6 +289,9 @@ def run_study(
     limit: int | None = None,
     workers: int = 1,
     keep_going: bool = True,
+    skip: dict[str, AppReport | AppFailure] | None = None,
+    on_outcome: Callable[[str, AppReport | AppFailure],
+                         None] | None = None,
 ) -> StudyResult:
     """Run PPChecker over every app of the store.
 
@@ -300,17 +304,37 @@ def run_study(
     quarantined on ``result.failures`` instead of aborting the study
     -- broken inputs are the norm at corpus scale; pass
     ``keep_going=False`` to fail fast on the first broken bundle.
+
+    ``skip`` maps package -> an already-known outcome (replayed from
+    a journal by ``study --resume``); those apps are merged into the
+    result without re-checking.  ``on_outcome`` observes every
+    *freshly computed* outcome as ``(package, outcome)`` the moment
+    its app finishes -- the durability layer's checkpoint hook; it
+    never re-fires for skipped apps.
     """
     if checker is None:
         checker = PPChecker(lib_policy_source=store.lib_policy)
     apps = store.apps if limit is None else store.apps[:limit]
+    skip = skip or {}
     result = StudyResult(n_apps=len(apps))
+    remaining = [app for app in apps if app.package not in skip]
+    callback = None
+    if on_outcome is not None:
+        hook = on_outcome
+
+        def callback(bundle, outcome):  # noqa: ANN001 - local adapter
+            hook(bundle.package, outcome)
+
     outcomes = checker.check_batch(
-        [app.bundle for app in apps], workers=workers,
+        [app.bundle for app in remaining], workers=workers,
         on_error="quarantine" if keep_going else "raise",
+        on_outcome=callback,
     )
-    for app, outcome in zip(apps, outcomes):
+    fresh = dict(zip((app.package for app in remaining), outcomes))
+    for app in apps:
         result.plans[app.package] = app.plan
+        outcome = (skip[app.package] if app.package in skip
+                   else fresh[app.package])
         if isinstance(outcome, AppFailure):
             result.failures[app.package] = outcome
         else:

@@ -1,0 +1,59 @@
+"""Durable execution: write-ahead journaling and crash recovery.
+
+Long batch runs and a long-running service both die ungracefully in
+the real world -- OOM kills, node preemption, power loss.  This
+package makes that survivable:
+
+- :mod:`repro.durability.journal` -- the primitive: an append-only,
+  CRC-checksummed JSONL journal with fsync'd commits and
+  torn-tail-tolerant replay.
+- :mod:`repro.durability.study_log` -- per-app outcome checkpoints
+  for ``study --journal`` / ``batch-check --journal``; ``--resume``
+  replays finished apps and recomputes only the rest, reproducing
+  the uninterrupted run's report byte for byte.
+- :mod:`repro.durability.service_log` -- accept-time job persistence
+  for ``serve --state-dir``: queued/in-flight jobs are replayed on
+  startup, and jobs that repeatedly crash the process are
+  dead-lettered after a bounded number of redeliveries.
+
+See DESIGN.md §12 for the journal format, commit points, replay
+rules, and the dead-letter policy.
+"""
+
+from repro.durability.journal import (
+    Journal,
+    ReplayResult,
+    decode_record,
+    encode_record,
+    fsync_dir,
+    replay,
+)
+from repro.durability.service_log import (
+    RecoveredJob,
+    RecoveredState,
+    ServiceLog,
+    deadletter_doc,
+)
+from repro.durability.study_log import (
+    RecoveryInfo,
+    RunLog,
+    RunLogError,
+    open_run_log,
+)
+
+__all__ = [
+    "Journal",
+    "ReplayResult",
+    "decode_record",
+    "encode_record",
+    "fsync_dir",
+    "replay",
+    "RecoveredJob",
+    "RecoveredState",
+    "ServiceLog",
+    "deadletter_doc",
+    "RecoveryInfo",
+    "RunLog",
+    "RunLogError",
+    "open_run_log",
+]

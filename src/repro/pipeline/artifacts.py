@@ -87,7 +87,10 @@ class DiskStore:
     Stages without a codec are passed through untouched -- their
     artifacts must already be JSON-serializable.  Writes go through a
     temp file + atomic rename so concurrent writers can never expose a
-    torn document.
+    torn document; with ``durable`` (the default) the temp file is
+    fsync'd before the rename and the directory after it, so a cached
+    artifact survives power loss, not just process death (an
+    un-fsync'd rename can be rolled back by the filesystem journal).
     """
 
     def __init__(
@@ -95,12 +98,14 @@ class DiskStore:
         cache_dir: str,
         codecs: dict[str, tuple[Callable[[Any], Any],
                                 Callable[[Any], Any]]] | None = None,
+        durable: bool = True,
     ) -> None:
         if codecs is None:
             from repro.pipeline.stages import STAGE_CODECS
             codecs = STAGE_CODECS
         self.cache_dir = cache_dir
         self.codecs = codecs
+        self.durable = durable
         os.makedirs(cache_dir, exist_ok=True)
 
     def _path(self, stage: str, digest: str) -> str:
@@ -138,7 +143,14 @@ class DiskStore:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(doc, handle, sort_keys=True,
                           separators=(",", ":"))
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
+            if self.durable:
+                from repro.durability.journal import fsync_dir
+
+                fsync_dir(os.path.dirname(path))
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)

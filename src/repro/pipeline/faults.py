@@ -9,7 +9,10 @@ corpora produce:
 - ``hang``    -- the stage sleeps past any reasonable budget, so a
   configured stage timeout must cut it off,
 - ``corrupt`` -- the stage completes but yields a garbage artifact
-  (:class:`CorruptArtifact`) that poisons downstream consumers.
+  (:class:`CorruptArtifact`) that poisons downstream consumers,
+- ``crash``   -- the whole process dies on the spot (``os._exit``, no
+  cleanup, no atexit -- the scriptable ``kill -9``), which is what
+  the durability layer's crash-recovery suite restarts from.
 
 Each :class:`FaultSpec` matches a stage name (or ``"*"``) and an
 app/lib context substring (or ``"*"``), and can be budgeted to fire
@@ -26,6 +29,7 @@ CLI and CI can replay the exact same fault schedule.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -34,8 +38,17 @@ from typing import Any, Callable
 RAISE = "raise"
 HANG = "hang"
 CORRUPT = "corrupt"
+CRASH = "crash"
 
-KINDS = (RAISE, HANG, CORRUPT)
+KINDS = (RAISE, HANG, CORRUPT, CRASH)
+
+#: the exit status a ``crash`` fault dies with (recognizable in a
+#: harness's ``process.returncode``)
+CRASH_EXIT_CODE = 70
+
+#: indirection so unit tests can observe a crash without dying;
+#: real runs hard-exit exactly like a SIGKILL'd process would
+_hard_exit: Callable[[int], None] = os._exit
 
 
 class InjectedFault(RuntimeError):
@@ -144,6 +157,13 @@ class FaultPlan:
             if spec.kind == HANG:
                 time.sleep(spec.hang_seconds)
                 return compute()
+            if spec.kind == CRASH:
+                # the process dies here: no stack unwinding, no
+                # flushes -- exactly the failure a power loss or
+                # OOM kill produces mid-stage
+                _hard_exit(CRASH_EXIT_CODE)
+                raise InjectedFault(  # pragma: no cover - tests stub
+                    f"{context}:{stage}: crash fault did not exit")
             compute()  # pay the real cost, then hand back garbage
             return CorruptArtifact(
                 f"{context}:{stage}: {spec.message}"
@@ -171,6 +191,8 @@ __all__ = [
     "RAISE",
     "HANG",
     "CORRUPT",
+    "CRASH",
+    "CRASH_EXIT_CODE",
     "KINDS",
     "InjectedFault",
     "CorruptArtifact",

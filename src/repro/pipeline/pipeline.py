@@ -271,6 +271,8 @@ class Pipeline:
         workers: int = 1,
         check: Callable[["AppBundle"], AppReport] | None = None,
         on_error: str = "raise",
+        on_outcome: Callable[["AppBundle", AppReport | AppFailure],
+                             None] | None = None,
     ) -> list[AppReport | AppFailure]:
         """``check`` over every bundle, fanned out over *workers*
         threads; results come back in input order.  ``check`` defaults
@@ -285,20 +287,31 @@ class Pipeline:
         failing bundle yields an
         :class:`~repro.core.report.AppFailure` in its slot and the
         rest of the batch proceeds (split the mix with
-        :func:`repro.core.report.partition_outcomes`)."""
+        :func:`repro.core.report.partition_outcomes`).
+
+        ``on_outcome`` (when given) observes every finished app from
+        the worker thread that produced it, before the batch
+        completes -- the durability layer checkpoints each outcome to
+        its journal here.  It must be thread-safe; exceptions
+        propagate as that bundle's failure."""
         check = check or self.check
-        if on_error == "raise":
-            return BatchExecutor(workers=workers).map(check, bundles)
-        if on_error != "quarantine":
+        if on_error not in ("raise", "quarantine"):
             raise ValueError(f"unknown on_error mode: {on_error!r}")
 
-        def safe(bundle: "AppBundle") -> AppReport | AppFailure:
-            try:
-                return check(bundle)
-            except Exception as exc:
-                return AppFailure.from_exception(bundle.package, exc)
+        def run(bundle: "AppBundle") -> AppReport | AppFailure:
+            if on_error == "raise":
+                outcome: AppReport | AppFailure = check(bundle)
+            else:
+                try:
+                    outcome = check(bundle)
+                except Exception as exc:
+                    outcome = AppFailure.from_exception(
+                        bundle.package, exc)
+            if on_outcome is not None:
+                on_outcome(bundle, outcome)
+            return outcome
 
-        return BatchExecutor(workers=workers).map(safe, bundles)
+        return BatchExecutor(workers=workers).map(run, bundles)
 
 
 __all__ = ["Pipeline"]

@@ -18,6 +18,7 @@ Embedding::
 
 from repro.service.client import (
     CheckQuarantined,
+    JobGone,
     ServiceBusy,
     ServiceClient,
     ServiceError,
@@ -37,6 +38,7 @@ __all__ = [
     "CheckQuarantined",
     "CheckService",
     "Job",
+    "JobGone",
     "JobQueue",
     "MetricsRegistry",
     "PipelineRunner",

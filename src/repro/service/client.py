@@ -36,7 +36,18 @@ class ServiceBusy(ServiceError):
 
 
 class ServiceUnavailable(ServiceError):
-    """503: the service is draining."""
+    """503: the service is draining; retry after ``retry_after``
+    seconds (the server derives it from its drain budget)."""
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after: float = 1.0) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class JobGone(ServiceError):
+    """410: the job existed but aged out of the completed-job cache;
+    resubmit the bundle to recompute it."""
 
 
 class CheckQuarantined(ServiceError):
@@ -92,9 +103,13 @@ class ServiceClient:
                 status, payload,
                 retry_after=float(headers.get("Retry-After", 1)))
         if status == 503:
-            raise ServiceUnavailable(status, payload)
+            raise ServiceUnavailable(
+                status, payload,
+                retry_after=float(headers.get("Retry-After", 1)))
         if status == 422:
             raise CheckQuarantined(status, payload)
+        if status == 410:
+            raise JobGone(status, payload)
         raise ServiceError(status, payload)
 
     # -- endpoints ---------------------------------------------------------
@@ -145,7 +160,8 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             doc = self.job(job_id)
-            if doc["state"] in ("completed", "quarantined"):
+            if doc["state"] in ("completed", "quarantined",
+                                "deadlettered"):
                 return doc
             if time.monotonic() >= deadline:
                 raise TimeoutError(
@@ -160,11 +176,21 @@ class ServiceClient:
             self._raise_for(status, headers, payload)
         return payload
 
+    def deadletter(self) -> dict:
+        """The parked poison-pill jobs (``serve --state-dir`` only;
+        empty list on an in-memory service)."""
+        status, headers, payload = self.request(
+            "GET", "/v1/deadletter")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
 
 __all__ = [
     "ServiceError",
     "ServiceBusy",
     "ServiceUnavailable",
+    "JobGone",
     "CheckQuarantined",
     "ServiceClient",
 ]

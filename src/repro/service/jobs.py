@@ -27,8 +27,11 @@ QUEUED = "queued"
 RUNNING = "running"
 COMPLETED = "completed"
 QUARANTINED = "quarantined"
+#: parked by crash recovery after too many redeliveries (see
+#: :mod:`repro.durability.service_log`); never runs again
+DEADLETTERED = "deadlettered"
 
-TERMINAL_STATES = frozenset({COMPLETED, QUARANTINED})
+TERMINAL_STATES = frozenset({COMPLETED, QUARANTINED, DEADLETTERED})
 
 
 class QueueFull(RuntimeError):
@@ -56,6 +59,7 @@ class Job:
         self.result: dict | None = None   # AppReport.to_dict()
         self.error: dict | None = None    # AppFailure.to_dict()
         self.waiters = 1                  # submissions riding this job
+        self.deliveries = 0               # times a worker picked it up
         self._done = threading.Event()
 
     @property
@@ -131,6 +135,7 @@ __all__ = [
     "RUNNING",
     "COMPLETED",
     "QUARANTINED",
+    "DEADLETTERED",
     "TERMINAL_STATES",
     "QueueFull",
     "ServiceDraining",

@@ -331,6 +331,34 @@ class ServiceMetrics:
             "(queue_full | draining).",
             ("reason",),
         )
+        self.evicted = r.counter(
+            "ppchecker_jobs_evicted_total",
+            "Completed jobs aged out of the LRU (their ids now "
+            "answer 410 Gone).",
+        )
+        self.journal_records = r.counter(
+            "ppchecker_journal_records_total",
+            "Records appended to the write-ahead job journal, "
+            "by record type.",
+            ("type",),
+        )
+        self.journal_replayed = r.counter(
+            "ppchecker_journal_replayed_total",
+            "Journal records replayed during startup recovery.",
+        )
+        self.jobs_recovered = r.counter(
+            "ppchecker_jobs_recovered_total",
+            "Unfinished journaled jobs re-queued by startup recovery.",
+        )
+        self.jobs_deadlettered = r.counter(
+            "ppchecker_jobs_deadlettered_total",
+            "Jobs parked as poison pills after exhausting their "
+            "redelivery budget.",
+        )
+        self.journal_size = r.gauge(
+            "ppchecker_journal_size_bytes",
+            "Size of the write-ahead job journal file.",
+        )
         self.stage_requests = r.counter(
             "ppchecker_stage_requests_total",
             "Pipeline stage lookups, by stage and outcome "

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.checker import PPChecker
 from repro.core.report import AppFailure
@@ -30,6 +30,9 @@ from repro.service import jobs as jobstates
 from repro.service.coalescing import JobIndex
 from repro.service.jobs import Job, JobQueue
 from repro.service.metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.durability.service_log import ServiceLog
 
 
 @dataclass
@@ -55,6 +58,12 @@ class ServiceConfig:
     completed_jobs: int = 256
     #: cap on request bodies (a serialized bundle), bytes
     max_body_bytes: int = 32 * 1024 * 1024
+    #: directory for the write-ahead job journal (``serve
+    #: --state-dir``); None = in-memory only, jobs die with the process
+    state_dir: str | None = None
+    #: deliveries a journaled job may burn before recovery
+    #: dead-letters it as a poison pill
+    max_redeliveries: int = 3
 
 
 class PipelineRunner:
@@ -99,14 +108,23 @@ class PipelineRunner:
 
 
 class WorkerPool:
-    """N threads draining the queue through the shared runner."""
+    """N threads draining the queue through the shared runner.
+
+    With a :class:`~repro.durability.service_log.ServiceLog` attached
+    (``serve --state-dir``), every pickup and terminal transition is
+    journaled: ``started`` *before* the check runs (so a crash
+    mid-check burns one delivery) and ``completed``/``quarantined``
+    after it, so the next process never re-runs finished work.
+    """
 
     def __init__(self, queue: JobQueue, index: JobIndex,
-                 runner: PipelineRunner, workers: int) -> None:
+                 runner: PipelineRunner, workers: int,
+                 log: "ServiceLog | None" = None) -> None:
         self.queue = queue
         self.index = index
         self.runner = runner
         self.workers = workers
+        self.log = log
         self._stop = threading.Event()
         self._active = 0
         self._active_lock = threading.Lock()
@@ -129,7 +147,16 @@ class WorkerPool:
                 self._active += 1
             try:
                 job.state = jobstates.RUNNING
+                job.deliveries += 1
+                if self.log is not None:
+                    self.log.job_started(job.id, job.deliveries)
                 self.runner.run(job)
+                if self.log is not None:
+                    if job.state == jobstates.QUARANTINED:
+                        self.log.job_quarantined(job.id,
+                                                 job.error or {})
+                    else:
+                        self.log.job_completed(job.id)
                 # index first, then the job's own event is already
                 # set -- late submissions of the same key resolve to
                 # the finished job either way

@@ -33,6 +33,7 @@ from typing import Any
 from repro import __version__
 from repro.android.serialization import bundle_from_dict, bundle_to_dict
 from repro.core.schema import versioned
+from repro.durability.service_log import ServiceLog, deadletter_doc
 from repro.hashing import fingerprint
 from repro.service import jobs as jobstates
 from repro.service.coalescing import JobIndex
@@ -55,9 +56,21 @@ class CheckService:
         self.metrics = ServiceMetrics()
         self.runner = PipelineRunner(config, self.metrics)
         self.queue = JobQueue(config.queue_size)
-        self.index = JobIndex(completed_capacity=config.completed_jobs)
+        self.index = JobIndex(
+            completed_capacity=config.completed_jobs,
+            on_evict=lambda job: self.metrics.evicted.inc(),
+        )
+        #: job id -> structured payload of parked poison pills; never
+        #: coalesce targets (a resubmission gets a fresh job)
+        self._deadletters: dict[str, dict] = {}
+        self._deadletter_lock = threading.Lock()
+        self.log = None
+        if config.state_dir is not None:
+            self.log = ServiceLog(config.state_dir,
+                                  listener=self._on_journal_append)
+            self._recover()
         self.pool = WorkerPool(self.queue, self.index, self.runner,
-                               workers=config.workers)
+                               workers=config.workers, log=self.log)
         self._draining = threading.Event()
         self.metrics.registry.gauge(
             "ppchecker_queue_depth",
@@ -75,6 +88,66 @@ class CheckService:
             callback=lambda: self.pool.alive,
         )
         self.pool.start()
+
+    # -- durability --------------------------------------------------------
+
+    def _on_journal_append(self, record_type: str,
+                           nbytes: int) -> None:
+        self.metrics.journal_records.inc(type=record_type)
+        self.metrics.journal_size.inc(nbytes)
+
+    def _recover(self) -> None:
+        """Replay the job journal: re-queue unfinished jobs, park
+        poison pills, and resume the id counter past journaled ids.
+        Runs before the worker pool starts, so recovered jobs are
+        indexed before anything can race them."""
+        assert self.log is not None
+        state = self.log.recover(self.config.max_redeliveries)
+        self.metrics.journal_replayed.inc(state.records_replayed)
+        self.index.ensure_counter(state.max_job_number)
+        for recovered in state.deadletters:
+            self._deadletters[recovered.id] = deadletter_doc(
+                recovered.id, recovered.key, recovered.package,
+                recovered.deliveries)
+            self.metrics.jobs_deadlettered.inc()
+        for recovered in state.requeue:
+            try:
+                bundle = bundle_from_dict(recovered.bundle_doc)
+            except Exception:
+                # a journaled bundle this build can no longer parse
+                # (schema drift): park it rather than crash-loop
+                self.log.job_deadlettered(recovered.id,
+                                          recovered.deliveries)
+                self._deadletters[recovered.id] = deadletter_doc(
+                    recovered.id, recovered.key, recovered.package,
+                    recovered.deliveries)
+                self.metrics.jobs_deadlettered.inc()
+                continue
+            job = Job(recovered.id, recovered.key, bundle)
+            job.deliveries = recovered.deliveries
+            try:
+                self.queue.put(job)
+            except QueueFull:
+                # more journaled work than this queue holds (capacity
+                # was lowered across the restart): the rest stays
+                # accepted-but-unfinished in the journal and is
+                # recovered by the next startup
+                break
+            self.index.restore(job)
+            self.metrics.jobs_recovered.inc()
+        # the exact file size, correcting for replayed records the
+        # per-append listener never saw
+        self.metrics.journal_size.set(self.log.size_bytes)
+
+    def deadletter(self, job_id: str) -> dict | None:
+        with self._deadletter_lock:
+            return self._deadletters.get(job_id)
+
+    def deadletters(self) -> list[dict]:
+        """Parked jobs, oldest id first (numeric job order)."""
+        with self._deadletter_lock:
+            docs = list(self._deadletters.values())
+        return sorted(docs, key=lambda d: (len(d["id"]), d["id"]))
 
     # -- work intake -------------------------------------------------------
 
@@ -100,11 +173,21 @@ class CheckService:
         except Exception as exc:
             raise InvalidBundle(f"invalid bundle document: {exc}") \
                 from exc
+        def enqueue(job: Job) -> None:
+            self.queue.put(job)
+            # journal only after the queue accepted the job: a 429'd
+            # submission must never be resurrected by recovery.  The
+            # append commits (fsync) before the 202 is answered, so
+            # an acknowledged job survives a crash.
+            if self.log is not None:
+                self.log.job_accepted(job.id, job.key, job.package,
+                                      bundle_to_dict(bundle))
+
         try:
             job, coalesced = self.index.submit(
                 key,
                 lambda job_id, k: Job(job_id, k, bundle),
-                self.queue.put,
+                enqueue,
             )
         except QueueFull:
             self.metrics.rejected.inc(reason="queue_full")
@@ -127,6 +210,8 @@ class CheckService:
             "active_jobs": self.pool.active,
             "inflight_jobs": self.index.inflight,
             "completed_jobs": self.index.completed,
+            "deadletters": len(self._deadletters),
+            "durable": self.log is not None,
         })
 
     # -- lifecycle ---------------------------------------------------------
@@ -144,6 +229,8 @@ class CheckService:
         self.begin_drain()
         drained = self.pool.drain(deadline) if drain else False
         self.pool.stop(deadline)
+        if self.log is not None:
+            self.log.close()
         return drained
 
 
@@ -178,7 +265,7 @@ class _Handler(BaseHTTPRequestHandler):
         if _JOB_PATH.match(path):
             return "/v1/jobs/{id}"
         if path in ("/healthz", "/metrics", "/v1/check", "/v1/jobs",
-                    "/v1/batch"):
+                    "/v1/batch", "/v1/deadletter"):
             return path
         return "other"
 
@@ -233,14 +320,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- submission helpers ------------------------------------------------
 
+    def _drain_retry_after(self) -> str:
+        """Seconds a client should back off during a drain: the
+        remaining work can take up to the configured drain budget."""
+        return str(max(1, int(self.service.config.drain_timeout)))
+
     def _submit(self, doc: Any) -> tuple[Job, bool] | None:
         """Submit, translating intake failures to responses."""
         try:
             return self.service.submit(doc)
         except ServiceDraining:
-            self._send_error_json(503, "draining",
-                                  "service is shutting down",
-                                  headers={"Retry-After": "5"})
+            self._send_error_json(
+                503, "draining", "service is shutting down",
+                headers={"Retry-After": self._drain_retry_after()})
         except QueueFull:
             self._send_error_json(429, "queue_full",
                                   "job queue is at capacity",
@@ -260,15 +352,37 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, self.service.metrics.render().encode(),
                        "text/plain; version=0.0.4; charset=utf-8")
             return
+        if path == "/v1/deadletter":
+            docs = self.service.deadletters()
+            self._send_json(200, versioned({
+                "deadletters": docs,
+                "count": len(docs),
+            }))
+            return
         match = _JOB_PATH.match(path)
         if match:
-            job = self.service.job(match.group(1))
-            if job is None:
-                self._send_error_json(
-                    404, "not_found",
-                    f"no such job: {match.group(1)}")
+            job_id = match.group(1)
+            job = self.service.job(job_id)
+            if job is not None:
+                self._send_json(200, versioned(job.to_dict()))
                 return
-            self._send_json(200, versioned(job.to_dict()))
+            parked = self.service.deadletter(job_id)
+            if parked is not None:
+                self._send_json(200, versioned(dict(parked)))
+                return
+            if self.service.index.issued(job_id):
+                # the id was real; its job aged out of the completed
+                # LRU.  Stable body so clients can distinguish "gone,
+                # resubmit the bundle" from a typo'd id.
+                self._send_error_json(
+                    410, "gone",
+                    f"job {job_id} was evicted from the "
+                    f"completed-job cache; resubmit the bundle to "
+                    f"recompute it",
+                    job_id=job_id)
+                return
+            self._send_error_json(
+                404, "not_found", f"no such job: {job_id}")
             return
         self._send_error_json(404, "not_found",
                               f"no such endpoint: {path}")
@@ -346,9 +460,10 @@ class _Handler(BaseHTTPRequestHandler):
                 job, _ = self.service.submit(bundle_doc)
                 slots.append(job)
             except ServiceDraining:
-                self._send_error_json(503, "draining",
-                                      "service is shutting down",
-                                      headers={"Retry-After": "5"})
+                self._send_error_json(
+                    503, "draining", "service is shutting down",
+                    headers={"Retry-After":
+                             self._drain_retry_after()})
                 return
             except QueueFull:
                 slots.append({"status": "rejected", "error": {

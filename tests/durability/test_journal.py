@@ -1,0 +1,145 @@
+"""Unit tests of the write-ahead journal primitive."""
+
+import os
+
+import pytest
+
+from repro.durability.journal import (
+    Journal,
+    decode_record,
+    encode_record,
+    replay,
+)
+
+
+def write_journal(path, n=3):
+    with Journal(str(path)) as journal:
+        for i in range(1, n + 1):
+            journal.append("outcome", {"app": f"pkg{i}"})
+    return str(path)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        line = encode_record(7, "outcome", {"app": "a", "n": [1, 2]})
+        record = decode_record(line)
+        assert record == {"payload": {"app": "a", "n": [1, 2]},
+                          "seq": 7, "type": "outcome"}
+
+    def test_line_is_newline_terminated_utf8(self):
+        line = encode_record(1, "meta", {"name": "café"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_missing_newline_is_torn(self):
+        line = encode_record(1, "t", {})
+        with pytest.raises(ValueError, match="newline"):
+            decode_record(line[:-1])
+
+    def test_corrupted_byte_fails_checksum(self):
+        line = bytearray(encode_record(1, "t", {"k": "value"}))
+        flip = line.index(b"value"[0])
+        line[flip] ^= 0x01
+        with pytest.raises(ValueError):
+            decode_record(bytes(line))
+
+    def test_not_json_is_torn(self):
+        with pytest.raises(ValueError, match="JSON"):
+            decode_record(b"garbage\n")
+
+    def test_wrong_shape_is_torn(self):
+        with pytest.raises(ValueError):
+            decode_record(b'{"just": "json"}\n')
+
+
+class TestReplay:
+    def test_missing_file_replays_empty(self, tmp_path):
+        result = replay(str(tmp_path / "absent.jsonl"))
+        assert result.records == []
+        assert result.committed_bytes == 0
+        assert not result.torn
+
+    def test_replays_all_committed_records(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        result = replay(path)
+        assert [r["payload"]["app"] for r in result.records] == \
+            ["pkg1", "pkg2", "pkg3"]
+        assert result.committed_bytes == os.path.getsize(path)
+        assert not result.torn
+
+    def test_torn_tail_keeps_committed_prefix(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        committed = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"crc":"dead', )
+        result = replay(path)
+        assert len(result.records) == 3
+        assert result.committed_bytes == committed
+        assert result.torn_bytes == len(b'{"crc":"dead')
+
+    def test_corrupt_middle_record_ends_replay_there(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        data = bytearray(open(path, "rb").read())
+        # flip one byte inside the second record's payload
+        second = data.index(b"pkg2")
+        data[second] ^= 0x01
+        open(path, "wb").write(bytes(data))
+        result = replay(path)
+        assert [r["payload"]["app"] for r in result.records] == ["pkg1"]
+        assert result.torn
+
+    def test_non_contiguous_seq_ends_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(encode_record(1, "t", {}))
+            handle.write(encode_record(3, "t", {}))  # gap
+        result = replay(path)
+        assert len(result.records) == 1
+
+
+class TestJournal:
+    def test_append_is_immediately_replayable(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append("outcome", {"app": "a"})
+            # a concurrent reader (or the next process) already sees it
+            assert len(replay(path).records) == 1
+            journal.append("outcome", {"app": "b"})
+            assert len(replay(path).records) == 2
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", n=2)
+        with Journal(path) as journal:
+            assert len(list(journal.records())) == 2
+            journal.append("outcome", {"app": "pkg3"})
+        records = replay(path).records
+        assert [r["seq"] for r in records] == [1, 2, 3]
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", n=2)
+        committed = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"torn garbage with no newline")
+        with Journal(path) as journal:
+            assert journal.replayed.torn_bytes > 0
+            assert os.path.getsize(path) == committed
+            journal.append("outcome", {"app": "after-repair"})
+        records = replay(path).records
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[-1]["payload"]["app"] == "after-repair"
+
+    def test_listener_observes_appends(self, tmp_path):
+        seen = []
+        with Journal(str(tmp_path / "j.jsonl"),
+                     listener=lambda t, n: seen.append((t, n))) \
+                as journal:
+            record = journal.append("meta", {"k": 1})
+            assert seen == [("meta", len(
+                encode_record(record["seq"], "meta", {"k": 1})))]
+
+    def test_size_bytes_tracks_file(self, tmp_path):
+        with Journal(str(tmp_path / "j.jsonl")) as journal:
+            assert journal.size_bytes == 0
+            journal.append("t", {})
+            assert journal.size_bytes == os.path.getsize(
+                str(tmp_path / "j.jsonl"))

@@ -112,6 +112,34 @@ class TestDiskStore:
         store.put(stages.DESCRIPTION_PERMISSIONS, "d", perms)
         assert store.get(stages.DESCRIPTION_PERMISSIONS, "d") == perms
 
+    def test_durable_put_fsyncs_file_and_directory(self, tmp_path,
+                                                   monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+
+        def spy(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr("os.fsync", spy)
+        DiskStore(str(tmp_path), codecs={}).put(
+            stages.DETECT, "d", {"k": 1})
+        # once for the temp file before the rename, once for the
+        # stage directory after it
+        assert len(synced) == 2
+        assert (tmp_path / stages.DETECT / "d.json").exists()
+
+    def test_non_durable_put_skips_fsync(self, tmp_path,
+                                         monkeypatch):
+        synced = []
+        monkeypatch.setattr("os.fsync", synced.append)
+        store = DiskStore(str(tmp_path), codecs={}, durable=False)
+        store.put(stages.DETECT, "d", {"k": 1})
+        assert synced == []
+        assert store.get(stages.DETECT, "d") == {"k": 1}
+
 
 class TestTieredStore:
     def test_disk_hit_backfills_memory(self, tmp_path):

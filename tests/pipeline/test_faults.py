@@ -18,6 +18,8 @@ from repro.pipeline import stages
 from repro.pipeline.artifacts import MISS, DiskStore, build_store
 from repro.pipeline.executor import BatchExecutor, BatchItemError
 from repro.pipeline.faults import (
+    CRASH_EXIT_CODE,
+    KINDS,
     CorruptArtifact,
     FaultPlan,
     FaultSpec,
@@ -197,6 +199,37 @@ class TestFaultPlan:
         path.write_text(json.dumps(plan.to_dict()))
         loaded = FaultPlan.from_json_file(str(path))
         assert loaded.faults == plan.faults
+
+    def test_crash_kind_round_trips(self):
+        spec = FaultSpec(stage="detect", match="com.a", kind="crash")
+        assert "crash" in KINDS
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_wrap_crash_requests_hard_exit(self, monkeypatch):
+        """The crash kind must die via os._exit -- no unwinding, no
+        cleanup.  Stubbed here; the real exit (and the recovery from
+        it) is exercised by the durability e2e suites."""
+        from repro.pipeline import faults as faults_module
+
+        exits = []
+        monkeypatch.setattr(faults_module, "_hard_exit",
+                            exits.append)
+        plan = FaultPlan([FaultSpec(stage="s", kind="crash")])
+        with pytest.raises(InjectedFault, match="did not exit"):
+            plan.wrap("s", "com.a", lambda: "never")()
+        assert exits == [CRASH_EXIT_CODE]
+        assert CRASH_EXIT_CODE == 70
+
+    def test_wrap_crash_never_pays_the_compute(self, monkeypatch):
+        from repro.pipeline import faults as faults_module
+
+        monkeypatch.setattr(faults_module, "_hard_exit",
+                            lambda code: None)
+        calls = []
+        plan = FaultPlan([FaultSpec(stage="s", kind="crash")])
+        with pytest.raises(InjectedFault):
+            plan.wrap("s", "com.a", lambda: calls.append(1))()
+        assert calls == []
 
 
 # -- pipeline-level fault behaviour ---------------------------------------

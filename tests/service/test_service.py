@@ -302,6 +302,93 @@ class TestBackpressureAndDrain:
         assert ('ppchecker_rejected_total{reason="draining"} 1'
                 ) in text
 
+    def test_drain_503_carries_retry_after_from_budget(self):
+        h = start_service(ServiceConfig(port=0, workers=0,
+                                        queue_size=2,
+                                        drain_timeout=7.0))
+        try:
+            client = ServiceClient(port=h.port)
+            h.service.begin_drain()
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.submit(make_doc(package="com.example.d"))
+            # the server derives Retry-After from its drain budget:
+            # back off for as long as the drain can possibly take
+            assert excinfo.value.retry_after == 7.0
+            status, headers, _ = client.request(
+                "POST", "/v1/batch",
+                {"bundles": [make_doc(package="com.example.e")]})
+            assert status == 503
+            assert headers["Retry-After"] == "7"
+        finally:
+            h.close(drain=False, deadline=0.5)
+
+    def test_drain_and_queue_full_reasons_distinguishable(
+            self, stalled_handle):
+        client = ServiceClient(port=stalled_handle.port)
+        client.submit(make_doc(package="com.example.a"))
+        client.submit(make_doc(package="com.example.b"))
+        with pytest.raises(ServiceBusy):
+            client.submit(make_doc(package="com.example.c"))
+        stalled_handle.service.begin_drain()
+        with pytest.raises(ServiceUnavailable):
+            client.submit(make_doc(package="com.example.d"))
+        text = client.metrics_text()
+        assert ('ppchecker_rejected_total{reason="draining"} 1'
+                ) in text
+        assert ('ppchecker_rejected_total{reason="queue_full"} 1'
+                ) in text
+
+
+class TestCompletedJobEviction:
+    @pytest.fixture()
+    def tiny_lru_handle(self):
+        # one completed-job slot: the second finished job evicts the
+        # first, whose id must then answer 410 Gone
+        h = start_service(ServiceConfig(port=0, workers=1,
+                                        queue_size=8,
+                                        completed_jobs=1))
+        yield h
+        h.close(deadline=5.0)
+
+    def test_evicted_job_answers_410_gone(self, tiny_lru_handle):
+        from repro.service import JobGone
+
+        client = ServiceClient(port=tiny_lru_handle.port)
+        first = client.submit(make_doc(package="com.example.one"))
+        client.wait(first["id"], timeout=30.0)
+        second = client.submit(make_doc(package="com.example.two"))
+        client.wait(second["id"], timeout=30.0)
+
+        status, _, payload = client.request(
+            "GET", f"/v1/jobs/{first['id']}")
+        assert status == 410
+        assert payload["error"]["kind"] == "gone"
+        assert payload["error"]["job_id"] == first["id"]
+        assert "resubmit" in payload["error"]["message"]
+        with pytest.raises(JobGone):
+            client.job(first["id"])
+        # the survivor still resolves
+        assert client.job(second["id"])["state"] == "completed"
+
+    def test_never_issued_id_stays_404(self, tiny_lru_handle):
+        client = ServiceClient(port=tiny_lru_handle.port)
+        status, _, payload = client.request("GET",
+                                            "/v1/jobs/job-999")
+        assert status == 404
+        assert payload["error"]["kind"] == "not_found"
+        status, _, _ = client.request("GET", "/v1/jobs/not-a-job")
+        assert status == 404
+
+    def test_evictions_counted_in_metrics(self, tiny_lru_handle):
+        client = ServiceClient(port=tiny_lru_handle.port)
+        for i in range(3):
+            stub = client.submit(make_doc(
+                package=f"com.example.evict{i}"))
+            client.wait(stub["id"], timeout=30.0)
+        text = client.metrics_text()
+        assert "ppchecker_jobs_evicted_total 2" in text
+        assert tiny_lru_handle.service.index.evictions == 2
+
     def test_graceful_shutdown_finishes_queued_jobs(self):
         h = start_service(ServiceConfig(port=0, workers=2,
                                         queue_size=16))
