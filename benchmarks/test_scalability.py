@@ -4,18 +4,27 @@ Not a paper table -- an engineering benchmark showing the study scales
 linearly in corpus size and quantifying per-app cost, plus bootstrap
 confidence intervals around the reproduced Table IV metrics (the
 paper's point estimates sit inside them).
+
+``test_streaming_scale`` additionally emits ``BENCH_scale.json``: the
+streaming study at 10k and 100k apps, recording apps/sec and peak
+memory, and asserting the bounded-memory contract (peak at 100k stays
+within 2x peak at 10k -- the window and the fold are constant-size,
+the memo caches capacity-bounded).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+import tracemalloc
 
 import pytest
 
 from repro.core.checker import PPChecker
 from repro.core.metrics import bootstrap_interval, wilson_interval
-from repro.core.study import run_study
-from repro.corpus.appstore import generate_app_store
+from repro.core.study import run_study, run_study_streaming
+from repro.corpus.appstore import CorpusSpec, generate_app_store
 
 
 def test_throughput_scaling(benchmark, store):
@@ -43,6 +52,71 @@ def test_throughput_scaling(benchmark, store):
     # the time (allow 3x headroom for noise)
     per_app = [elapsed / size for size, elapsed in timings]
     assert max(per_app) <= 3 * min(per_app)
+
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_scale.json")
+
+SCALE_SIZES = (10_000, 100_000)
+
+
+def test_streaming_scale():
+    """Streaming study at 10k/100k apps: throughput + peak memory.
+
+    Peak memory is tracemalloc's high-water mark of Python-heap
+    allocations during the run -- unlike ``ru_maxrss`` it is not
+    monotone across phases of one process, so the 100k figure is a
+    real measurement, not an echo of the 10k one.
+
+    An untraced full-size pass runs first so the capacity-bounded memo
+    caches (dep-tree parse, ESA similarity) are at steady state before
+    either measurement; otherwise the larger run pays the remaining
+    cache fill and the ratio measures saturation, not streaming growth.
+    """
+    spec = CorpusSpec(n_apps=max(SCALE_SIZES))
+    checker = PPChecker(lib_policy_source=spec.lib_policy)
+    warm = run_study_streaming(spec, checker=checker,
+                               limit=max(SCALE_SIZES))
+    assert warm.n_apps == max(SCALE_SIZES)
+    result: dict = {"window": 4, "sizes": list(SCALE_SIZES)}
+
+    print("\nStreaming scale: apps/sec and peak memory by corpus size")
+    print(f"{'apps':>8} {'seconds':>9} {'apps/sec':>9} "
+          f"{'peak MB':>8}")
+    for size in SCALE_SIZES:
+        tracemalloc.start()
+        start = time.perf_counter()
+        aggregate = run_study_streaming(spec, checker=checker,
+                                        limit=size)
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert aggregate.n_apps == size
+        result[f"at_{size // 1000}k"] = {
+            "apps": size,
+            "seconds": elapsed,
+            "apps_per_sec": size / elapsed,
+            "peak_tracemalloc_bytes": peak,
+            "peak_rss_kb": aggregate.telemetry["peak_rss_kb"],
+        }
+        print(f"{size:>8} {elapsed:>9.1f} {size / elapsed:>9.0f} "
+              f"{peak / 1e6:>8.1f}")
+
+    small = result[f"at_{SCALE_SIZES[0] // 1000}k"]
+    large = result[f"at_{SCALE_SIZES[1] // 1000}k"]
+    ratio = large["peak_tracemalloc_bytes"] \
+        / small["peak_tracemalloc_bytes"]
+    result["peak_memory_ratio"] = ratio
+    # the bounded-memory contract: 10x the corpus, <= 2x the memory
+    assert ratio <= 2.0, (
+        f"peak memory at {SCALE_SIZES[1]} apps is {ratio:.2f}x the "
+        f"{SCALE_SIZES[0]}-app peak (bound: 2x)")
+
+    from repro.core.schema import versioned
+
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
+    print(f"  wrote {BENCH_PATH}")
 
 
 def test_confidence_intervals(benchmark, study):

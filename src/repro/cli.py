@@ -25,10 +25,23 @@ Subcommands::
             [--max-retries N] [--stage-timeout SECONDS]
             [--keep-going | --no-keep-going]
             [--journal PATH] [--resume]
+            [--limit N] [--streaming] [--out DIR] [--shards N]
+            [--window N]
         Run the full market study over the synthetic corpus and print
         the paper's tables.  --journal / --resume give the study
         crash-safe per-app checkpoints: a killed run restarted with
         --resume reproduces the uninterrupted run's report exactly.
+        --streaming derives each app lazily and folds outcomes into
+        constant-size aggregates (peak RSS bounded by --window, not
+        by --apps); with --out DIR every per-app outcome also lands
+        in sharded NDJSON files for later merge-results.  --limit
+        checks only the first N apps of the corpus *without changing
+        it* (unlike --apps, which regenerates a different corpus).
+
+    python -m repro.cli merge-results DIR [--json PATH]
+        Reconstitute the study tables from a --streaming --out shard
+        directory, without re-running any checks (byte-identical to
+        the run's own tables).
 
     python -m repro.cli bootstrap [--top N]
         Train the pattern bootstrapping and print the top-N patterns.
@@ -262,37 +275,26 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
     return 1 if args.fail_on_findings and (flagged or failures) else 0
 
 
-def cmd_study(args: argparse.Namespace) -> int:
-    from repro.core.study import run_study
-    from repro.corpus.appstore import generate_app_store
-
-    store = generate_app_store(seed=args.seed, n_apps=args.apps)
-    checker = _build_checker(args, store.lib_policy)
-    runlog, skip = _open_run_log(args, {
-        "kind": "study", "seed": args.seed, "apps": args.apps,
-    })
-    result = run_study(
-        store, checker=checker, workers=args.workers,
-        keep_going=args.keep_going,
-        skip=skip or None,
-        on_outcome=runlog.record_outcome if runlog is not None
-        else None,
-    )
-    summary = result.summary()
-
+def _print_study_tables(result) -> None:
+    """The ``== study ==`` tables; *result* is a
+    :class:`~repro.core.study.StudyResult` or
+    :class:`~repro.core.study.StudyAggregate` (same accessors).
+    Ties sort deterministically so streaming, materialized, and
+    merged runs print byte-identical tables."""
     print("== study summary ==")
-    for key, value in summary.items():
+    for key, value in result.summary().items():
         if isinstance(value, float):
             print(f"  {key:<30} {value:.3f}")
         else:
             print(f"  {key:<30} {value}")
     print("\n== Table III ==")
     for permission, count in sorted(result.table3().items(),
-                                    key=lambda kv: -kv[1]):
+                                    key=lambda kv: (-kv[1], kv[0])):
         print(f"  {permission:<50} {count}")
     print("\n== Fig. 13 ==")
     dist, retained = result.fig13()
-    for info, count in dist.most_common():
+    for info, count in sorted(dist.items(),
+                              key=lambda kv: (-kv[1], kv[0].value)):
         print(f"  {info.value:<20} {count}")
     print(f"  retained records: {retained}")
     print("\n== Table IV ==")
@@ -300,9 +302,70 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"  {name:<20} TP={row.tp} FP={row.fp} "
               f"P={row.precision:.3f} R={row.recall:.3f} "
               f"F1={row.f1:.3f}")
-
     _print_quarantine([result.failures[pkg]
                        for pkg in sorted(result.failures)])
+
+
+def _write_study_json(result, path: str) -> None:
+    from repro.core.schema import versioned
+
+    payload = versioned(result.to_dict())
+    if result.stats is not None:
+        payload["pipeline_stats"] = result.stats.to_dict()
+        payload["nlp_caches"] = result.stats.nlp_caches()
+    if result.telemetry is not None:
+        payload["telemetry"] = result.telemetry
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+
+def _print_deviations(result, total: int) -> None:
+    if total < 1197:
+        return
+    deviations = result.deviations_from_paper()
+    if deviations:
+        print("\ndeviations from the paper:")
+        for key, (paper, measured) in deviations.items():
+            print(f"  {key}: paper {paper}, measured {measured}")
+    else:
+        print("\nno deviations from the paper's summary numbers")
+
+
+def _study_meta(args: argparse.Namespace) -> dict:
+    meta = {"kind": "study", "seed": args.seed, "apps": args.apps}
+    if args.limit is not None:
+        meta["limit"] = args.limit
+    return meta
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    if args.out is not None and not args.streaming:
+        print("error: --out requires --streaming", file=sys.stderr)
+        return 2
+    if args.streaming and args.html:
+        print("error: --html needs per-app reports; omit --streaming",
+              file=sys.stderr)
+        return 2
+    if args.streaming:
+        return _cmd_study_streaming(args)
+    from repro.core.study import run_study
+    from repro.corpus.appstore import generate_app_store
+
+    store = generate_app_store(seed=args.seed, n_apps=args.apps)
+    checker = _build_checker(args, store.lib_policy)
+    runlog, skip = _open_run_log(args, _study_meta(args))
+    result = run_study(
+        store, checker=checker, limit=args.limit,
+        workers=args.workers,
+        keep_going=args.keep_going,
+        skip=skip or None,
+        on_outcome=runlog.record_outcome if runlog is not None
+        else None,
+    )
+    total = result.n_apps
+
+    _print_study_tables(result)
     if result.stats is not None:
         _print_stage_stats(result.stats)
 
@@ -311,38 +374,107 @@ def cmd_study(args: argparse.Namespace) -> int:
         write_study_html(result, args.html)
         print(f"\nwrote {args.html}")
     if args.json:
-        from repro.core.schema import versioned
+        _write_study_json(result, args.json)
 
-        payload = versioned(result.to_dict())
-        if result.stats is not None:
-            payload["pipeline_stats"] = result.stats.to_dict()
-            payload["nlp_caches"] = result.stats.nlp_caches()
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-        print(f"\nwrote {args.json}")
-
-    if args.apps >= 1197:
-        deviations = result.deviations_from_paper()
-        if deviations:
-            print("\ndeviations from the paper:")
-            for key, (paper, measured) in deviations.items():
-                print(f"  {key}: paper {paper}, measured {measured}")
-        else:
-            print("\nno deviations from the paper's summary numbers")
+    _print_deviations(result, total)
     if runlog is not None:
         runlog.close()
     return 0
 
 
-def cmd_screen(args: argparse.Namespace) -> int:
-    from repro.core.screening import screen
-    from repro.core.study import run_study
-    from repro.corpus.appstore import generate_app_store
+def _cmd_study_streaming(args: argparse.Namespace) -> int:
+    from repro.core.results import ResultShardError, ShardedResultWriter
+    from repro.core.study import run_study_streaming
+    from repro.corpus.appstore import CorpusSpec
 
-    store = generate_app_store(seed=args.seed, n_apps=args.apps)
-    checker = PPChecker(lib_policy_source=store.lib_policy)
-    result = run_study(store, checker=checker)
-    report = screen(result.reports, min_score=args.min_score)
+    spec = CorpusSpec(seed=args.seed, n_apps=args.apps)
+    checker = _build_checker(args, spec.lib_policy)
+    meta = _study_meta(args)
+    runlog, skip = _open_run_log(args, meta)
+    sinks = []
+    writer = None
+    if args.out is not None:
+        try:
+            writer = ShardedResultWriter(args.out, meta,
+                                         shards=args.shards)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sinks.append(writer)
+    try:
+        result = run_study_streaming(
+            spec, checker=checker, limit=args.limit,
+            workers=args.workers, window=args.window,
+            keep_going=args.keep_going,
+            skip=skip or None,
+            on_outcome=runlog.record_outcome if runlog is not None
+            else None,
+            sinks=sinks,
+        )
+    except ResultShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if writer is not None:
+            writer.abort()
+        return 2
+    except BaseException:
+        # crash path: leave only .tmp shards behind, never a torn
+        # finalized shard -- --resume rebuilds them from the journal
+        if writer is not None:
+            writer.abort()
+        raise
+    if writer is not None:
+        writer.close()
+        print(f"wrote {writer.shards} result shard(s) to {args.out}")
+
+    _print_study_tables(result)
+    if result.stats is not None:
+        _print_stage_stats(result.stats)
+
+    if args.json:
+        _write_study_json(result, args.json)
+
+    _print_deviations(result, result.n_apps)
+    if runlog is not None:
+        runlog.close()
+    return 0
+
+
+def cmd_merge_results(args: argparse.Namespace) -> int:
+    from repro.core.results import ResultShardError
+    from repro.core.study import merge_study_results
+
+    try:
+        result = merge_study_results(args.dir)
+    except (ResultShardError, OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_study_tables(result)
+    if args.json:
+        _write_study_json(result, args.json)
+    _print_deviations(result, result.n_apps)
+    return 0
+
+
+def cmd_screen(args: argparse.Namespace) -> int:
+    from repro.core.report import AppFailure
+    from repro.core.screening import screen
+    from repro.core.study import run_study_streaming
+    from repro.corpus.appstore import CorpusSpec
+
+    # stream the corpus: each app is derived, checked, and freed;
+    # only the (small) reports accumulate for ranking
+    spec = CorpusSpec(seed=args.seed, n_apps=args.apps)
+    checker = PPChecker(lib_policy_source=spec.lib_policy)
+    reports = {}
+
+    class _CollectReports:
+        def emit(self, index, key, outcome):
+            if not isinstance(outcome, AppFailure):
+                reports[key] = outcome
+
+    run_study_streaming(spec, checker=checker,
+                        sinks=[_CollectReports()])
+    report = screen(reports, min_score=args.min_score)
 
     print(f"{'rank':>4} {'score':>6} {'package':<40} kinds / headline")
     for rank, entry in enumerate(report.top(args.top), start=1):
@@ -415,16 +547,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_export_corpus(args: argparse.Namespace) -> int:
     from repro.android.serialization import save_bundle
-    from repro.corpus.appstore import generate_app_store
+    from repro.corpus.appstore import CorpusSpec
 
-    # always build the full corpus: planted problem groups depend on
-    # the complete index layout
-    store = generate_app_store()
-    if not 0 <= args.index < len(store.apps):
-        print(f"index out of range (0..{len(store.apps) - 1})",
+    # per-index derivation: only this app is built (the planted
+    # layout is bounded, so random access stays exact)
+    spec = CorpusSpec()
+    try:
+        app = spec.app(args.index)
+    except IndexError:
+        print(f"index out of range (0..{len(spec) - 1})",
               file=sys.stderr)
         return 2
-    app = store.apps[args.index]
     save_bundle(app.bundle, args.path)
     print(f"wrote {app.package} to {args.path}")
     return 0
@@ -510,18 +643,50 @@ def build_parser() -> argparse.ArgumentParser:
     batch.set_defaults(func=cmd_batch_check)
 
     study = sub.add_parser("study", help="run the market study")
-    study.add_argument("--apps", type=int, default=1197)
+    study.add_argument("--apps", type=int, default=1197,
+                       help="corpus size; changing it regenerates a "
+                            "*different* deterministic corpus "
+                            "(default: 1197)")
     study.add_argument("--seed", type=int, default=2016)
+    study.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="check only the first N apps of the "
+                            "corpus without changing it (unlike "
+                            "--apps, every checked report is "
+                            "identical to the full run's)")
     study.add_argument("--json", default=None,
                        help="also write results to this JSON path")
     study.add_argument("--html", default=None,
                        help="also render an HTML dashboard here")
     study.add_argument("--workers", type=int, default=1,
                        help="worker threads (default: serial)")
+    study.add_argument("--streaming", action="store_true",
+                       help="derive apps lazily and fold outcomes "
+                            "into constant-size aggregates (peak RSS "
+                            "bounded by --window, not --apps)")
+    study.add_argument("--out", default=None, metavar="DIR",
+                       help="with --streaming: write every per-app "
+                            "outcome to sharded NDJSON files in DIR "
+                            "(see merge-results)")
+    study.add_argument("--shards", type=int, default=4,
+                       help="result shard count for --out "
+                            "(default: 4)")
+    study.add_argument("--window", type=int, default=None,
+                       metavar="N",
+                       help="max in-flight apps for --streaming "
+                            "(default: 4x --workers)")
     add_cache_dir(study)
     add_resilience(study, batch=True)
     add_journal(study)
     study.set_defaults(func=cmd_study)
+
+    merge = sub.add_parser(
+        "merge-results",
+        help="rebuild study tables from --streaming --out shards")
+    merge.add_argument("dir", help="shard directory written by "
+                                   "study --streaming --out")
+    merge.add_argument("--json", default=None,
+                       help="also write results to this JSON path")
+    merge.set_defaults(func=cmd_merge_results)
 
     screen = sub.add_parser("screen",
                             help="rank questionable apps by severity")

@@ -15,13 +15,16 @@ recall are exact rather than sampled.
 
 from __future__ import annotations
 
-from collections import Counter
+import resource
+import time
+from collections import Counter, deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Protocol
 
 from repro.core.checker import PPChecker
 from repro.core.report import AppFailure, AppReport
-from repro.corpus.appstore import AppStore
+from repro.corpus.appstore import AppStore, CorpusSpec
 from repro.corpus.plans import AppPlan
 from repro.pipeline.artifacts import PipelineStats
 from repro.policy.verbs import VerbCategory
@@ -70,6 +73,11 @@ class StudyResult:
     #: exports stay stable across timing noise.
     stats: PipelineStats | None = field(default=None, repr=False,
                                         compare=False)
+    #: run telemetry (``peak_rss_kb``, ``apps_per_sec``, ...); like
+    #: ``stats`` it is timing noise, so it never enters
+    #: :meth:`to_dict` or equality.
+    telemetry: dict[str, float | int] | None = field(
+        default=None, repr=False, compare=False)
 
     # -- incomplete via description (Table III) ---------------------------
 
@@ -312,6 +320,7 @@ def run_study(
     its app finishes -- the durability layer's checkpoint hook; it
     never re-fires for skipped apps.
     """
+    started = time.perf_counter()
     if checker is None:
         checker = PPChecker(lib_policy_source=store.lib_policy)
     apps = store.apps if limit is None else store.apps[:limit]
@@ -340,19 +349,326 @@ def run_study(
         else:
             result.reports[app.package] = outcome
     result.stats = checker.stats
+    result.telemetry = _telemetry(started, len(apps))
     return result
 
 
-def _check_slice(args: tuple[int, int, int, int]) -> list[tuple[str, AppReport]]:
-    """Worker: regenerate the (deterministic) store and check a slice."""
-    seed, n_apps, start, stop = args
-    from repro.corpus.appstore import generate_app_store
+# ---------------------------------------------------------------------------
+# streaming execution
+# ---------------------------------------------------------------------------
 
-    store = generate_app_store(seed=seed, n_apps=n_apps)
-    checker = PPChecker(lib_policy_source=store.lib_policy)
+
+def _telemetry(started: float, apps: int) -> dict[str, float | int]:
+    """Run telemetry: process high-water RSS plus throughput."""
+    elapsed = time.perf_counter() - started
+    return {
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+        "apps_per_sec": apps / elapsed if elapsed > 0 else 0.0,
+        "elapsed_s": elapsed,
+    }
+
+
+class ResultSink(Protocol):
+    """Anything that wants every finished outcome, in index order
+    (e.g. :class:`repro.core.results.ShardedResultWriter`)."""
+
+    def emit(self, index: int, key: str,
+             outcome: AppReport | AppFailure) -> None: ...
+
+
+@dataclass
+class StudyAggregate:
+    """:class:`StudyResult`'s tables, folded one app at a time.
+
+    Holds counters instead of the reports dict, so its size is
+    independent of the corpus: the streaming study folds a
+    million-app run into the same few hundred bytes as the paper's
+    1,197.  ``to_dict()`` is pinned byte-identical to
+    ``StudyResult.to_dict()`` -- every table in the materialized
+    result decomposes into per-app increments, and :meth:`fold`
+    applies exactly those increments.
+    """
+
+    n_apps: int = 0
+    checked: int = 0
+    _table3: Counter[str] = field(default_factory=Counter)
+    _fig13: Counter[InfoType] = field(default_factory=Counter)
+    _fig13_retained: int = 0
+    _code_tp: int = 0
+    _code_fp: int = 0
+    _rows: dict[str, RowMetrics] = field(default_factory=lambda: {
+        "collect_use_retain": RowMetrics(), "disclose": RowMetrics()})
+    _summary: Counter[str] = field(default_factory=Counter)
+    failures: dict[str, AppFailure] = field(default_factory=dict)
+    stats: PipelineStats | None = field(default=None, repr=False,
+                                        compare=False)
+    telemetry: dict[str, float | int] | None = field(
+        default=None, repr=False, compare=False)
+
+    # -- the fold ----------------------------------------------------------
+
+    def fold(self, plan: AppPlan,
+             outcome: AppReport | AppFailure) -> None:
+        """Account one finished app."""
+        self.n_apps += 1
+        if isinstance(outcome, AppFailure):
+            self.failures[plan.package] = outcome
+            return
+        report = outcome
+        self.checked += 1
+
+        desc_findings = report.incomplete_via("description")
+        for permission in {f.permission for f in desc_findings}:
+            self._table3[permission] += 1
+        desc_tp = bool(desc_findings) and plan.gt_incomplete_desc
+
+        code_findings = report.incomplete_via("code")
+        code_tp = False
+        if code_findings:
+            if plan.gt_incomplete_code:
+                code_tp = True
+                self._code_tp += 1
+                for finding in code_findings:
+                    self._fig13[finding.info] += 1
+                    if finding.retained:
+                        self._fig13_retained += 1
+            else:
+                self._code_fp += 1
+
+        incorrect_tp = bool(report.incorrect) and plan.gt_incorrect
+
+        det_cur = any(f.category is not VerbCategory.DISCLOSE
+                      for f in report.inconsistent)
+        det_d = any(f.category is VerbCategory.DISCLOSE
+                    for f in report.inconsistent)
+        for row, detected, truth in (
+            ("collect_use_retain", det_cur, plan.gt_inconsistent_cur),
+            ("disclose", det_d, plan.gt_inconsistent_d),
+        ):
+            metrics = self._rows[row]
+            if detected and truth:
+                metrics.tp += 1
+            elif detected and not truth:
+                metrics.fp += 1
+            elif not detected and truth:
+                metrics.fn += 1
+        inconsistent_tp = (det_cur and plan.gt_inconsistent_cur) or (
+            det_d and plan.gt_inconsistent_d)
+
+        summary = self._summary
+        if desc_tp:
+            summary["incomplete_via_description"] += 1
+        if code_tp:
+            summary["incomplete_via_code"] += 1
+        if desc_tp or code_tp:
+            summary["incomplete_apps"] += 1
+        if incorrect_tp:
+            summary["incorrect_apps"] += 1
+        if report.incorrect_via("description") and plan.gt_incorrect:
+            summary["incorrect_via_description"] += 1
+        if report.incorrect_via("code") and plan.gt_incorrect:
+            summary["incorrect_via_code"] += 1
+        if inconsistent_tp:
+            summary["inconsistent_apps"] += 1
+        if desc_tp or code_tp or incorrect_tp or inconsistent_tp:
+            summary["problem_apps"] += 1
+
+    # -- StudyResult-compatible views --------------------------------------
+
+    def table3(self) -> dict[str, int]:
+        return dict(self._table3)
+
+    def fig13(self) -> tuple[Counter[InfoType], int]:
+        return self._fig13, self._fig13_retained
+
+    def incomplete_code_confusion(self) -> tuple[int, int]:
+        return self._code_tp, self._code_fp
+
+    def table4(self) -> dict[str, RowMetrics]:
+        return self._rows
+
+    def summary(self) -> dict[str, int | float]:
+        problems = self._summary
+        return {
+            "apps": self.n_apps,
+            "problem_apps": problems["problem_apps"],
+            "problem_fraction": problems["problem_apps"] / self.n_apps
+            if self.n_apps else 0.0,
+            "incomplete_apps": problems["incomplete_apps"],
+            "incomplete_via_description":
+                problems["incomplete_via_description"],
+            "incomplete_via_code": problems["incomplete_via_code"],
+            "incorrect_apps": problems["incorrect_apps"],
+            "incorrect_via_description":
+                problems["incorrect_via_description"],
+            "incorrect_via_code": problems["incorrect_via_code"],
+            "inconsistent_apps": problems["inconsistent_apps"],
+            "quarantined_apps": len(self.failures),
+        }
+
+    def to_dict(self) -> dict:
+        dist, retained = self.fig13()
+        return {
+            "summary": self.summary(),
+            "table3": self.table3(),
+            "fig13": {
+                info.value: count for info, count in dist.items()
+            },
+            "fig13_retained": retained,
+            "table4": {
+                name: {"tp": row.tp, "fp": row.fp, "fn": row.fn,
+                       "precision": row.precision,
+                       "recall": row.recall, "f1": row.f1}
+                for name, row in self.table4().items()
+            },
+            "quarantine": [
+                self.failures[pkg].to_dict()
+                for pkg in sorted(self.failures)
+            ],
+        }
+
+    def deviations_from_paper(self) -> dict[str, tuple]:
+        summary = self.summary()
+        out: dict[str, tuple] = {}
+        for key, paper_value in PAPER_RESULTS.items():
+            measured = summary.get(key)
+            if measured is None:
+                continue
+            if isinstance(paper_value, float):
+                if abs(measured - paper_value) > 0.002:
+                    out[key] = (paper_value, measured)
+            elif measured != paper_value:
+                out[key] = (paper_value, measured)
+        return out
+
+
+def run_study_streaming(
+    spec: CorpusSpec,
+    checker: PPChecker | None = None,
+    limit: int | None = None,
+    workers: int = 1,
+    window: int | None = None,
+    keep_going: bool = True,
+    skip: dict[str, AppReport | AppFailure] | None = None,
+    on_outcome: Callable[[str, AppReport | AppFailure],
+                         None] | None = None,
+    sinks: Iterable[ResultSink] = (),
+) -> StudyAggregate:
+    """The study as a bounded-memory stream over a lazy corpus.
+
+    Apps are derived from *spec* one index at a time, pushed through
+    the checker with at most *window* apps in flight (default
+    ``4 * workers``), and folded straight into a
+    :class:`StudyAggregate` -- peak RSS is set by the window, not by
+    ``len(spec)``.  Outcomes are drained and folded **in index
+    order** regardless of worker completion order, so every sink
+    (e.g. the sharded NDJSON writer) sees a deterministic emission
+    sequence and reruns are byte-identical.
+
+    ``skip``/``on_outcome`` mirror :func:`run_study`: ``skip`` maps
+    package -> journal-replayed outcome (folded and emitted to sinks,
+    but never re-checked and never re-fired through ``on_outcome``),
+    which is what makes a ``--resume`` d streaming run reproduce the
+    uninterrupted run's shards byte-for-byte.
+    """
+    started = time.perf_counter()
+    if checker is None:
+        checker = PPChecker(lib_policy_source=spec.lib_policy)
+    total = len(spec) if limit is None else min(limit, len(spec))
+    workers = max(1, workers)
+    if window is None:
+        window = max(4 * workers, 1)
+    window = max(window, workers)
+    skip = skip or {}
+    sinks = tuple(sinks)
+    aggregate = StudyAggregate()
+
+    def outcome_for(plan: AppPlan) -> AppReport | AppFailure:
+        try:
+            return checker.check(spec.app(plan.index).bundle)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            return AppFailure.from_exception(plan.package, exc)
+
+    def settle(plan: AppPlan, outcome: AppReport | AppFailure,
+               fresh: bool) -> None:
+        if fresh and on_outcome is not None:
+            on_outcome(plan.package, outcome)
+        aggregate.fold(plan, outcome)
+        for sink in sinks:
+            sink.emit(plan.index, plan.package, outcome)
+
+    if workers == 1:
+        for index in range(total):
+            plan = spec.plan(index)
+            if plan.package in skip:
+                settle(plan, skip[plan.package], fresh=False)
+            else:
+                settle(plan, outcome_for(plan), fresh=True)
+    else:
+        pending: deque[tuple[AppPlan, object]] = deque()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for index in range(total):
+                plan = spec.plan(index)
+                if plan.package in skip:
+                    pending.append((plan, skip[plan.package]))
+                else:
+                    pending.append(
+                        (plan, pool.submit(outcome_for, plan)))
+                while len(pending) >= window:
+                    head_plan, slot = pending.popleft()
+                    fresh = isinstance(slot, Future)
+                    outcome = slot.result() if fresh else slot
+                    settle(head_plan, outcome, fresh=fresh)
+            while pending:
+                head_plan, slot = pending.popleft()
+                fresh = isinstance(slot, Future)
+                outcome = slot.result() if fresh else slot
+                settle(head_plan, outcome, fresh=fresh)
+
+    aggregate.stats = checker.stats
+    aggregate.telemetry = _telemetry(started, total)
+    return aggregate
+
+
+def merge_study_results(out_dir: str) -> StudyAggregate:
+    """Reconstitute the study tables from a finalized shard
+    directory (see :mod:`repro.core.results`).
+
+    Plans are re-derived lazily from the corpus identity stamped in
+    the shard headers, so the merge -- like the run that produced the
+    shards -- never materializes the corpus.
+    """
+    from repro.core import results
+
+    meta = results.read_meta(out_dir)
+    if meta is None:
+        raise results.ResultShardError(
+            f"{out_dir}: no finalized result shards")
+    spec = CorpusSpec(seed=meta["seed"], n_apps=meta["apps"])
+    expected = meta.get("limit")
+    expected = len(spec) if expected is None else min(expected,
+                                                     len(spec))
+    aggregate = StudyAggregate()
+    for index, _key, outcome in results.iter_results(out_dir):
+        aggregate.fold(spec.plan(index), outcome)
+    if aggregate.n_apps != expected:
+        raise results.ResultShardError(
+            f"{out_dir}: shards hold {aggregate.n_apps} outcomes "
+            f"but the run meta promises {expected} -- partial run?")
+    return aggregate
+
+
+def _check_slice(args: tuple[int, int, int, int]) -> list[tuple[str, AppReport]]:
+    """Worker: derive only this slice of the lazy corpus and check it."""
+    seed, n_apps, start, stop = args
+    spec = CorpusSpec(seed=seed, n_apps=n_apps)
+    checker = PPChecker(lib_policy_source=spec.lib_policy)
     return [
         (app.package, checker.check(app.bundle))
-        for app in store.apps[start:stop]
+        for app in spec.iter_apps(start, stop)
     ]
 
 
@@ -363,15 +679,15 @@ def run_study_parallel(
 ) -> StudyResult:
     """The study fanned out over worker processes.
 
-    Each worker regenerates the deterministic store locally, so no
-    APKs cross process boundaries -- only the reports come back.
+    Each worker derives just its own slice from the lazy
+    :class:`CorpusSpec` (per-index RNG derivation -- no worker ever
+    builds the full store), so no APKs cross process boundaries --
+    only the reports come back.
     """
     import multiprocessing
 
-    from repro.corpus.appstore import generate_app_store
-
-    store = generate_app_store(seed=seed, n_apps=n_apps)
-    total = len(store.apps)
+    spec = CorpusSpec(seed=seed, n_apps=n_apps)
+    total = len(spec)
     jobs = max(1, min(jobs, total))
     chunk = (total + jobs - 1) // jobs
     slices = [
@@ -383,10 +699,12 @@ def run_study_parallel(
         for pairs in pool.map(_check_slice, slices):
             for package, report in pairs:
                 result.reports[package] = report
-    for app in store.apps:
-        result.plans[app.package] = app.plan
+    for plan in spec.iter_plans():
+        result.plans[plan.package] = plan
     return result
 
 
-__all__ = ["RowMetrics", "StudyResult", "PAPER_RESULTS", "run_study",
+__all__ = ["RowMetrics", "StudyResult", "StudyAggregate",
+           "ResultSink", "PAPER_RESULTS", "run_study",
+           "run_study_streaming", "merge_study_results",
            "run_study_parallel"]

@@ -12,7 +12,12 @@ precision/recall can be measured exactly.
 """
 
 from repro.corpus.plans import AppPlan, build_plans
-from repro.corpus.appstore import AppStore, SyntheticApp, generate_app_store
+from repro.corpus.appstore import (
+    AppStore,
+    CorpusSpec,
+    SyntheticApp,
+    generate_app_store,
+)
 from repro.corpus.libpolicies import lib_policy_text
 from repro.corpus.sentences import generate_labeled_sentences
 
@@ -20,6 +25,7 @@ __all__ = [
     "AppPlan",
     "build_plans",
     "AppStore",
+    "CorpusSpec",
     "SyntheticApp",
     "generate_app_store",
     "lib_policy_text",

@@ -318,6 +318,11 @@ def _background_libs(rng: random.Random, index: int) -> tuple[str, ...]:
     return tuple(dict.fromkeys(picks))
 
 
+#: every planted problem group lives below this index; plans at or
+#: above it are background apps derivable from (seed, index) alone.
+PLANT_STOP = 335
+
+
 def build_plans(seed: int = DEFAULT_SEED,
                 n_apps: int = N_APPS) -> list[AppPlan]:
     """Build all app plans, deterministically.
@@ -325,10 +330,37 @@ def build_plans(seed: int = DEFAULT_SEED,
     With ``n_apps < 1197`` the corpus is a prefix of the full store:
     planted groups whose index range falls beyond ``n_apps`` are
     simply truncated (handy for fast tests).
+
+    This is the sequential reference implementation; the lazy
+    per-index path (:class:`repro.corpus.appstore.CorpusSpec`) is
+    pinned against it in the test suite and must produce equal plans.
     """
     rng = random.Random(seed)
+    plans = _planted_prefix(rng, n_apps)
+    for index in range(len(plans), n_apps):
+        package, category = _package_for(index)
+        plans.append(AppPlan(index=index, package=package,
+                             app_category=category))
+    # coverage / background rolls, then lib fill -- same draw order
+    # as the historical single-pass implementation
+    for plan in plans:
+        roll = rng.random() if plan.index in BACKGROUND else None
+        _finalize_plan(plan, roll)
+    _assign_background_libs(plans, rng)
+    return plans
+
+
+def _planted_prefix(rng: random.Random,
+                    n_apps: int) -> list[AppPlan]:
+    """Plans ``0..min(n_apps, PLANT_STOP)`` with every planted
+    problem group applied (coverage/libs-fill still pending).
+
+    Consumes exactly the Fig. 13 record shuffle from *rng* -- the
+    only randomness the plant phase uses -- so a caller can continue
+    drawing from *rng* for the background-roll and lib-fill phases.
+    """
     plans: list[AppPlan] = []
-    for index in range(n_apps):
+    for index in range(min(n_apps, PLANT_STOP)):
         package, category = _package_for(index)
         plans.append(AppPlan(index=index, package=package,
                              app_category=category))
@@ -456,8 +488,6 @@ def build_plans(seed: int = DEFAULT_SEED,
                                    "device identifiers"),)
         plan.disclaimer = True
 
-    # --- coverage, libs, code for everyone ---------------------------------
-    _finalize_plans(plans, rng)
     return plans
 
 
@@ -529,47 +559,54 @@ def _plant_incorrect(plans: list[AppPlan]) -> None:
         plan.gt_incorrect = False
 
 
-def _finalize_plans(plans: list[AppPlan], rng: random.Random) -> None:
-    """Coverage sentences, background libs, packing, dead code."""
+def _finalize_plan(plan: AppPlan, roll: float | None) -> None:
+    """Coverage sentences, background behaviour, packing for one plan.
+
+    *roll* is the plan's background random draw (``None`` outside the
+    :data:`BACKGROUND` range) -- passed in rather than drawn here so
+    the lazy per-index corpus can finalize any plan from a
+    precomputed roll without replaying the whole sequential stream.
+    """
+    # positive coverage for everything the code does that is not a
+    # planted gap and not a tricky FP cover
+    missed = {info for info, _ret in plan.gt_incomplete_code}
+    covered = list(plan.covered)
+    for info in plan.collects:
+        if info in missed or info in plan.tricky_covered:
+            continue
+        if not any(c_info is info for _cat, c_info in covered):
+            covered.append((VerbCategory.COLLECT, info))
+    for info in plan.retains:
+        if info in missed or info in plan.tricky_covered:
+            continue
+        if not any(
+            cat is VerbCategory.RETAIN and c_info is info
+            for cat, c_info in covered
+        ):
+            covered.append((VerbCategory.RETAIN, info))
+    plan.covered = tuple(covered)
+
+    # background behaviour: some clean apps collect covered info
+    if roll is not None:
+        if roll < 0.35:
+            info = (InfoType.DEVICE_ID, InfoType.LOCATION,
+                    InfoType.ACCOUNT)[plan.index % 3]
+            plan.collects = plan.collects + (info,)
+            plan.covered = plan.covered + (
+                (VerbCategory.COLLECT, info),
+            )
+        # unreachable sensitive code in a third of all apps
+        if roll < 0.3:
+            plan.dead_collects = (InfoType.CONTACT,)
+
+    # packing: every 20th app ships packed
+    plan.packed = plan.index % 20 == 7
+
+
+def _assign_background_libs(plans: list[AppPlan],
+                            rng: random.Random) -> None:
+    """Libs for apps that have none yet, until 879 carry >= 1 lib."""
     libful = sum(1 for p in plans if p.lib_ids)
-    for plan in plans:
-        # positive coverage for everything the code does that is not a
-        # planted gap and not a tricky FP cover
-        missed = {info for info, _ret in plan.gt_incomplete_code}
-        covered = list(plan.covered)
-        for info in plan.collects:
-            if info in missed or info in plan.tricky_covered:
-                continue
-            if not any(c_info is info for _cat, c_info in covered):
-                covered.append((VerbCategory.COLLECT, info))
-        for info in plan.retains:
-            if info in missed or info in plan.tricky_covered:
-                continue
-            if not any(
-                cat is VerbCategory.RETAIN and c_info is info
-                for cat, c_info in covered
-            ):
-                covered.append((VerbCategory.RETAIN, info))
-        plan.covered = tuple(covered)
-
-        # background behaviour: some clean apps collect covered info
-        if plan.index in BACKGROUND:
-            roll = rng.random()
-            if roll < 0.35:
-                info = (InfoType.DEVICE_ID, InfoType.LOCATION,
-                        InfoType.ACCOUNT)[plan.index % 3]
-                plan.collects = plan.collects + (info,)
-                plan.covered = plan.covered + (
-                    (VerbCategory.COLLECT, info),
-                )
-            # unreachable sensitive code in a third of all apps
-            if roll < 0.3:
-                plan.dead_collects = (InfoType.CONTACT,)
-
-        # packing: every 20th app ships packed
-        plan.packed = plan.index % 20 == 7
-
-    # libs for apps that have none yet, until 879 apps carry >= 1 lib
     for plan in plans:
         if libful >= TOTAL_APPS_WITH_LIBS:
             break
@@ -586,6 +623,7 @@ __all__ = [
     "DenialPlan",
     "InconsistencyPlan",
     "build_plans",
+    "PLANT_STOP",
     "N_APPS",
     "DEFAULT_SEED",
     "APP_CATEGORIES",

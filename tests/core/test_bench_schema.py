@@ -1,6 +1,6 @@
 """Every committed BENCH_*.json carries the payload schema version.
 
-The benchmark emitters (pipeline, service, nlp) stamp their output
+The benchmark emitters (pipeline, service, nlp, scale) stamp their output
 through :func:`repro.core.schema.versioned`; this suite pins the
 committed copies -- repo root and ``benchmarks/baselines/`` -- to the
 shared validator so a benchmark file can never silently drift from
@@ -21,7 +21,7 @@ from repro.core.schema import (
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 BENCH_FILES = ("BENCH_nlp.json", "BENCH_pipeline.json",
-               "BENCH_service.json")
+               "BENCH_service.json", "BENCH_scale.json")
 
 
 def bench_paths():

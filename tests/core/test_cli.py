@@ -158,6 +158,7 @@ class TestStudy:
         for payload in (serial, parallel):
             payload.pop("pipeline_stats")
             payload.pop("nlp_caches")
+            payload.pop("telemetry")
         assert serial == parallel
 
     def test_screen_command(self, capsys):

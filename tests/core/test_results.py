@@ -1,0 +1,149 @@
+"""Sharded NDJSON result files: atomic finalization, validating
+readers, and the index-ordered merge."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.report import AppFailure, AppReport
+from repro.core.results import (
+    RESULTS_FORMAT,
+    ResultShardError,
+    ShardedResultWriter,
+    has_tmp_shards,
+    iter_results,
+    iter_shard,
+    read_meta,
+    shard_name,
+    shard_paths,
+)
+
+META = {"kind": "study", "seed": 2016, "apps": 9}
+
+
+def outcome_for(index):
+    if index % 4 == 3:
+        return AppFailure(package=f"pkg{index}", stage="detect",
+                          error="Boom", message="m", attempts=1)
+    return AppReport(package=f"pkg{index}")
+
+
+def write_run(out_dir, n=9, shards=3, meta=META):
+    with ShardedResultWriter(str(out_dir), meta, shards=shards) as w:
+        for index in range(n):
+            w.emit(index, f"pkg{index}", outcome_for(index))
+    return str(out_dir)
+
+
+class TestWriter:
+    def test_round_trip_in_index_order(self, tmp_path):
+        d = write_run(tmp_path)
+        rows = list(iter_results(d))
+        assert [index for index, _, _ in rows] == list(range(9))
+        assert [key for _, key, _ in rows] \
+            == [f"pkg{i}" for i in range(9)]
+        for index, _, outcome in rows:
+            assert outcome.to_dict() == outcome_for(index).to_dict()
+            if index % 4 == 3:
+                assert isinstance(outcome, AppFailure)
+            else:
+                assert isinstance(outcome, AppReport)
+
+    def test_records_route_by_index_mod_shards(self, tmp_path):
+        d = write_run(tmp_path, n=9, shards=3)
+        for shard in range(3):
+            path = os.path.join(d, shard_name(shard))
+            indices = [rec[0] for rec in iter_shard(path)]
+            assert indices == [i for i in range(9) if i % 3 == shard]
+
+    def test_reruns_are_byte_identical(self, tmp_path):
+        a = write_run(tmp_path / "a")
+        b = write_run(tmp_path / "b")
+        for path_a, path_b in zip(shard_paths(a), shard_paths(b)):
+            with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+                assert fa.read() == fb.read()
+
+    def test_abort_leaves_no_finalized_shards(self, tmp_path):
+        writer = ShardedResultWriter(str(tmp_path), META, shards=2)
+        writer.emit(0, "pkg0", outcome_for(0))
+        writer.abort()
+        assert shard_paths(str(tmp_path)) == []
+        assert not has_tmp_shards(str(tmp_path))
+
+    def test_crash_before_close_leaves_only_tmp(self, tmp_path):
+        writer = ShardedResultWriter(str(tmp_path), META, shards=2)
+        writer.emit(0, "pkg0", outcome_for(0))
+        # simulated hard crash: nothing finalized, .tmp files remain
+        del writer
+        assert shard_paths(str(tmp_path)) == []
+        assert has_tmp_shards(str(tmp_path))
+        # a restarted run overwrites the torn temporaries cleanly
+        write_run(tmp_path)
+        assert not has_tmp_shards(str(tmp_path))
+        assert len(list(iter_results(str(tmp_path)))) == 9
+
+    def test_emit_after_close_raises(self, tmp_path):
+        writer = ShardedResultWriter(str(tmp_path), META, shards=1)
+        writer.close()
+        with pytest.raises(ResultShardError, match="finalized"):
+            writer.emit(0, "pkg0", outcome_for(0))
+
+    def test_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedResultWriter(str(tmp_path), META, shards=0)
+
+
+class TestReaders:
+    def test_read_meta(self, tmp_path):
+        d = write_run(tmp_path)
+        assert read_meta(d) == META
+        assert read_meta(str(tmp_path / "missing")) is None
+
+    def test_header_is_schema_versioned(self, tmp_path):
+        d = write_run(tmp_path, shards=1)
+        with open(os.path.join(d, shard_name(0))) as handle:
+            header = json.loads(handle.readline())
+        assert header["schema_version"] == 1
+        assert header["results_format"] == RESULTS_FORMAT
+
+    def test_unfinalized_shard_is_rejected(self, tmp_path):
+        d = write_run(tmp_path, shards=1)
+        path = os.path.join(d, shard_name(0))
+        with open(path) as handle:
+            lines = handle.readlines()
+        with open(path, "w") as handle:
+            handle.writelines(lines[:-1])  # drop the footer
+        with pytest.raises(ResultShardError, match="finalized"):
+            list(iter_shard(path))
+
+    def test_footer_count_mismatch_is_rejected(self, tmp_path):
+        d = write_run(tmp_path, shards=1)
+        path = os.path.join(d, shard_name(0))
+        with open(path) as handle:
+            lines = handle.readlines()
+        del lines[2]  # lose one outcome, keep the footer
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ResultShardError, match="footer count"):
+            list(iter_shard(path))
+
+    def test_mixed_runs_are_rejected(self, tmp_path):
+        d = write_run(tmp_path, shards=2)
+        foreign = tmp_path / "foreign"
+        write_run(foreign, shards=2,
+                  meta={"kind": "study", "seed": 1, "apps": 9})
+        os.replace(os.path.join(str(foreign), shard_name(1)),
+                   os.path.join(d, shard_name(1)))
+        with pytest.raises(ResultShardError, match="different run"):
+            read_meta(d)
+
+    def test_missing_shard_is_rejected(self, tmp_path):
+        d = write_run(tmp_path, shards=3)
+        os.remove(os.path.join(d, shard_name(1)))
+        with pytest.raises(ResultShardError, match="incomplete"):
+            read_meta(d)
+
+    def test_empty_dir_has_no_results(self, tmp_path):
+        with pytest.raises(ResultShardError, match="no finalized"):
+            list(iter_results(str(tmp_path)))

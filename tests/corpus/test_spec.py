@@ -1,0 +1,90 @@
+"""The lazy corpus (:class:`CorpusSpec`) is plan-for-plan identical
+to the eager generator -- per-index derivation must not change a
+single app, or every planted ground-truth table silently shifts."""
+
+import dataclasses
+
+import pytest
+
+from repro.corpus.appstore import CorpusSpec, generate_app_store
+from repro.corpus.plans import DEFAULT_SEED, N_APPS, build_plans
+
+SIZES = [1, 10, 64, 335, 400, 1197, 1500]
+
+
+def as_tuples(plans):
+    return [dataclasses.astuple(plan) for plan in plans]
+
+
+class TestSpecMatchesEagerPlans:
+    @pytest.mark.parametrize("n_apps", SIZES)
+    def test_iter_plans_equals_build_plans(self, n_apps):
+        eager = build_plans(n_apps=n_apps)
+        lazy = list(CorpusSpec(n_apps=n_apps).iter_plans())
+        assert as_tuples(lazy) == as_tuples(eager)
+
+    def test_random_access_equals_sequential(self):
+        spec = CorpusSpec(n_apps=1197)
+        eager = build_plans(n_apps=1197)
+        # jump straight to arbitrary indices on a cold spec: the
+        # derivation must not depend on visiting 0..i-1 first
+        for index in (1196, 0, 500, 334, 335, 879, 7):
+            assert dataclasses.astuple(spec.plan(index)) \
+                == dataclasses.astuple(eager[index])
+
+    def test_other_seed_still_matches(self):
+        eager = build_plans(seed=7, n_apps=400)
+        lazy = list(CorpusSpec(seed=7, n_apps=400).iter_plans())
+        assert as_tuples(lazy) == as_tuples(eager)
+
+    def test_indices_beyond_paper_window_are_derivable(self):
+        # plan(i) far past the 1,197-app window never materializes
+        # the corpus in between
+        spec = CorpusSpec(n_apps=1_000_000)
+        plan = spec.plan(999_999)
+        assert plan.index == 999_999
+        assert plan.package == spec.package_for(999_999)
+        # beyond the background window: no planted problems
+        assert not plan.gt_incomplete_desc
+        assert not plan.gt_incomplete_code
+        assert not plan.gt_incorrect
+
+
+class TestSpecApi:
+    def test_len_and_out_of_range(self):
+        spec = CorpusSpec(n_apps=10)
+        assert len(spec) == 10
+        with pytest.raises(IndexError):
+            spec.plan(10)
+        with pytest.raises(IndexError):
+            spec.plan(-1)
+        with pytest.raises(IndexError):
+            spec.package_for(10)
+
+    def test_iter_apps_slice_matches_materialized(self):
+        spec = CorpusSpec(n_apps=64)
+        store = spec.materialize()
+        window = list(spec.iter_apps(20, 30))
+        assert [app.package for app in window] \
+            == [app.package for app in store.apps[20:30]]
+        assert [app.bundle.policy for app in window] \
+            == [app.bundle.policy for app in store.apps[20:30]]
+
+    def test_app_builds_single_bundle(self):
+        spec = CorpusSpec(n_apps=64)
+        app = spec.app(17)
+        assert app.package == spec.package_for(17)
+        assert app.plan.index == 17
+
+    def test_defaults_are_the_paper_corpus(self):
+        spec = CorpusSpec()
+        assert spec.seed == DEFAULT_SEED
+        assert len(spec) == N_APPS
+
+    def test_generate_app_store_is_materialized_spec(self):
+        store = generate_app_store(n_apps=64)
+        spec_store = CorpusSpec(n_apps=64).materialize()
+        assert [a.package for a in store.apps] \
+            == [a.package for a in spec_store.apps]
+        assert as_tuples(a.plan for a in store.apps) \
+            == as_tuples(a.plan for a in spec_store.apps)

@@ -144,12 +144,13 @@ def cli_env():
 
 def stripped(path):
     """The report JSON as canonical bytes, telemetry keys removed
-    (pipeline_stats / nlp_caches carry wall-clock noise and the
-    resumed run legitimately executes fewer stages)."""
+    (pipeline_stats / nlp_caches / telemetry carry wall-clock noise
+    and the resumed run legitimately executes fewer stages)."""
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     payload.pop("pipeline_stats", None)
     payload.pop("nlp_caches", None)
+    payload.pop("telemetry", None)
     return json.dumps(payload, indent=2, sort_keys=True).encode()
 
 
