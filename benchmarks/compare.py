@@ -39,7 +39,9 @@ BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
 METRICS: list[tuple[str, str, bool]] = [
     ("BENCH_nlp.json", "warm_speedup", True),
     ("BENCH_nlp.json", "cold_speedup", True),
+    ("BENCH_nlp.json", "vectorized_cold_speedup", True),
     ("BENCH_nlp.json", "warm.pairs_per_second", False),
+    ("BENCH_nlp.json", "vectorized_cold.pairs_per_second", False),
     ("BENCH_pipeline.json", "warm_speedup", True),
     ("BENCH_pipeline.json", "parallel_speedup", False),
     ("BENCH_service.json", "warm_speedup", True),

@@ -26,20 +26,27 @@ def detect_incomplete_via_description(
     gap (the unit Table III counts).
     """
     pp_infos = policy.all_positive()
-    findings: list[IncompleteFinding] = []
+    pairs: list[tuple[str, InfoType]] = []
     seen: set[tuple[InfoType, str]] = set()
     for permission in sorted(description_permissions):
         for info in info_for_permission(permission):
             if (info, permission) in seen:
                 continue
             seen.add((info, permission))
-            if matcher.covered(info, pp_infos):
-                continue
-            findings.append(IncompleteFinding(
-                info=info,
-                source="description",
-                permission=permission,
-            ))
+            pairs.append((permission, info))
+    # one interpreted-and-indexed pass over this policy's phrases
+    # answers every information type at once
+    covered = matcher.covered_many((info for _, info in pairs),
+                                   pp_infos)
+    findings: list[IncompleteFinding] = []
+    for permission, info in pairs:
+        if covered[info]:
+            continue
+        findings.append(IncompleteFinding(
+            info=info,
+            source="description",
+            permission=permission,
+        ))
     return findings
 
 
@@ -58,10 +65,12 @@ def detect_incomplete_via_code(
     pp_infos = policy.all_positive()
     findings: list[IncompleteFinding] = []
     retained = static_result.retained_infos()
-    for info in sorted(
+    infos = sorted(
         static_result.collected_infos() | retained, key=lambda i: i.value
-    ):
-        if matcher.covered(info, pp_infos):
+    )
+    covered = matcher.covered_many(infos, pp_infos)
+    for info in infos:
+        if covered[info]:
             continue
         evidence = tuple(static_result.evidence_for(info))
         if not evidence:

@@ -15,30 +15,33 @@ from repro.policy.model import PolicyAnalysis, Statement
 from repro.semantics.resources import InfoType
 
 
-def _denial_sentence(
-    policy: PolicyAnalysis, info: InfoType, matcher: InfoMatcher
-) -> tuple[Statement | None, str]:
-    for statement in policy.negative_statements():
-        for resource in statement.resources:
-            if matcher.phrase_matches(info, resource):
-                return statement, resource
-    return None, ""
-
-
 def detect_incorrect_via_description(
     policy: PolicyAnalysis,
     description_permissions: set[str],
     matcher: InfoMatcher,
 ) -> list[IncorrectFinding]:
-    """Alg. 3: Info_desc vs. the policy's negative sets."""
-    findings: list[IncorrectFinding] = []
+    """Alg. 3: Info_desc vs. the policy's negative sets.
+
+    The per-info denial scan (statements outer, resources inner,
+    first hit wins) is batched through one interpreted pass over the
+    policy's negative resources; the flat first-hit index replays the
+    reference nested-loop order.
+    """
     desc_infos: set[InfoType] = set()
     for permission in description_permissions:
         desc_infos.update(info_for_permission(permission))
-    for info in sorted(desc_infos, key=lambda i: i.value):
-        statement, _res = _denial_sentence(policy, info, matcher)
-        if statement is None:
+    ordered = sorted(desc_infos, key=lambda i: i.value)
+    flat: list[tuple[Statement, str]] = [
+        (statement, resource)
+        for statement in policy.negative_statements()
+        for resource in statement.resources
+    ]
+    firsts = matcher.first_hits(ordered, [res for _, res in flat])
+    findings: list[IncorrectFinding] = []
+    for info, first in zip(ordered, firsts):
+        if first is None:
             continue
+        statement, _res = flat[first]
         findings.append(IncorrectFinding(
             info=info,
             source="description",
@@ -58,18 +61,23 @@ def detect_incorrect_via_code(
 
     def check(code_infos: set[InfoType], denial_phrases: set[str],
               kind: str) -> None:
-        for info in sorted(code_infos, key=lambda i: i.value):
-            for phrase in denial_phrases:
-                if matcher.phrase_matches(info, phrase):
-                    sentence = _sentence_with_phrase(policy, phrase, kind)
-                    findings.append(IncorrectFinding(
-                        info=info,
-                        source="code",
-                        denial_sentence=sentence,
-                        kind=kind,
-                        evidence=tuple(static_result.evidence_for(info)),
-                    ))
-                    break
+        # list() preserves the set's iteration order, so the batched
+        # first hit selects the same phrase the nested loop would
+        ordered = sorted(code_infos, key=lambda i: i.value)
+        phrase_list = list(denial_phrases)
+        firsts = matcher.first_hits(ordered, phrase_list)
+        for info, first in zip(ordered, firsts):
+            if first is None:
+                continue
+            phrase = phrase_list[first]
+            sentence = _sentence_with_phrase(policy, phrase, kind)
+            findings.append(IncorrectFinding(
+                info=info,
+                source="code",
+                denial_sentence=sentence,
+                kind=kind,
+                evidence=tuple(static_result.evidence_for(info)),
+            ))
 
     # NotCollect / NotUse / NotDisclose against observed collection
     denial_collect = (

@@ -3,9 +3,19 @@
 The paper's ``Similarity(Info, PPInfo) > threshold`` predicate (Alg. 1
 line 5 and friends) with ESA and the 0.67 threshold.  A fast exact
 alias lookup short-circuits the ESA computation for the common case.
+
+The detectors drive the per-policy batch forms
+(:meth:`InfoMatcher.covered_many`, :meth:`InfoMatcher.first_hits`,
+:meth:`InfoMatcher.first_match_pair`): every information type of one
+app probes a single interpreted-and-indexed view of the policy's
+phrases (one inverted-index pass per policy instead of one ESA sweep
+per pair), then each decision replays in the reference nested-loop
+order so the output stays byte-identical to the scalar plane.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 from dataclasses import dataclass
 
@@ -58,6 +68,48 @@ class InfoMatcher:
         surfaces = list(INFO_SURFACE.get(info, (info.value,)))
         return self.esa.any_match(surfaces, list(phrases),
                                   self.threshold)
+
+    def covered_many(self, infos: Iterable[InfoType],
+                     phrases: Iterable[str]) -> dict[InfoType, bool]:
+        """:meth:`covered` for many information types against one
+        policy's phrase set, interpreting and indexing the phrases
+        once.  ``covered_many(infos, ps)[info] == covered(info, ps)``
+        for every info."""
+        phrase_list = list(phrases)
+        alias_hits = {normalize_resource(p) for p in phrase_list}
+        ordered = list(dict.fromkeys(infos))
+        pending = [info for info in ordered if info not in alias_hits]
+        groups = [list(INFO_SURFACE.get(info, (info.value,)))
+                  for info in pending]
+        esa_hits = self.esa.group_hits(groups, phrase_list,
+                                       self.threshold)
+        out = {info: True for info in ordered if info in alias_hits}
+        for info, hits in zip(pending, esa_hits):
+            out[info] = bool(hits)
+        return out
+
+    def first_hits(self, infos: Iterable[InfoType],
+                   phrases: list[str]) -> list[int | None]:
+        """For each info, the index of the first phrase (list order)
+        for which :meth:`phrase_matches` holds, or None -- the
+        batched form of the Alg. 3/4 denial scan.  ESA pairs score
+        through one shared inverted-index pass; the first-hit
+        decision replays the reference loop (exact alias check, then
+        the ESA verdict) per phrase in order."""
+        ordered = list(infos)
+        alias_infos = [normalize_resource(p) for p in phrases]
+        groups = [list(INFO_SURFACE.get(info, (info.value,)))
+                  for info in ordered]
+        esa_hits = self.esa.group_hits(groups, phrases, self.threshold)
+        out: list[int | None] = []
+        for info, hits in zip(ordered, esa_hits):
+            first: int | None = None
+            for j in range(len(phrases)):
+                if alias_infos[j] is info or j in hits:
+                    first = j
+                    break
+            out.append(first)
+        return out
 
     def phrases_match(self, phrase_a: str, phrase_b: str) -> bool:
         """Resource-to-resource matching (Alg. 5 line 11)."""

@@ -17,6 +17,14 @@ primitive those hot paths memoize through:
   the original compute-everything code paths.  The differential suite
   (``tests/integration/test_hotpath_equivalence.py``) proves both
   modes produce byte-identical detector output.
+- :func:`vector_enabled` -- the second escape hatch, for the
+  *representation* layer.  ``REPRO_NO_VECTOR=1`` (or
+  :func:`set_vector_enabled` ``(False)``) turns off the compiled
+  merge-join ESA data plane (:mod:`repro.semantics.compiled`) and
+  restores the original dict-of-dicts scalar plane.  The two hatches
+  are orthogonal: all four combinations run, and
+  ``tests/integration/test_vector_equivalence.py`` proves the study
+  output is byte-identical across them.
 
 Caches hold values that callers treat as immutable (interpretation
 vectors, similarity floats, parsed dependency trees); nothing in the
@@ -37,10 +45,17 @@ MISS = object()
 #: environment variable that disables all memo caches and pruning
 NO_MEMO_ENV = "REPRO_NO_MEMO"
 
+#: environment variable that disables the compiled/merge-join ESA
+#: data plane (the scalar dict-of-dicts plane runs instead)
+NO_VECTOR_ENV = "REPRO_NO_VECTOR"
+
 _TRUTHY = ("1", "true", "yes", "on")
 
 #: in-process override: None defers to the environment
 _override: bool | None = None
+
+#: in-process override for the vector plane: None defers to the env
+_vector_override: bool | None = None
 
 _registry: list["weakref.ref[MemoCache]"] = []
 _registry_lock = threading.Lock()
@@ -59,6 +74,23 @@ def set_memo_enabled(flag: bool | None) -> None:
     the benchmark harness."""
     global _override
     _override = flag
+
+
+def vector_enabled() -> bool:
+    """Whether the compiled merge-join ESA data plane is active.
+    ``REPRO_NO_VECTOR=1`` (or :func:`set_vector_enabled` ``(False)``)
+    selects the scalar dict-of-dicts plane instead."""
+    if _vector_override is not None:
+        return _vector_override
+    return os.environ.get(NO_VECTOR_ENV, "").strip().lower() \
+        not in _TRUTHY
+
+
+def set_vector_enabled(flag: bool | None) -> None:
+    """Force the vector plane on/off in-process; ``None`` restores
+    the environment-variable control."""
+    global _vector_override
+    _vector_override = flag
 
 
 class MemoCache:
@@ -140,7 +172,10 @@ def cache_stats() -> dict[str, dict[str, int]]:
     """Aggregated counters per cache name, over all live caches.
 
     Multiple caches may share a name (every :class:`EsaModel` instance
-    owns its own interpretation cache); their counters sum.
+    owns its own interpretation cache); their counters sum.  Cache
+    subclasses may report extra counters (e.g. the compiled-KB
+    artifact loader's ``warnings``); any numeric key beyond
+    ``max_entries`` sums like the standard ones.
     """
     out: dict[str, dict[str, int]] = {}
     for cache in _live_caches():
@@ -148,10 +183,11 @@ def cache_stats() -> dict[str, dict[str, int]]:
             "hits": 0, "misses": 0, "entries": 0, "max_entries": 0,
         })
         stats = cache.stats()
-        for key in ("hits", "misses", "entries"):
-            row[key] += stats[key]
-        row["max_entries"] = max(row["max_entries"],
-                                 stats["max_entries"])
+        for key, value in stats.items():
+            if key == "max_entries":
+                row[key] = max(row[key], value)
+            else:
+                row[key] = row.get(key, 0) + value
     return {name: out[name] for name in sorted(out)}
 
 
@@ -165,9 +201,12 @@ def clear_caches() -> None:
 __all__ = [
     "MISS",
     "NO_MEMO_ENV",
+    "NO_VECTOR_ENV",
     "MemoCache",
     "memo_enabled",
     "set_memo_enabled",
+    "vector_enabled",
+    "set_vector_enabled",
     "cache_stats",
     "clear_caches",
 ]

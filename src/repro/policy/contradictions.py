@@ -58,21 +58,50 @@ def _is_broad(resource: str) -> bool:
     return resource in BROAD_TERMS
 
 
+def _flatten(statements) -> tuple[list[str], list[int]]:
+    """All resources of *statements* in statement order, plus each
+    statement's start offset into the flat list."""
+    flat: list[str] = []
+    offsets: list[int] = []
+    for statement in statements:
+        offsets.append(len(flat))
+        flat.extend(statement.resources)
+    return flat, offsets
+
+
 def detect_contradictions(
     analysis: PolicyAnalysis,
     matcher: InfoMatcher | None = None,
 ) -> list[Contradiction]:
-    """All internal contradictions of one analyzed policy."""
+    """All internal contradictions of one analyzed policy.
+
+    Every (negative resource, positive resource) ESA pair of the
+    policy scores through a single
+    :meth:`~repro.semantics.esa.EsaModel.match_sets` pass (one
+    inverted-index build per policy); each statement pair then
+    replays its nested-loop decision against the shared hit set, so
+    the selected pairs are byte-identical to the per-pair scan.
+    """
     if matcher is None:
         matcher = InfoMatcher()
     contradictions: list[Contradiction] = []
     seen: set[tuple[str, str, str]] = set()
 
-    for negative in analysis.negative_statements():
-        for positive in analysis.positive_statements():
+    negatives = analysis.negative_statements()
+    positives = analysis.positive_statements()
+    neg_flat, neg_offsets = _flatten(negatives)
+    pos_flat, pos_offsets = _flatten(positives)
+    esa_hits = {
+        (i, j) for i, j, _sim in matcher.esa.match_sets(
+            neg_flat, pos_flat, matcher.threshold)
+    }
+
+    for negative, neg_offset in zip(negatives, neg_offsets):
+        for positive, pos_offset in zip(positives, pos_offsets):
             if positive.category is not negative.category:
                 continue
-            hit = _match(positive, negative, matcher)
+            hit = _match(positive, negative, esa_hits,
+                         pos_offset, neg_offset)
             if hit is None:
                 continue
             kind, pos_res, neg_res = hit
@@ -90,24 +119,21 @@ def detect_contradictions(
 def _match(
     positive: Statement,
     negative: Statement,
-    matcher: InfoMatcher,
+    esa_hits: set[tuple[int, int]],
+    pos_offset: int,
+    neg_offset: int,
 ) -> tuple[str, str, str] | None:
     neg_infos = [normalize_resource(r) for r in negative.resources]
     pos_infos = [normalize_resource(r) for r in positive.resources]
-    # ESA pairs scored in batch (inverted-index pruned); the decision
+    # ESA pairs were scored in one per-policy batch; the decision
     # replays in nested-loop order so the selected pair is unchanged
-    esa_hits = {
-        (i, j) for i, j, _sim in matcher.esa.match_sets(
-            list(negative.resources), list(positive.resources),
-            matcher.threshold)
-    }
     for i, neg_res in enumerate(negative.resources):
         for j, pos_res in enumerate(positive.resources):
             # exact: the two resources are the same thing
             if neg_infos[i] is not None and neg_infos[i] is pos_infos[j]:
                 return "exact", pos_res, neg_res
             if neg_infos[i] is None and pos_infos[j] is None and \
-                    (i, j) in esa_hits:
+                    (neg_offset + i, pos_offset + j) in esa_hits:
                 return "exact", pos_res, neg_res
             # subsumption: broad denial vs narrow specific positive
             if _is_broad(neg_res) and pos_infos[j] is not None:

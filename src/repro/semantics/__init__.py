@@ -9,7 +9,18 @@ the detectors reason about, and keep the paper's interface and 0.67
 decision threshold.
 """
 
-from repro.semantics.resources import InfoType, INFO_TYPES, normalize_resource
+from repro.semantics.compiled import (
+    CompiledKB,
+    CompiledKBError,
+    compile_kb,
+    load_or_compile,
+)
+from repro.semantics.resources import (
+    InfoType,
+    INFO_TYPES,
+    load_compiled_kb,
+    normalize_resource,
+)
 from repro.semantics.esa import (
     EsaModel,
     default_model,
@@ -27,4 +38,9 @@ __all__ = [
     "similarity",
     "similarity_many",
     "match_sets",
+    "CompiledKB",
+    "CompiledKBError",
+    "compile_kb",
+    "load_or_compile",
+    "load_compiled_kb",
 ]

@@ -9,43 +9,45 @@ PPChecker uses ``Similarity(a, b) > threshold`` with ``threshold =
 0.67`` (following AutoCog) to decide whether two information phrases
 refer to the same thing.
 
-The matching algorithms call ``similarity`` for every (surface,
-phrase) pair of every app, and study-scale corpora repeat the same
-phrases across thousands of apps.  Each model therefore memoizes its
-interpretation vectors and pair similarities in bounded LRUs
-(:mod:`repro.memo`), prunes pairs whose sparse vectors share no
-concept (their cosine is exactly 0), and offers batch entry points
-(:meth:`EsaModel.similarity_many`, :meth:`EsaModel.match_sets`,
-:meth:`EsaModel.any_match`) that the detectors drive.  All fast paths
-are exact: ``REPRO_NO_MEMO=1`` disables them and the differential
-suite proves the output is byte-identical either way.
+Two data planes serve that predicate, both exact and bit-identical:
+
+- the **compiled plane** (default): the knowledge base is compiled
+  into packed parallel arrays (:mod:`repro.semantics.compiled`),
+  interpretation vectors are sorted ``(concept_id, weight)`` arrays,
+  and :func:`_merge_cosine` walks the two sorted arrays instead of
+  hashing dict keys.  The batch entry points
+  (:meth:`EsaModel.match_sets`, :meth:`EsaModel.any_match`,
+  :meth:`EsaModel.similarity_many`, :meth:`EsaModel.group_hits`)
+  interpret every distinct text once per call and drive one inverted
+  concept-index pass per policy, so cold runs -- where the memo LRUs
+  cannot help -- stop paying per-pair re-interpretation.
+- the **scalar plane** (``REPRO_NO_VECTOR=1``): the historical
+  dict-of-dicts representation and nested-loop matchers, kept fully
+  runnable as the differential reference.
+
+All vectors sum in *ascending concept-id order* (the canonical
+order), which is what makes the two planes agree to the last ulp; the
+differential suite (``tests/integration/test_vector_equivalence.py``)
+proves study output is byte-identical across vectorized, scalar, and
+``REPRO_NO_MEMO=1`` runs.  Memoization (:mod:`repro.memo`) layers on
+top of either plane.
 """
 
 from __future__ import annotations
 
 import math
-import re
 from dataclasses import dataclass, field
 
-from repro.memo import MISS, MemoCache, memo_enabled
-from repro.nlp.tokenizer import lemmatize
+from repro.memo import MISS, MemoCache, memo_enabled, vector_enabled
+from repro.semantics.compiled import (
+    CompiledKB,
+    compile_kb,
+    terms_of as _terms,
+)
 from repro.semantics.knowledge import CONCEPT_ARTICLES
 
 #: The decision threshold used throughout the paper (Section IV-A).
 DEFAULT_THRESHOLD = 0.67
-
-_STOPWORDS = {
-    "the", "a", "an", "of", "to", "and", "or", "in", "on", "for",
-    "with", "by", "from", "at", "as", "is", "are", "be", "was",
-    "were", "will", "would", "may", "might", "can", "could", "shall",
-    "should", "that", "this", "these", "those", "it", "its", "we",
-    "you", "your", "our", "their", "his", "her", "my", "i", "any",
-    "all", "some", "such", "other", "about", "into", "than", "then",
-    "so", "if", "when", "which", "who", "whom", "what", "how", "not",
-    "no", "do", "does", "did", "have", "has", "had",
-}
-
-_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
 
 
 def _norm_key(text: str) -> str:
@@ -57,27 +59,66 @@ def _norm_key(text: str) -> str:
 
 def _cosine(key_a: str, vec_a: dict[int, float],
             key_b: str, vec_b: dict[int, float]) -> float:
-    """Dot product of two L2-normalized sparse vectors, clamped to
-    [0, 1].  The iteration order is canonical (smaller vector first,
-    ties broken by key) so the float result is independent of the
-    argument order -- a prerequisite for the symmetric pair cache."""
+    """Scalar-plane dot product of two L2-normalized sparse vectors,
+    clamped to [0, 1].  The iteration order is canonical (smaller
+    vector first, ties broken by key; keys ascend within a vector) so
+    the float result is independent of the argument order -- a
+    prerequisite for the symmetric pair cache *and* for agreeing
+    bitwise with :func:`_merge_cosine`."""
     if (len(vec_b), key_b) < (len(vec_a), key_a):
         vec_a, vec_b = vec_b, vec_a
     dot = sum(w * vec_b.get(c, 0.0) for c, w in vec_a.items())
     return max(0.0, min(1.0, dot))
 
 
-def _terms(text: str) -> list[str]:
-    """Lower-case, tokenize, lemmatize, drop stopwords."""
-    out = []
-    for raw in _TOKEN_RE.findall(text.lower()):
-        if raw in _STOPWORDS:
-            continue
-        lemma = lemmatize(raw)
-        if lemma in _STOPWORDS or not lemma:
-            continue
-        out.append(lemma)
-    return out
+def _merge_cosine(cids_a: list[int], weights_a: list[float],
+                  cids_b: list[int], weights_b: list[float]) -> float:
+    """Compiled-plane dot product: a two-pointer merge join over two
+    ascending ``(concept_id, weight)`` arrays, clamped to [0, 1].
+
+    Shared concepts are summed in ascending concept-id order -- the
+    same order :func:`_cosine` sums canonical vectors in (its extra
+    ``w * 0.0`` terms are exact no-ops) -- so the two kernels agree
+    bit-for-bit, and the join is symmetric by construction."""
+    i = j = 0
+    len_a = len(cids_a)
+    len_b = len(cids_b)
+    dot = 0.0
+    while i < len_a and j < len_b:
+        ca = cids_a[i]
+        cb = cids_b[j]
+        if ca == cb:
+            dot += weights_a[i] * weights_b[j]
+            i += 1
+            j += 1
+        elif ca < cb:
+            i += 1
+        else:
+            j += 1
+    return max(0.0, min(1.0, dot))
+
+
+class Interp:
+    """One memoized interpretation: the canonical sparse dict plus
+    lazily-derived sorted parallel arrays.  Shared across callers and
+    treated as immutable."""
+
+    __slots__ = ("key", "vec", "_cids", "_weights")
+
+    def __init__(self, key: str, vec: dict[int, float]) -> None:
+        self.key = key
+        self.vec = vec
+        self._cids: list[int] | None = None
+        self._weights: list[float] | None = None
+
+    def arrays(self) -> tuple[list[int], list[float]]:
+        """``(concept_ids, weights)`` sorted ascending.  The dict is
+        built in ascending concept-id order, so this is a straight
+        materialization, not a re-sort."""
+        if self._cids is None:
+            self._cids = list(self.vec)
+            self._weights = list(self.vec.values())
+        return self._cids, self._weights
 
 
 @dataclass
@@ -86,6 +127,9 @@ class EsaModel:
 
     articles: dict[str, str]
     threshold: float = DEFAULT_THRESHOLD
+    #: precompiled knowledge base; compiled from ``articles`` when not
+    #: supplied (``default_model`` loads it from the binary artifact)
+    kb: CompiledKB | None = field(default=None, repr=False)
     _term_vectors: dict[str, dict[int, float]] = field(
         default_factory=dict, repr=False
     )
@@ -96,82 +140,147 @@ class EsaModel:
         # across apps, so both have study-scale hit rates
         self._interp_cache = MemoCache("esa_interpret")
         self._sim_cache = MemoCache("esa_similarity", max_entries=262144)
-        self._concepts = sorted(self.articles)
-        # term frequency per concept
-        tf: dict[str, dict[int, float]] = {}
-        doc_freq: dict[str, int] = {}
-        for cidx, concept in enumerate(self._concepts):
-            counts: dict[str, int] = {}
-            for term in _terms(self.articles[concept]):
-                counts[term] = counts.get(term, 0) + 1
-            for term, count in counts.items():
-                tf.setdefault(term, {})[cidx] = 1.0 + math.log(count)
-                doc_freq[term] = doc_freq.get(term, 0) + 1
-        n_docs = len(self._concepts)
-        for term, vec in tf.items():
-            idf = math.log((1.0 + n_docs) / (1.0 + doc_freq[term])) + 1.0
-            weighted = {c: w * idf for c, w in vec.items()}
-            norm = math.sqrt(sum(w * w for w in weighted.values()))
-            self._term_vectors[term] = {
-                c: w / norm for c, w in weighted.items()
-            }
+        # batch side-views: one (interps, inverted index) per distinct
+        # text tuple -- the surface lists and policy phrase pools the
+        # detectors probe with repeat across thousands of calls
+        self._group_cache = MemoCache("esa_group_index",
+                                      max_entries=8192)
+        if self.kb is None:
+            self.kb = compile_kb(self.articles)
+        self._concepts = list(self.kb.concepts)
+        # the scalar plane's dict-of-dicts view, derived from the same
+        # compiled floats so REPRO_NO_VECTOR=1 stays bit-identical
+        self._term_vectors = self.kb.term_vector_dicts()
+
+    def fingerprint(self) -> str:
+        """Content hash of the knowledge base + threshold (part of
+        the ``detect`` stage cache key via ``InfoMatcher``)."""
+        from repro.hashing import fingerprint
+
+        return fingerprint({"esa_kb": self.kb.articles_fp,
+                            "threshold": self.threshold})
 
     # -- interpretation ----------------------------------------------------
 
     def interpret(self, text: str) -> dict[int, float]:
-        """Interpretation vector of *text* (sparse, L2-normalized).
+        """Interpretation vector of *text* (sparse, L2-normalized,
+        keys ascending).
 
         Returns a fresh dict; the memoized vector stays private."""
-        return dict(self._interp(text)[1])
+        return dict(self._interp(text).vec)
 
     def _compute_interpret(self, text: str) -> dict[int, float]:
-        acc: dict[int, float] = {}
+        """Centroid of the text's term vectors, canonicalized to
+        ascending concept-id order (accumulation per concept follows
+        term order; the norm sums ascending)."""
         terms = _terms(text)
         if not terms:
             return {}
+        if vector_enabled():
+            return self._accumulate_compiled(terms)
+        acc: dict[int, float] = {}
         for term in terms:
             vec = self._term_vectors.get(term)
             if vec is None:
                 continue
             for cidx, weight in vec.items():
                 acc[cidx] = acc.get(cidx, 0.0) + weight
-        norm = math.sqrt(sum(w * w for w in acc.values()))
+        if not acc:
+            return {}
+        items = sorted(acc.items())
+        norm = math.sqrt(sum(w * w for _, w in items))
         if norm == 0.0:
             return {}
-        return {c: w / norm for c, w in acc.items()}
+        return {c: w / norm for c, w in items}
 
-    def _interp(self, text: str) -> tuple[str, dict[int, float]]:
-        """(cache key, memoized vector).  The vector is shared and
-        must be treated as immutable."""
+    def _accumulate_compiled(self, terms: list[str]) -> dict[int, float]:
+        """Compiled-plane accumulation: dense per-concept sums driven
+        by the packed KB arrays.  Per-concept addition order (term
+        order) and the ascending-order norm match the dict plane, so
+        the floats are bit-identical."""
+        kb = self.kb
+        offsets, cids, weights = kb.offsets, kb.cids, kb.weights
+        term_index = kb.term_index
+        acc = [0.0] * len(self._concepts)
+        touched = False
+        for term in terms:
+            tid = term_index.get(term)
+            if tid is None:
+                continue
+            touched = True
+            for k in range(offsets[tid], offsets[tid + 1]):
+                acc[cids[k]] += weights[k]
+        if not touched:
+            return {}
+        items = [(c, w) for c, w in enumerate(acc) if w != 0.0]
+        norm = math.sqrt(sum(w * w for _, w in items))
+        if norm == 0.0:
+            return {}
+        return {c: w / norm for c, w in items}
+
+    def _interp(self, text: str) -> Interp:
+        """The memoized :class:`Interp` of *text* (shared; treat as
+        immutable)."""
         key = _norm_key(text)
-        vec = self._interp_cache.get(key)
-        if vec is MISS:
-            vec = self._compute_interpret(text)
-            self._interp_cache.put(key, vec)
-        return key, vec
+        interp = self._interp_cache.get(key)
+        if interp is MISS:
+            interp = Interp(key, self._compute_interpret(text))
+            self._interp_cache.put(key, interp)
+        return interp
 
-    def _pair_sim(self, key_a: str, vec_a: dict[int, float],
-                  key_b: str, vec_b: dict[int, float]) -> float:
-        if not vec_a or not vec_b:
+    def _interp_local(self, text: str,
+                      local: dict[str, Interp]) -> Interp:
+        """Per-call interpretation dedup: within one batch call every
+        distinct text interprets once even with the memo LRUs
+        disabled (reuse is exact -- same raw text, same normalized
+        key, same vector).  Keyed on the raw string so repeats skip
+        :func:`_norm_key` entirely."""
+        interp = local.get(text)
+        if interp is None:
+            interp = self._interp(text)
+            local[text] = interp
+        return interp
+
+    def _group_view(self, texts: list[str], local: dict[str, Interp],
+                    ) -> tuple[list[Interp], dict[int, list[int]]]:
+        """The ``(interps, inverted concept index)`` view of a text
+        list, memoized per distinct tuple: the surface lists and
+        policy phrase pools the batch entry points probe with repeat
+        across thousands of calls, so a cold study run builds each
+        view once instead of once per call.  With memoization
+        disabled the view rebuilds per call (through the per-call
+        local dedup), which is the same exact computation."""
+        key = tuple(texts)
+        view = self._group_cache.get(key)
+        if view is MISS:
+            interps = [self._interp_local(t, local) for t in texts]
+            view = (interps, self._inverted_index(interps))
+            self._group_cache.put(key, view)
+        return view
+
+    def _pair_sim(self, a: Interp, b: Interp) -> float:
+        if not a.vec or not b.vec:
             return 0.0
-        pair = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        pair = (a.key, b.key) if a.key <= b.key else (b.key, a.key)
         cached = self._sim_cache.get(pair)
         if cached is not MISS:
             return cached
-        # shared-concept prune: disjoint sparse supports have an
-        # exactly-zero dot product, so skipping the sum is exact
-        if memo_enabled() and vec_a.keys().isdisjoint(vec_b.keys()):
+        if vector_enabled():
+            cids_a, weights_a = a.arrays()
+            cids_b, weights_b = b.arrays()
+            sim = _merge_cosine(cids_a, weights_a, cids_b, weights_b)
+        elif memo_enabled() and a.vec.keys().isdisjoint(b.vec.keys()):
+            # shared-concept prune: disjoint sparse supports have an
+            # exactly-zero dot product, so skipping the sum is exact
             sim = 0.0
         else:
-            sim = _cosine(key_a, vec_a, key_b, vec_b)
+            sim = _cosine(a.key, a.vec, b.key, b.vec)
         self._sim_cache.put(pair, sim)
         return sim
 
     def similarity(self, text_a: str, text_b: str) -> float:
         """Cosine similarity of the two interpretation vectors in [0, 1]."""
-        key_a, vec_a = self._interp(text_a)
-        key_b, vec_b = self._interp(text_b)
-        return self._pair_sim(key_a, vec_a, key_b, vec_b)
+        return self._pair_sim(self._interp(text_a), self._interp(text_b))
 
     def same_thing(self, text_a: str, text_b: str,
                    threshold: float | None = None) -> bool:
@@ -184,23 +293,58 @@ class EsaModel:
     def similarity_many(self, text: str,
                         candidates: list[str]) -> list[float]:
         """``similarity(text, c)`` for every candidate, interpreting
-        *text* once.  Agrees pairwise with :meth:`similarity`."""
-        key, vec = self._interp(text)
-        return [self._pair_sim(key, vec, *self._interp(c))
+        *text* once (and each distinct candidate once).  Agrees
+        pairwise with :meth:`similarity`."""
+        interp = self._interp(text)
+        if vector_enabled():
+            local: dict[str, Interp] = {}
+            return [self._pair_sim(interp,
+                                   self._interp_local(c, local))
+                    for c in candidates]
+        return [self._pair_sim(interp, self._interp(c))
                 for c in candidates]
+
+    def _inverted_index(self, interps: list[Interp],
+                        ) -> dict[int, list[int]]:
+        """concept id -> indexes of the interps containing it."""
+        index: dict[int, list[int]] = {}
+        for j, interp in enumerate(interps):
+            for concept in interp.vec:
+                index.setdefault(concept, []).append(j)
+        return index
+
+    def _candidates(self, interp: Interp,
+                    index: dict[int, list[int]]) -> list[int]:
+        """Shared-concept candidates, ascending.  Skipped indexes
+        have cosine exactly 0; exact for any ``threshold >= 0``."""
+        return sorted({
+            j for concept in interp.vec
+            for j in index.get(concept, ())
+        })
 
     def any_match(self, texts_a: list[str], texts_b: list[str],
                   threshold: float | None = None) -> bool:
         """Is any (a, b) pair above the threshold?  Early-exits on the
         first hit; equals ``any(same_thing(a, b) for a for b)``."""
         limit = self.threshold if threshold is None else threshold
+        if vector_enabled():
+            local: dict[str, Interp] = {}
+            interps_a, index_a = self._group_view(texts_a, local)
+            for text_b in texts_b:
+                interp_b = self._interp_local(text_b, local)
+                if not interp_b.vec:
+                    continue
+                for i in self._candidates(interp_b, index_a):
+                    if self._pair_sim(interps_a[i], interp_b) > limit:
+                        return True
+            return False
         interps_b = [self._interp(t) for t in texts_b]
         for text_a in texts_a:
-            key_a, vec_a = self._interp(text_a)
-            if not vec_a:
+            interp_a = self._interp(text_a)
+            if not interp_a.vec:
                 continue
-            for key_b, vec_b in interps_b:
-                if self._pair_sim(key_a, vec_a, key_b, vec_b) > limit:
+            for interp_b in interps_b:
+                if self._pair_sim(interp_a, interp_b) > limit:
                     return True
         return False
 
@@ -211,14 +355,33 @@ class EsaModel:
         threshold, ordered by ``(i, j)`` -- the order of the nested
         reference loop, so first-hit call sites stay byte-identical.
 
-        With memoization enabled, candidates are pruned through a
-        shared-concept inverted index over *texts_b*: a pair whose
-        vectors share no concept has cosine exactly 0 and is never
-        scored.  The pruning is exact for any ``threshold >= 0``.
+        On the compiled plane (and on the scalar plane with
+        memoization enabled), candidates are pruned through a
+        shared-concept inverted index: a pair whose vectors share no
+        concept has cosine exactly 0 and is never scored.  The
+        pruning is exact for any ``threshold >= 0``.  The compiled
+        plane indexes *texts_a* (the repeated side -- memoized per
+        distinct tuple) and walks *texts_b*; hits sort back into the
+        reference ``(i, j)`` order, and each pair's similarity is the
+        canonical :func:`_merge_cosine` value, so the output is
+        byte-identical regardless of the scan direction.
         """
         limit = self.threshold if threshold is None else threshold
-        interps_b = [self._interp(t) for t in texts_b]
-        out: list[tuple[int, int, float]] = []
+        if vector_enabled():
+            local: dict[str, Interp] = {}
+            interps_a, index_a = self._group_view(texts_a, local)
+            out: list[tuple[int, int, float]] = []
+            for j, text_b in enumerate(texts_b):
+                interp_b = self._interp_local(text_b, local)
+                if not interp_b.vec:
+                    continue
+                for i in self._candidates(interp_b, index_a):
+                    sim = self._pair_sim(interps_a[i], interp_b)
+                    if sim > limit:
+                        out.append((i, j, sim))
+            out.sort(key=lambda hit: (hit[0], hit[1]))
+            return out
+        out = []
         if not memo_enabled():
             for i, text_a in enumerate(texts_a):
                 for j, text_b in enumerate(texts_b):
@@ -226,23 +389,57 @@ class EsaModel:
                     if sim > limit:
                         out.append((i, j, sim))
             return out
-        index: dict[int, list[int]] = {}
-        for j, (_key, vec) in enumerate(interps_b):
-            for concept in vec:
-                index.setdefault(concept, []).append(j)
+        interps_b = [self._interp(t) for t in texts_b]
+        index = self._inverted_index(interps_b)
         for i, text_a in enumerate(texts_a):
-            key_a, vec_a = self._interp(text_a)
-            if not vec_a:
+            interp_a = self._interp(text_a)
+            if not interp_a.vec:
                 continue
-            candidates = sorted({
-                j for concept in vec_a
-                for j in index.get(concept, ())
-            })
-            for j in candidates:
-                key_b, vec_b = interps_b[j]
-                sim = self._pair_sim(key_a, vec_a, key_b, vec_b)
+            for j in self._candidates(interp_a, index):
+                sim = self._pair_sim(interp_a, interps_b[j])
                 if sim > limit:
                     out.append((i, j, sim))
+        return out
+
+    def group_hits(self, groups: list[list[str]], texts_b: list[str],
+                   threshold: float | None = None) -> list[set[int]]:
+        """For each *group* of texts, the set of indexes ``j`` such
+        that some ``(a, b_j)`` pair scores above the threshold.
+
+        This is the one-pass-per-policy primitive behind Alg. 1-5
+        batching: *texts_b* (a policy's phrases) is interpreted and
+        indexed once, then every group (an information type's
+        surfaces) probes the shared index.  Per group it equals
+        ``{j for j, b in enumerate(texts_b)
+        if any_match(group, [b])}``.
+        """
+        limit = self.threshold if threshold is None else threshold
+        if not vector_enabled():
+            out: list[set[int]] = []
+            for group in groups:
+                hits: set[int] = set()
+                for j, text_b in enumerate(texts_b):
+                    for text_a in group:
+                        if self.similarity(text_a, text_b) > limit:
+                            hits.add(j)
+                            break
+                out.append(hits)
+            return out
+        local: dict[str, Interp] = {}
+        interps_b, index_b = self._group_view(texts_b, local)
+        out = []
+        for group in groups:
+            hits = set()
+            for text_a in group:
+                interp_a = self._interp_local(text_a, local)
+                if not interp_a.vec:
+                    continue
+                for j in self._candidates(interp_a, index_b):
+                    if j in hits:
+                        continue
+                    if self._pair_sim(interp_a, interps_b[j]) > limit:
+                        hits.add(j)
+            out.append(hits)
         return out
 
     def cache_info(self) -> dict[str, dict[str, int]]:
@@ -263,10 +460,18 @@ _DEFAULT: EsaModel | None = None
 
 
 def default_model() -> EsaModel:
-    """The process-wide ESA model over the embedded knowledge base."""
+    """The process-wide ESA model over the embedded knowledge base.
+
+    The compiled knowledge base loads from the versioned binary
+    artifact when one verifies (see
+    :func:`repro.semantics.resources.load_compiled_kb`), falling back
+    to an in-memory compile."""
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = EsaModel(CONCEPT_ARTICLES)
+        from repro.semantics.resources import load_compiled_kb
+
+        _DEFAULT = EsaModel(CONCEPT_ARTICLES,
+                            kb=load_compiled_kb(CONCEPT_ARTICLES))
     return _DEFAULT
 
 
@@ -289,6 +494,7 @@ def match_sets(texts_a: list[str], texts_b: list[str],
 
 __all__ = [
     "EsaModel",
+    "Interp",
     "DEFAULT_THRESHOLD",
     "default_model",
     "similarity",

@@ -41,6 +41,26 @@ def test_committed_bench_files_are_versioned(path):
     assert payload["schema_version"] == SCHEMA_VERSION
 
 
+@pytest.mark.parametrize("path", [
+    os.path.join(REPO_ROOT, "BENCH_nlp.json"),
+    os.path.join(REPO_ROOT, "benchmarks", "baselines",
+                 "BENCH_nlp.json"),
+], ids=["root", "baseline"])
+def test_nlp_bench_has_vectorized_cold_fields(path):
+    """The compiled-data-plane PR's phase block: ``compare.py`` gates
+    ``vectorized_cold_speedup``, so the committed copies must carry
+    it alongside the historical phases."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for phase in ("no_memo", "vectorized_cold", "cold", "warm"):
+        row = payload[phase]
+        assert row["seconds"] > 0.0
+        assert row["pairs_per_second"] > 0.0
+    assert payload["vectorized_cold_speedup"] >= 5.0
+    assert payload["vectorized_cold"]["pairs_per_second"] \
+        >= 5.0 * payload["no_memo"]["pairs_per_second"]
+
+
 class TestValidateVersioned:
     def test_accepts_stamped_payload(self):
         validate_versioned(versioned({"x": 1}))

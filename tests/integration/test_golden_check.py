@@ -22,6 +22,7 @@ import pytest
 
 from repro.core.checker import PPChecker
 from repro.core.schema import versioned
+from repro.memo import clear_caches, set_vector_enabled
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "goldens")
@@ -77,6 +78,30 @@ def test_golden_payload(label, rendered, request):
             f"intentional, rerun with --update-goldens and review "
             f"the diff"
         )
+
+
+@pytest.mark.parametrize("label", CASES)
+def test_golden_holds_on_scalar_plane(label, rendered, mid_store,
+                                      request):
+    """The goldens pin the *vectorized* (default) plane; the scalar
+    ``REPRO_NO_VECTOR=1`` plane must print the same bytes."""
+    if request.config.getoption("--update-goldens"):
+        pytest.skip("goldens being rewritten")
+    picks = pick_case_apps(mid_store)
+    checker = PPChecker(lib_policy_source=mid_store.lib_policy)
+    set_vector_enabled(False)
+    clear_caches()
+    try:
+        report = checker.check(picks[label].bundle)
+        scalar = json.dumps(versioned(report.to_dict()),
+                            indent=2, sort_keys=True) + "\n"
+    finally:
+        set_vector_enabled(None)
+        clear_caches()
+    assert scalar == rendered[label]
+    path = os.path.join(GOLDEN_DIR, f"{label}.json")
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == scalar
 
 
 @pytest.mark.parametrize("label", CASES)

@@ -18,8 +18,15 @@ from hypothesis import strategies as st
 
 from repro.corpus.mutations import ALIAS_SWAPS
 from repro.description.permission_map import INFO_SURFACE
-from repro.memo import clear_caches, set_memo_enabled
+from repro.memo import (
+    clear_caches,
+    set_memo_enabled,
+    set_vector_enabled,
+)
 from repro.semantics.esa import default_model
+
+#: every (vector, memo) plane combination; all four must agree bitwise
+_PLANES = ((True, True), (True, False), (False, True), (False, False))
 
 _POOL = sorted(
     {surface for aliases in INFO_SURFACE.values() for surface in aliases}
@@ -41,6 +48,7 @@ _PHRASE_LISTS = st.lists(_PHRASES, min_size=0, max_size=6)
 def restore_memo_state():
     yield
     set_memo_enabled(None)
+    set_vector_enabled(None)
     clear_caches()
 
 
@@ -67,6 +75,20 @@ class TestMemoExactness:
             clear_caches()
             assert esa.similarity(a, b) == esa.similarity(b, a)
 
+    @given(_PHRASES, _PHRASES)
+    @settings(max_examples=150, deadline=None)
+    def test_all_planes_agree_bitwise(self, a, b):
+        """Vector x memo: the compiled plane and the scalar plane
+        compute the same float, memoized or not."""
+        esa = default_model()
+        values = set()
+        for vector, memoized in _PLANES:
+            set_vector_enabled(vector)
+            set_memo_enabled(memoized)
+            clear_caches()
+            values.add(esa.similarity(a, b))
+        assert len(values) == 1
+
 
 class TestBatchAgreement:
     @given(_PHRASES, _PHRASE_LISTS)
@@ -86,10 +108,12 @@ class TestBatchAgreement:
             for j, b in enumerate(texts_b)
             if esa.similarity(a, b) > esa.threshold
         ]
-        for enabled in (True, False):
-            set_memo_enabled(enabled)
+        for vector, memoized in _PLANES:
+            set_vector_enabled(vector)
+            set_memo_enabled(memoized)
             clear_caches()
-            assert esa.match_sets(texts_a, texts_b) == reference
+            assert esa.match_sets(texts_a, texts_b) == reference, \
+                (vector, memoized)
 
     @given(_PHRASE_LISTS, _PHRASE_LISTS)
     @settings(max_examples=100, deadline=None)
@@ -98,4 +122,28 @@ class TestBatchAgreement:
         reference = any(
             esa.same_thing(a, b) for a in texts_a for b in texts_b
         )
-        assert esa.any_match(texts_a, texts_b) == reference
+        for vector, memoized in _PLANES:
+            set_vector_enabled(vector)
+            set_memo_enabled(memoized)
+            clear_caches()
+            assert esa.any_match(texts_a, texts_b) == reference, \
+                (vector, memoized)
+
+    @given(st.lists(_PHRASE_LISTS, min_size=0, max_size=4),
+           _PHRASE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_group_hits_agrees_with_nested_loop(self, groups, texts_b):
+        esa = default_model()
+        reference = [
+            {
+                j for j, b in enumerate(texts_b)
+                if any(esa.same_thing(a, b) for a in group)
+            }
+            for group in groups
+        ]
+        for vector, memoized in _PLANES:
+            set_vector_enabled(vector)
+            set_memo_enabled(memoized)
+            clear_caches()
+            assert esa.group_hits(groups, texts_b) == reference, \
+                (vector, memoized)
