@@ -46,6 +46,8 @@ METRICS: list[tuple[str, str, bool]] = [
     ("BENCH_pipeline.json", "parallel_speedup", False),
     ("BENCH_service.json", "warm_speedup", True),
     ("BENCH_service.json", "warm.throughput_rps", False),
+    ("BENCH_cluster.json", "shard_speedup", True),
+    ("BENCH_cluster.json", "cluster.warm.throughput_rps", False),
     ("BENCH_scale.json", "at_10k.apps_per_sec", False),
     ("BENCH_scale.json", "at_100k.apps_per_sec", False),
 ]

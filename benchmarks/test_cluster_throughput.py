@@ -1,0 +1,219 @@
+"""Load generator for the sharded cluster (``serve --shards N``).
+
+Drives the same request sweep against two deployments built from
+identical per-process resources (worker threads, completed-job LRU,
+memory-tier artifact cache):
+
+- **single** -- one ``ppchecker serve`` process (in-process handle);
+- **cluster** -- a ``serve --shards N`` front with N shard
+  subprocesses, jobs routed by content hash.
+
+Each deployment is swept twice (cold, then warm).  The working set is
+deliberately larger than one process's cache budget: under LRU a
+cyclic sweep that overflows the cache evicts every entry before its
+re-use, so the single process keeps recomputing on the warm pass,
+while content-hash routing partitions the same working set into
+per-shard shares that fit each shard's budget and stay resident.
+The gated ``shard_speedup`` (cluster warm rps over single warm rps)
+therefore measures the cluster's *aggregate cache capacity* -- the
+horizontal-scaling property of the hash ring -- independent of the
+runner's core count; on multi-core machines process parallelism
+compounds it.  Every sizing knob lands in ``BENCH_cluster.json`` next
+to the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.android.packer import unpack
+from repro.android.serialization import bundle_to_dict
+from repro.service import ServiceClient, ServiceConfig, start_service
+from repro.service.cluster import ClusterConfig, start_cluster
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_cluster.json")
+
+N_APPS = 48
+CLIENT_THREADS = 8
+SHARDS = 4
+#: per-process budgets, identical for the single service and for
+#: every shard; the cluster's aggregate is SHARDS times bigger
+WORKERS_PER_SHARD = 1
+SINGLE_WORKERS = SHARDS * WORKERS_PER_SHARD
+COMPLETED_JOBS = 16
+CACHE_ENTRIES = 120
+#: the gated floor: warm cluster throughput over warm single-process
+#: throughput
+SPEEDUP_FLOOR = 2.5
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def drive(client: ServiceClient, docs: list[dict]) -> dict:
+    """Fan *docs* out over CLIENT_THREADS concurrent clients; wall
+    time, throughput, and per-request latency percentiles."""
+    pending = list(enumerate(docs))
+    lock = threading.Lock()
+    latencies: list[float] = []
+    reports: dict[int, dict] = {}
+    errors: list[Exception] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                index, doc = pending.pop()
+            started = time.perf_counter()
+            try:
+                report = client.check(doc)
+            except Exception as exc:  # pragma: no cover
+                with lock:
+                    errors.append(exc)
+                return
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                reports[index] = report
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(CLIENT_THREADS)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    assert not errors, errors[0]
+    assert len(reports) == len(docs)
+    return {
+        "seconds": wall,
+        "throughput_rps": len(docs) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1000,
+        "p95_ms": percentile(latencies, 0.95) * 1000,
+        "p99_ms": percentile(latencies, 0.99) * 1000,
+        "_reports": reports,
+    }
+
+
+def wait_cluster_up(client: ServiceClient, shards: int,
+                    deadline: float = 120.0) -> None:
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            if client.healthz()["shards_alive"] == shards:
+                return
+        except OSError:
+            pass
+        assert time.monotonic() < end, "cluster never became healthy"
+        time.sleep(0.2)
+
+
+def sweep_single(docs, store) -> tuple[dict, dict, dict]:
+    handle = start_service(ServiceConfig(
+        port=0, workers=SINGLE_WORKERS,
+        queue_size=max(64, N_APPS),
+        completed_jobs=COMPLETED_JOBS,
+        cache_entries=CACHE_ENTRIES,
+        lib_policy_source=store.lib_policy,
+    ))
+    try:
+        client = ServiceClient(port=handle.port, timeout=120.0)
+        cold = drive(client, docs)
+        warm = drive(client, docs)
+    finally:
+        handle.close(deadline=10.0)
+    reports = cold.pop("_reports")
+    assert warm.pop("_reports") == reports
+    return cold, warm, reports
+
+
+def sweep_cluster(docs) -> tuple[dict, dict, dict]:
+    handle = start_cluster(ClusterConfig(
+        port=0, shards=SHARDS, workers=WORKERS_PER_SHARD,
+        queue_size=max(64, N_APPS),
+        completed_jobs=COMPLETED_JOBS,
+        cache_entries=CACHE_ENTRIES,
+        drain_timeout=5.0,
+    ))
+    try:
+        client = ServiceClient(port=handle.port, timeout=120.0)
+        wait_cluster_up(client, shards=SHARDS)
+        cold = drive(client, docs)
+        warm = drive(client, docs)
+    finally:
+        handle.close()
+    reports = cold.pop("_reports")
+    assert warm.pop("_reports") == reports
+    return cold, warm, reports
+
+
+def test_cluster_throughput(benchmark, store):
+    docs = []
+    for app in store.apps[64:64 + N_APPS]:
+        if app.bundle.apk.packed:
+            unpack(app.bundle.apk)  # a wire bundle is never packed
+        docs.append(bundle_to_dict(app.bundle))
+
+    def run() -> dict:
+        single_cold, single_warm, single_reports = \
+            sweep_single(docs, store)
+        cluster_cold, cluster_warm, cluster_reports = \
+            sweep_cluster(docs)
+        # differential ride-along: the cluster answers byte-identical
+        # reports for the whole sweep
+        assert cluster_reports == single_reports
+        return {
+            "n_apps": len(docs),
+            "shards": SHARDS,
+            "client_threads": CLIENT_THREADS,
+            "per_process": {
+                "workers": WORKERS_PER_SHARD,
+                "single_workers": SINGLE_WORKERS,
+                "completed_jobs": COMPLETED_JOBS,
+                "cache_entries": CACHE_ENTRIES,
+            },
+            "single": {"cold": single_cold, "warm": single_warm},
+            "cluster": {"cold": cluster_cold, "warm": cluster_warm},
+            "shard_speedup": (
+                cluster_warm["throughput_rps"]
+                / single_warm["throughput_rps"]
+                if single_warm["throughput_rps"] else 0.0),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.core.schema import versioned
+
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
+
+    print(f"\nCluster throughput over {result['n_apps']} apps "
+          f"({result['client_threads']} clients, {SHARDS} shards, "
+          f"per-process LRU {COMPLETED_JOBS} jobs / "
+          f"{CACHE_ENTRIES} artifacts)")
+    for deployment in ("single", "cluster"):
+        for phase in ("cold", "warm"):
+            row = result[deployment][phase]
+            print(f"  {deployment:<8} {phase:<5} "
+                  f"{row['throughput_rps']:>8.1f} req/s  "
+                  f"p50 {row['p50_ms']:>7.1f} ms  "
+                  f"p95 {row['p95_ms']:>7.1f} ms")
+    print(f"  shard speedup (warm) {result['shard_speedup']:.1f}x")
+    print(f"  wrote {BENCH_PATH}")
+
+    # the working set overflows one process's budget but partitions
+    # into per-shard shares that fit: the warm cluster sweep must
+    # answer from its aggregate caches at >= SPEEDUP_FLOOR times the
+    # thrashing single process
+    assert result["shard_speedup"] >= SPEEDUP_FLOOR, (
+        f"warm cluster rps only "
+        f"{result['shard_speedup']:.2f}x the single process "
+        f"(floor {SPEEDUP_FLOOR}x)")

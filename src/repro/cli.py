@@ -21,12 +21,12 @@ Subcommands::
         replays the finished ones and checks only the rest.
 
     python -m repro.cli study [--apps N] [--seed S] [--json PATH]
-            [--workers N] [--cache-dir PATH]
+            [--workers N] [--cache-dir PATH] [--store json|sqlite]
             [--max-retries N] [--stage-timeout SECONDS]
             [--keep-going | --no-keep-going]
             [--journal PATH] [--resume]
-            [--limit N] [--streaming] [--out DIR] [--shards N]
-            [--window N]
+            [--limit N] [--streaming] [--out DIR] [--out-shards N]
+            [--shards N] [--window N]
         Run the full market study over the synthetic corpus and print
         the paper's tables.  --journal / --resume give the study
         crash-safe per-app checkpoints: a killed run restarted with
@@ -34,9 +34,13 @@ Subcommands::
         --streaming derives each app lazily and folds outcomes into
         constant-size aggregates (peak RSS bounded by --window, not
         by --apps); with --out DIR every per-app outcome also lands
-        in sharded NDJSON files for later merge-results.  --limit
-        checks only the first N apps of the corpus *without changing
-        it* (unlike --apps, which regenerates a different corpus).
+        in sharded NDJSON files for later merge-results.  --shards N
+        fans the checks out over N worker processes on the same
+        consistent-hash plane as serve --shards (tables are
+        byte-identical to the in-process run; pair with --cache-dir
+        --store sqlite to share one artifact cache).  --limit checks
+        only the first N apps of the corpus *without changing it*
+        (unlike --apps, which regenerates a different corpus).
 
     python -m repro.cli merge-results DIR [--json PATH]
         Reconstitute the study tables from a --streaming --out shard
@@ -118,7 +122,8 @@ def _build_checker(args: argparse.Namespace, lib_policy_source) -> PPChecker:
     return PPChecker(
         lib_policy_source=lib_policy_source,
         artifact_store=build_store(
-            cache_dir=getattr(args, "cache_dir", None)
+            cache_dir=getattr(args, "cache_dir", None),
+            backend=getattr(args, "store", "json"),
         ),
         retry_policy=RetryPolicy(
             max_retries=getattr(args, "max_retries", 0),
@@ -332,6 +337,20 @@ def _print_deviations(result, total: int) -> None:
         print("\nno deviations from the paper's summary numbers")
 
 
+def _shard_options(args: argparse.Namespace):
+    """Pipeline flags the ``--shards`` worker processes rebuild their
+    checkers from (the process-plane analogue of _build_checker)."""
+    from repro.core.study import ShardOptions
+
+    return ShardOptions(
+        cache_dir=args.cache_dir,
+        store_backend=args.store,
+        max_retries=args.max_retries,
+        stage_timeout=args.stage_timeout,
+        fault_plan=args.fault_plan,
+    )
+
+
 def _study_meta(args: argparse.Namespace) -> dict:
     meta = {"kind": "study", "seed": args.seed, "apps": args.apps}
     if args.limit is not None:
@@ -349,20 +368,32 @@ def cmd_study(args: argparse.Namespace) -> int:
         return 2
     if args.streaming:
         return _cmd_study_streaming(args)
-    from repro.core.study import run_study
-    from repro.corpus.appstore import generate_app_store
-
-    store = generate_app_store(seed=args.seed, n_apps=args.apps)
-    checker = _build_checker(args, store.lib_policy)
     runlog, skip = _open_run_log(args, _study_meta(args))
-    result = run_study(
-        store, checker=checker, limit=args.limit,
-        workers=args.workers,
-        keep_going=args.keep_going,
-        skip=skip or None,
-        on_outcome=runlog.record_outcome if runlog is not None
-        else None,
-    )
+    if args.shards > 0:
+        from repro.core.study import run_study_sharded
+
+        result = run_study_sharded(
+            seed=args.seed, n_apps=args.apps, shards=args.shards,
+            limit=args.limit, keep_going=args.keep_going,
+            skip=skip or None,
+            on_outcome=runlog.record_outcome if runlog is not None
+            else None,
+            options=_shard_options(args),
+        )
+    else:
+        from repro.core.study import run_study
+        from repro.corpus.appstore import generate_app_store
+
+        store = generate_app_store(seed=args.seed, n_apps=args.apps)
+        checker = _build_checker(args, store.lib_policy)
+        result = run_study(
+            store, checker=checker, limit=args.limit,
+            workers=args.workers,
+            keep_going=args.keep_going,
+            skip=skip or None,
+            on_outcome=runlog.record_outcome if runlog is not None
+            else None,
+        )
     total = result.n_apps
 
     _print_study_tables(result)
@@ -388,7 +419,9 @@ def _cmd_study_streaming(args: argparse.Namespace) -> int:
     from repro.corpus.appstore import CorpusSpec
 
     spec = CorpusSpec(seed=args.seed, n_apps=args.apps)
-    checker = _build_checker(args, spec.lib_policy)
+    # with --shards the worker processes build their own checkers
+    checker = (None if args.shards > 0
+               else _build_checker(args, spec.lib_policy))
     meta = _study_meta(args)
     runlog, skip = _open_run_log(args, meta)
     sinks = []
@@ -396,7 +429,7 @@ def _cmd_study_streaming(args: argparse.Namespace) -> int:
     if args.out is not None:
         try:
             writer = ShardedResultWriter(args.out, meta,
-                                         shards=args.shards)
+                                         shards=args.out_shards)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -410,6 +443,9 @@ def _cmd_study_streaming(args: argparse.Namespace) -> int:
             on_outcome=runlog.record_outcome if runlog is not None
             else None,
             sinks=sinks,
+            shards=args.shards,
+            shard_options=_shard_options(args) if args.shards > 0
+            else None,
         )
     except ResultShardError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -525,15 +561,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.runner import ServiceConfig
     from repro.service.server import serve
 
+    if args.shards > 0:
+        from repro.service.cluster import ClusterConfig, serve_cluster
+
+        return serve_cluster(ClusterConfig(
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            shards=args.shards,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            lib_policies=args.lib_policies,
+            fault_plan=args.fault_plan,
+            max_retries=args.max_retries,
+            stage_timeout=args.stage_timeout,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+            max_redeliveries=args.max_redeliveries,
+            completed_jobs=args.completed_jobs,
+            cache_entries=args.cache_entries,
+        ))
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = FaultPlan.from_json_file(args.fault_plan)
     return serve(ServiceConfig(
         host=args.host,
         port=args.port,
+        port_file=args.port_file,
         workers=args.workers,
         queue_size=args.queue_size,
         cache_dir=args.cache_dir,
+        store_backend=args.store,
+        completed_jobs=args.completed_jobs,
+        cache_entries=args.cache_entries,
         max_retries=args.max_retries,
         stage_timeout=args.stage_timeout,
         fault_plan=fault_plan,
@@ -667,9 +729,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --streaming: write every per-app "
                             "outcome to sharded NDJSON files in DIR "
                             "(see merge-results)")
-    study.add_argument("--shards", type=int, default=4,
-                       help="result shard count for --out "
+    study.add_argument("--out-shards", type=int, default=4,
+                       metavar="N",
+                       help="result file count for --out "
                             "(default: 4)")
+    study.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="fan the checks out over N worker "
+                            "*processes* on the same consistent-hash "
+                            "plane as serve --shards; the tables are "
+                            "byte-identical to a single-process run "
+                            "(default: 0 = in-process)")
+    study.add_argument("--store", default="json",
+                       choices=("json", "sqlite"),
+                       help="disk tier behind --cache-dir: one JSON "
+                            "file per artifact, or one sqlite "
+                            "database safe for concurrent --shards "
+                            "worker processes (default: json)")
     study.add_argument("--window", type=int, default=None,
                        metavar="N",
                        help="max in-flight apps for --streaming "
@@ -717,6 +792,25 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--port", type=int, default=8742,
                      help="listen port; 0 binds an ephemeral port "
                           "(default: 8742)")
+    srv.add_argument("--port-file", default=None, metavar="PATH",
+                     help="write the actually-bound port here "
+                          "(atomically, after the listener binds) -- "
+                          "with --port 0 this is how supervisors and "
+                          "tests find the service without a port race")
+    srv.add_argument("--store", default="json",
+                     choices=("json", "sqlite"),
+                     help="disk tier behind --cache-dir: one JSON "
+                          "file per artifact, or one sqlite database "
+                          "safe for concurrent worker processes "
+                          "(default: json)")
+    srv.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="run N pipeline worker *processes* behind "
+                          "a lightweight accept process that routes "
+                          "jobs by content hash; --workers becomes "
+                          "per-shard threads, --cache-dir becomes a "
+                          "shared sqlite artifact store, and a dead "
+                          "shard is respawned with its journal "
+                          "replayed (default: 0 = single process)")
     srv.add_argument("--workers", type=int, default=4,
                      help="check worker threads (default: 4)")
     srv.add_argument("--queue-size", type=int, default=64,
@@ -741,6 +835,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deliveries a journaled job may burn "
                           "before restart recovery dead-letters it "
                           "(default: 3)")
+    srv.add_argument("--completed-jobs", type=int, default=256,
+                     metavar="N",
+                     help="completed jobs kept resolvable by id and "
+                          "content hash, per process (default: 256)")
+    srv.add_argument("--cache-entries", type=int, default=8192,
+                     metavar="N",
+                     help="memory-tier artifact cache capacity per "
+                          "process, entries (default: 8192)")
     add_cache_dir(srv)
     add_resilience(srv)
     srv.set_defaults(func=cmd_serve)

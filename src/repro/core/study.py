@@ -554,6 +554,8 @@ def run_study_streaming(
     on_outcome: Callable[[str, AppReport | AppFailure],
                          None] | None = None,
     sinks: Iterable[ResultSink] = (),
+    shards: int = 0,
+    shard_options: "ShardOptions | None" = None,
 ) -> StudyAggregate:
     """The study as a bounded-memory stream over a lazy corpus.
 
@@ -571,8 +573,23 @@ def run_study_streaming(
     but never re-checked and never re-fired through ``on_outcome``),
     which is what makes a ``--resume`` d streaming run reproduce the
     uninterrupted run's shards byte-for-byte.
+
+    With ``shards > 0`` the per-app checks run on the consistent-hash
+    *process* worker plane instead of a thread pool (see
+    :class:`ShardPool`); *checker*/*workers* are ignored and
+    *shard_options* carries the pipeline flags each worker process
+    rebuilds its checker from.  Folding and sink emission still
+    happen in the parent, in index order, so the aggregates and the
+    NDJSON result shards stay byte-identical to the in-process run.
     """
     started = time.perf_counter()
+    if shards > 0:
+        return _run_study_streaming_sharded(
+            spec, started, limit=limit, shards=shards,
+            shard_options=shard_options,
+            window=window if window is not None else 32,
+            keep_going=keep_going, skip=skip,
+            on_outcome=on_outcome, sinks=sinks)
     if checker is None:
         checker = PPChecker(lib_policy_source=spec.lib_policy)
     total = len(spec) if limit is None else min(limit, len(spec))
@@ -633,6 +650,45 @@ def run_study_streaming(
     return aggregate
 
 
+def _run_study_streaming_sharded(
+    spec: CorpusSpec,
+    started: float,
+    limit: int | None,
+    shards: int,
+    shard_options: "ShardOptions | None",
+    window: int,
+    keep_going: bool,
+    skip: dict[str, AppReport | AppFailure] | None,
+    on_outcome: Callable[[str, AppReport | AppFailure], None] | None,
+    sinks: Iterable[ResultSink],
+) -> StudyAggregate:
+    """The streaming study's process worker plane: per-app checks run
+    on a :class:`ShardPool`; folding and sink emission stay in the
+    parent, in index order."""
+    total = len(spec) if limit is None else min(limit, len(spec))
+    skip = skip or {}
+    sinks = tuple(sinks)
+    aggregate = StudyAggregate()
+    with ShardPool(spec, shards=shards, total=total, skip=set(skip),
+                   options=shard_options, keep_going=keep_going,
+                   window=window) as pool:
+        fresh = pool.outcomes()
+        for index in range(total):
+            plan = spec.plan(index)
+            if plan.package in skip:
+                outcome = skip[plan.package]
+            else:
+                _, outcome = next(fresh)
+                if on_outcome is not None:
+                    on_outcome(plan.package, outcome)
+            aggregate.fold(plan, outcome)
+            for sink in sinks:
+                sink.emit(plan.index, plan.package, outcome)
+        aggregate.stats = pool.finish()
+    aggregate.telemetry = _telemetry(started, total)
+    return aggregate
+
+
 def merge_study_results(out_dir: str) -> StudyAggregate:
     """Reconstitute the study tables from a finalized shard
     directory (see :mod:`repro.core.results`).
@@ -661,15 +717,253 @@ def merge_study_results(out_dir: str) -> StudyAggregate:
     return aggregate
 
 
-def _check_slice(args: tuple[int, int, int, int]) -> list[tuple[str, AppReport]]:
-    """Worker: derive only this slice of the lazy corpus and check it."""
-    seed, n_apps, start, stop = args
+# ---------------------------------------------------------------------------
+# sharded execution (the process worker plane)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardOptions:
+    """Pipeline construction parameters the study's worker processes
+    need on their side of the spawn boundary.
+
+    The parent never ships a checker across -- each worker rebuilds
+    its own from these primitives, which is also what keeps the
+    sharded study byte-identical to the single-process one: the same
+    flags produce the same pipeline.
+    """
+
+    #: artifact cache directory shared by every shard (``None``
+    #: disables the disk tier)
+    cache_dir: str | None = None
+    #: ``"json"`` (one file per artifact) or ``"sqlite"`` (the
+    #: cross-process :class:`repro.pipeline.artifacts.SharedDiskStore`)
+    store_backend: str = "json"
+    max_retries: int = 0
+    stage_timeout: float | None = None
+    #: path to a JSON fault plan (see :mod:`repro.pipeline.faults`)
+    fault_plan: str | None = None
+
+
+def _shard_worker_main(shard: int, shards: int, seed: int, n_apps: int,
+                       total: int, skip: frozenset,
+                       options: ShardOptions, keep_going: bool,
+                       out_queue) -> None:
+    """Worker process: check every corpus index whose package the hash
+    ring assigns to shard *shard*, in ascending index order, streaming
+    ``("outcome", index, outcome)`` records back.  Always ends with a
+    ``("stats", snapshot)`` record so the parent can merge pipeline
+    counters."""
+    from repro.pipeline.artifacts import build_store
+    from repro.pipeline.faults import FaultPlan
+    from repro.pipeline.resilience import RetryPolicy
+    from repro.service.hashring import ring_for, shard_name
+
     spec = CorpusSpec(seed=seed, n_apps=n_apps)
-    checker = PPChecker(lib_policy_source=spec.lib_policy)
-    return [
-        (app.package, checker.check(app.bundle))
-        for app in spec.iter_apps(start, stop)
-    ]
+    ring = ring_for(shards)
+    mine = shard_name(shard)
+    fault_plan = (FaultPlan.from_json_file(options.fault_plan)
+                  if options.fault_plan is not None else None)
+    checker = PPChecker(
+        lib_policy_source=spec.lib_policy,
+        artifact_store=build_store(cache_dir=options.cache_dir,
+                                   backend=options.store_backend),
+        retry_policy=RetryPolicy(max_retries=options.max_retries,
+                                 stage_timeout=options.stage_timeout),
+        fault_plan=fault_plan,
+    )
+    try:
+        for index in range(total):
+            if ring.place(spec.package_for(index)) != mine:
+                continue
+            plan = spec.plan(index)
+            if plan.package in skip:
+                continue
+            try:
+                outcome = checker.check(spec.app(index).bundle)
+            except Exception as exc:
+                if not keep_going:
+                    try:
+                        out_queue.put(("fatal", index, exc))
+                    except Exception:
+                        out_queue.put(("fatal", index, RuntimeError(
+                            f"{type(exc).__name__}: {exc}")))
+                    return
+                outcome = AppFailure.from_exception(plan.package, exc)
+            out_queue.put(("outcome", index, outcome))
+    finally:
+        out_queue.put(("stats", checker.stats.snapshot()))
+
+
+class ShardPool:
+    """The study's process worker plane -- the same consistent-hash
+    assignment as ``serve --shards N``, driven directly.
+
+    *shards* spawn processes each own the corpus indices whose
+    package name the service hash ring
+    (:func:`repro.service.hashring.ring_for`) places on their shard
+    name.  The parent drains outcomes in **global index order**:
+    every index belongs to exactly one shard and each shard emits its
+    indices ascending, so the head of the owner's queue is always the
+    next outcome.  Per-shard queues are bounded by *window*, so a
+    fast shard blocks instead of buffering unboundedly -- peak parent
+    memory is ``shards * window`` outcomes, never the corpus.
+    """
+
+    def __init__(self, spec: CorpusSpec, shards: int, total: int,
+                 skip: frozenset | set = frozenset(),
+                 options: ShardOptions | None = None,
+                 keep_going: bool = True, window: int = 32):
+        import multiprocessing
+
+        from repro.service.hashring import ring_for, shard_name
+
+        self.spec = spec
+        self.shards = max(1, min(shards, max(total, 1)))
+        self.total = total
+        self.skip = frozenset(skip)
+        self.ring = ring_for(self.shards)
+        self._owner_index = {shard_name(i): i
+                             for i in range(self.shards)}
+        options = options or ShardOptions()
+        ctx = multiprocessing.get_context("spawn")
+        self.queues = [ctx.Queue(maxsize=max(1, window))
+                       for _ in range(self.shards)]
+        self.processes = [
+            ctx.Process(
+                target=_shard_worker_main,
+                args=(index, self.shards, spec.seed, spec.n_apps,
+                      total, self.skip, options, keep_going,
+                      self.queues[index]),
+                daemon=True,
+            )
+            for index in range(self.shards)
+        ]
+
+    def __enter__(self) -> "ShardPool":
+        for process in self.processes:
+            process.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _next(self, shard: int):
+        """The next record from *shard*, raising instead of hanging
+        forever if its process died mid-run (e.g. SIGKILL)."""
+        import queue as queue_module
+
+        while True:
+            try:
+                return self.queues[shard].get(timeout=1.0)
+            except queue_module.Empty:
+                process = self.processes[shard]
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"study shard {shard} died (exit code "
+                        f"{process.exitcode}) before finishing its "
+                        f"indices; rerun with --journal/--resume to "
+                        f"replay the finished apps") from None
+
+    def outcomes(self) -> "Iterable[tuple[int, AppReport | AppFailure]]":
+        """Yield ``(index, outcome)`` for every fresh (non-skipped)
+        index, in ascending index order."""
+        for index in range(self.total):
+            package = self.spec.package_for(index)
+            if package in self.skip:
+                continue
+            shard = self._owner_index[self.ring.place(package)]
+            record = self._next(shard)
+            kind = record[0]
+            if kind == "fatal":
+                error = record[2]
+                if isinstance(error, BaseException):
+                    raise error
+                raise RuntimeError(str(error))
+            if kind != "outcome" or record[1] != index:
+                raise RuntimeError(
+                    f"study shard {shard} broke protocol: expected "
+                    f"outcome {index}, got {kind!r} "
+                    f"{record[1] if len(record) > 1 else None!r}")
+            yield index, record[2]
+
+    def finish(self) -> PipelineStats:
+        """Collect each shard's trailing stats record and merge the
+        per-stage counters; call after :meth:`outcomes` is drained."""
+        merged = PipelineStats()
+        for shard in range(self.shards):
+            record = self._next(shard)
+            if record[0] != "stats":
+                raise RuntimeError(
+                    f"study shard {shard} broke protocol: expected "
+                    f"stats, got {record[0]!r}")
+            for name, row in record[1].items():
+                stage = merged.stage(name)
+                stage.executions += row["executions"]
+                stage.cache_hits += row["cache_hits"]
+                stage.failures += row["failures"]
+                stage.seconds += row["seconds"]
+        return merged
+
+    def close(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout=10.0)
+        for queue in self.queues:
+            queue.close()
+            queue.cancel_join_thread()
+
+
+def run_study_sharded(
+    seed: int = 2016,
+    n_apps: int = 1197,
+    shards: int = 2,
+    limit: int | None = None,
+    keep_going: bool = True,
+    skip: dict[str, AppReport | AppFailure] | None = None,
+    on_outcome: Callable[[str, AppReport | AppFailure],
+                         None] | None = None,
+    options: ShardOptions | None = None,
+    window: int = 32,
+) -> StudyResult:
+    """The study over the consistent-hash worker plane: *shards*
+    processes, each checking the corpus indices the service hash ring
+    assigns to it, drained in index order.
+
+    The aggregated result is byte-identical to :func:`run_study` for
+    any shard count -- assignment only decides *where* an app is
+    checked, never what its report says.  ``skip``/``on_outcome``
+    mirror :func:`run_study` (journal replay / checkpoint hooks); the
+    hooks fire in the parent, in index order, so a journaled sharded
+    run resumes exactly like a single-process one.
+    """
+    started = time.perf_counter()
+    spec = CorpusSpec(seed=seed, n_apps=n_apps)
+    total = len(spec) if limit is None else min(limit, len(spec))
+    skip = skip or {}
+    result = StudyResult(n_apps=total)
+    with ShardPool(spec, shards=shards, total=total, skip=set(skip),
+                   options=options, keep_going=keep_going,
+                   window=window) as pool:
+        fresh = pool.outcomes()
+        for index in range(total):
+            plan = spec.plan(index)
+            if plan.package in skip:
+                outcome = skip[plan.package]
+            else:
+                _, outcome = next(fresh)
+                if on_outcome is not None:
+                    on_outcome(plan.package, outcome)
+            result.plans[plan.package] = plan
+            if isinstance(outcome, AppFailure):
+                result.failures[plan.package] = outcome
+            else:
+                result.reports[plan.package] = outcome
+        result.stats = pool.finish()
+    result.telemetry = _telemetry(started, total)
+    return result
 
 
 def run_study_parallel(
@@ -677,34 +971,18 @@ def run_study_parallel(
     n_apps: int = 1197,
     jobs: int = 2,
 ) -> StudyResult:
-    """The study fanned out over worker processes.
+    """The study fanned out over worker processes -- the same
+    hash-ring worker plane as ``study --shards N``.
 
-    Each worker derives just its own slice from the lazy
+    Each worker derives only its own apps from the lazy
     :class:`CorpusSpec` (per-index RNG derivation -- no worker ever
     builds the full store), so no APKs cross process boundaries --
     only the reports come back.
     """
-    import multiprocessing
-
-    spec = CorpusSpec(seed=seed, n_apps=n_apps)
-    total = len(spec)
-    jobs = max(1, min(jobs, total))
-    chunk = (total + jobs - 1) // jobs
-    slices = [
-        (seed, n_apps, start, min(start + chunk, total))
-        for start in range(0, total, chunk)
-    ]
-    result = StudyResult(n_apps=total)
-    with multiprocessing.get_context("spawn").Pool(jobs) as pool:
-        for pairs in pool.map(_check_slice, slices):
-            for package, report in pairs:
-                result.reports[package] = report
-    for plan in spec.iter_plans():
-        result.plans[plan.package] = plan
-    return result
+    return run_study_sharded(seed=seed, n_apps=n_apps, shards=jobs)
 
 
 __all__ = ["RowMetrics", "StudyResult", "StudyAggregate",
-           "ResultSink", "PAPER_RESULTS", "run_study",
-           "run_study_streaming", "merge_study_results",
-           "run_study_parallel"]
+           "ResultSink", "ShardOptions", "ShardPool", "PAPER_RESULTS",
+           "run_study", "run_study_streaming", "run_study_sharded",
+           "merge_study_results", "run_study_parallel"]

@@ -2,7 +2,7 @@
 
 - :mod:`repro.pipeline.stages`     stage names, cache-key recipes, codecs
 - :mod:`repro.pipeline.artifacts`  artifact stores (memory LRU, disk
-  JSON, tiered) and the per-stage counters
+  JSON, shared sqlite, tiered) and the per-stage counters
 - :mod:`repro.pipeline.executor`   deterministic batch fan-out
 - :mod:`repro.pipeline.resilience` per-stage timeouts, bounded retries
   with deterministic backoff, :class:`StageError`
@@ -26,6 +26,7 @@ from repro.pipeline.artifacts import (
     DiskStore,
     MemoryStore,
     PipelineStats,
+    SharedDiskStore,
     StageStats,
     TieredStore,
     build_store,
@@ -51,6 +52,7 @@ __all__ = [
     "ArtifactStore",
     "MemoryStore",
     "DiskStore",
+    "SharedDiskStore",
     "TieredStore",
     "build_store",
     "StageStats",

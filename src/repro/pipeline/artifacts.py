@@ -7,13 +7,18 @@ inferred permission set, ...), addressed by ``(stage name, content
 digest of the stage inputs)``.  Stores answer "have we computed this
 before?":
 
-- :class:`MemoryStore` -- a bounded, thread-safe LRU holding live
+- :class:`MemoryStore`     -- a bounded, thread-safe LRU holding live
   artifact objects; the default.
-- :class:`DiskStore`   -- one JSON document per artifact under a cache
-  directory, using the stage codecs from :mod:`repro.pipeline.stages`;
-  survives across processes and runs.
-- :class:`TieredStore` -- memory in front of disk, backfilling the
-  memory layer on a disk hit.
+- :class:`DiskStore`       -- one JSON document per artifact under a
+  cache directory, using the stage codecs from
+  :mod:`repro.pipeline.stages`; survives across processes and runs.
+- :class:`SharedDiskStore` -- one sqlite database shared by many
+  *concurrent* processes (the ``--shards N`` worker plane): writes
+  take a single-writer lease per key, readers always see either the
+  old or the new complete document, and a cache hit in one worker is
+  a hit in all.
+- :class:`TieredStore`     -- memory in front of a disk tier,
+  backfilling the memory layer on a disk hit.
 
 :class:`PipelineStats` aggregates per-stage wall time, execution and
 cache-hit counts; it is what ``StudyResult.stats`` and the CLI
@@ -24,9 +29,13 @@ from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
 import threading
+import time
+import uuid
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
@@ -157,10 +166,236 @@ class DiskStore:
             raise
 
 
-class TieredStore:
-    """Memory in front of disk; disk hits backfill the memory layer."""
+class SharedDiskStore:
+    """One sqlite database shared by many concurrent processes.
 
-    def __init__(self, memory: MemoryStore, disk: DiskStore) -> None:
+    The sharded worker plane (``serve --shards N`` / ``study --shards
+    N``) points every worker at the same database so a cache hit in
+    one process is a hit in all.  The concurrency contract:
+
+    - **readers never tear**: an artifact row is replaced in a single
+      transaction, so a reader racing a writer sees either the old or
+      the new complete document, never a splice of both;
+    - **single-writer leases**: :meth:`acquire_lease` hands exclusive
+      compute rights for one ``(stage, digest)`` to one owner until it
+      releases or the lease expires -- workers racing on the same key
+      can elect one to run the stage while the rest wait for the row;
+    - **writes are advisory**: :meth:`put` under a live foreign lease,
+      or against a momentarily locked database, quietly drops the
+      write.  A lost cache write is a future miss, never an error.
+
+    Failure tolerance matches :class:`DiskStore`: a missing, corrupt,
+    or wrong-schema row decodes to :data:`MISS` and is recomputed.
+    """
+
+    #: seconds before an unreleased lease is considered abandoned
+    #: (a SIGKILL'd worker must not wedge its keys forever)
+    LEASE_TTL = 60.0
+
+    def __init__(
+        self,
+        cache_dir: str,
+        codecs: dict[str, tuple[Callable[[Any], Any],
+                                Callable[[Any], Any]]] | None = None,
+        lease_ttl: float = LEASE_TTL,
+        busy_timeout: float = 5.0,
+    ) -> None:
+        if codecs is None:
+            from repro.pipeline.stages import STAGE_CODECS
+            codecs = STAGE_CODECS
+        self.codecs = codecs
+        self.lease_ttl = lease_ttl
+        self.busy_timeout = busy_timeout
+        os.makedirs(cache_dir, exist_ok=True)
+        self.path = os.path.join(cache_dir, "artifacts.sqlite")
+        #: lease identity: unique per store instance so two stores in
+        #: one process (or a respawned worker) never collide
+        self.owner = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        self._local = threading.local()
+        with self._begin() as conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS artifacts ("
+                " stage TEXT NOT NULL, digest TEXT NOT NULL,"
+                " doc TEXT NOT NULL,"
+                " PRIMARY KEY (stage, digest))")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS leases ("
+                " stage TEXT NOT NULL, digest TEXT NOT NULL,"
+                " owner TEXT NOT NULL, expires REAL NOT NULL,"
+                " PRIMARY KEY (stage, digest))")
+
+    # -- connection management --------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        """A per-thread connection, re-opened after fork (sqlite
+        handles must never cross a fork boundary)."""
+        cached = getattr(self._local, "conn", None)
+        if cached is not None and self._local.pid == os.getpid():
+            return cached
+        conn = sqlite3.connect(self.path,
+                               timeout=self.busy_timeout,
+                               isolation_level=None)
+        conn.execute(f"PRAGMA busy_timeout = "
+                     f"{int(self.busy_timeout * 1000)}")
+        try:
+            # WAL lets readers proceed under a writer; sqlite falls
+            # back (e.g. some network filesystems) without breaking
+            # the atomic-replacement contract
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+        except sqlite3.Error:
+            pass
+        self._local.conn = conn
+        self._local.pid = os.getpid()
+        return conn
+
+    @contextmanager
+    def _begin(self) -> Any:
+        """``with store._begin() as conn``: an IMMEDIATE (write-locked)
+        transaction with commit/rollback handling."""
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise
+        else:
+            conn.execute("COMMIT")
+
+    # -- ArtifactStore protocol -------------------------------------------
+
+    def get(self, stage: str, digest: str) -> Any:
+        try:
+            row = self._conn().execute(
+                "SELECT doc FROM artifacts WHERE stage = ? "
+                "AND digest = ?", (stage, digest)).fetchone()
+        except sqlite3.Error:
+            return MISS
+        if row is None:
+            return MISS
+        try:
+            doc = json.loads(row[0])
+        except ValueError:
+            return MISS
+        codec = self.codecs.get(stage)
+        if codec is None:
+            return doc
+        try:
+            return codec[1](doc)
+        except Exception:
+            # wrong-schema rows (an older writer, a corrupted page
+            # that still parsed) are misses, never crashes
+            return MISS
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        codec = self.codecs.get(stage)
+        doc = artifact if codec is None else codec[0](artifact)
+        payload = json.dumps(doc, sort_keys=True,
+                             separators=(",", ":"))
+        try:
+            with self._begin() as conn:
+                if self._foreign_lease(conn, stage, digest):
+                    return
+                conn.execute(
+                    "INSERT OR REPLACE INTO artifacts "
+                    "(stage, digest, doc) VALUES (?, ?, ?)",
+                    (stage, digest, payload))
+                conn.execute(
+                    "DELETE FROM leases WHERE stage = ? AND "
+                    "digest = ? AND owner = ?",
+                    (stage, digest, self.owner))
+        except sqlite3.Error:
+            # a contended or momentarily unavailable database drops
+            # the write -- the artifact is recomputed on the next miss
+            return
+
+    # -- leases ------------------------------------------------------------
+
+    def _foreign_lease(self, conn: sqlite3.Connection, stage: str,
+                       digest: str) -> bool:
+        row = conn.execute(
+            "SELECT owner, expires FROM leases WHERE stage = ? "
+            "AND digest = ?", (stage, digest)).fetchone()
+        return (row is not None and row[0] != self.owner
+                and row[1] > time.time())
+
+    def acquire_lease(self, stage: str, digest: str) -> bool:
+        """Try to become the single writer for ``(stage, digest)``.
+
+        True when this store now holds the lease (fresh, re-entrant,
+        or stolen from an expired owner); False while another live
+        owner holds it."""
+        now = time.time()
+        try:
+            with self._begin() as conn:
+                row = conn.execute(
+                    "SELECT owner, expires FROM leases WHERE "
+                    "stage = ? AND digest = ?",
+                    (stage, digest)).fetchone()
+                if (row is not None and row[0] != self.owner
+                        and row[1] > now):
+                    return False
+                conn.execute(
+                    "INSERT OR REPLACE INTO leases "
+                    "(stage, digest, owner, expires) "
+                    "VALUES (?, ?, ?, ?)",
+                    (stage, digest, self.owner,
+                     now + self.lease_ttl))
+                return True
+        except sqlite3.Error:
+            return False
+
+    def release_lease(self, stage: str, digest: str) -> None:
+        """Give up a held lease (no-op for leases held by others)."""
+        try:
+            with self._begin() as conn:
+                conn.execute(
+                    "DELETE FROM leases WHERE stage = ? AND "
+                    "digest = ? AND owner = ?",
+                    (stage, digest, self.owner))
+        except sqlite3.Error:
+            pass
+
+    def lease_holder(self, stage: str, digest: str) -> str | None:
+        """The live lease owner id, or None (expired counts as none)."""
+        try:
+            row = self._conn().execute(
+                "SELECT owner, expires FROM leases WHERE stage = ? "
+                "AND digest = ?", (stage, digest)).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None or row[1] <= time.time():
+            return None
+        return row[0]
+
+    def __len__(self) -> int:
+        try:
+            row = self._conn().execute(
+                "SELECT COUNT(*) FROM artifacts").fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(row[0])
+
+    def close(self) -> None:
+        cached = getattr(self._local, "conn", None)
+        if cached is not None:
+            try:
+                cached.close()
+            except sqlite3.Error:
+                pass
+            self._local.conn = None
+
+
+class TieredStore:
+    """Memory in front of a disk tier (:class:`DiskStore` or
+    :class:`SharedDiskStore`); disk hits backfill the memory layer."""
+
+    def __init__(self, memory: MemoryStore,
+                 disk: "DiskStore | SharedDiskStore") -> None:
         self.memory = memory
         self.disk = disk
 
@@ -179,13 +414,28 @@ class TieredStore:
 
 
 def build_store(cache_dir: str | None = None,
-                max_entries: int = 8192) -> ArtifactStore:
-    """The default store layout: in-memory LRU, plus disk when a
-    cache directory is given."""
+                max_entries: int = 8192,
+                backend: str = "json") -> ArtifactStore:
+    """The default store layout: in-memory LRU, plus a disk tier when
+    a cache directory is given.
+
+    ``backend`` selects the disk tier: ``"json"`` (one file per
+    artifact, single-process writers) or ``"sqlite"`` (one shared
+    database safe for many concurrent worker processes -- what the
+    ``--shards N`` planes use).
+    """
     memory = MemoryStore(max_entries=max_entries)
     if cache_dir is None:
         return memory
-    return TieredStore(memory, DiskStore(cache_dir))
+    if backend == "json":
+        disk: DiskStore | SharedDiskStore = DiskStore(cache_dir)
+    elif backend == "sqlite":
+        disk = SharedDiskStore(cache_dir)
+    else:
+        raise ValueError(
+            f"unknown artifact store backend {backend!r} "
+            "(expected 'json' or 'sqlite')")
+    return TieredStore(memory, disk)
 
 
 # -- counters ------------------------------------------------------------
@@ -287,6 +537,7 @@ __all__ = [
     "ArtifactStore",
     "MemoryStore",
     "DiskStore",
+    "SharedDiskStore",
     "TieredStore",
     "build_store",
     "StageStats",

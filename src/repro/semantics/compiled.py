@@ -231,8 +231,12 @@ class CompiledKB:
 
         try:
             articles_fp = sections[0].decode("utf-8")
-            concepts = tuple(sections[1].decode("utf-8").split("\x00"))
-            terms = tuple(sections[2].decode("utf-8").split("\x00"))
+            # "".split("\x00") is ('',) — an empty section means an
+            # empty table, not one empty name (tokens are never "")
+            concepts = tuple(sections[1].decode("utf-8").split("\x00")) \
+                if sections[1] else ()
+            terms = tuple(sections[2].decode("utf-8").split("\x00")) \
+                if sections[2] else ()
         except UnicodeDecodeError as exc:
             raise CompiledKBError(f"undecodable string table: {exc}") \
                 from exc

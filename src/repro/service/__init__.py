@@ -27,9 +27,11 @@ from repro.service.client import (
 from repro.service.jobs import Job, JobQueue, QueueFull, ServiceDraining
 from repro.service.metrics import MetricsRegistry, ServiceMetrics
 from repro.service.runner import PipelineRunner, ServiceConfig
+from repro.service.hashring import HashRing, ring_for, shard_name
 from repro.service.server import (
     CheckService,
     ServiceHandle,
+    read_port_file,
     serve,
     start_service,
 )
@@ -37,6 +39,7 @@ from repro.service.server import (
 __all__ = [
     "CheckQuarantined",
     "CheckService",
+    "HashRing",
     "Job",
     "JobGone",
     "JobQueue",
@@ -51,6 +54,9 @@ __all__ = [
     "ServiceHandle",
     "ServiceMetrics",
     "ServiceUnavailable",
+    "read_port_file",
+    "ring_for",
     "serve",
+    "shard_name",
     "start_service",
 ]

@@ -41,9 +41,23 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 8742
+    #: path that receives the actually-bound port (one ASCII integer,
+    #: written atomically after the listener binds).  With ``port=0``
+    #: this is how supervisors and tests learn the OS-assigned port
+    #: without a probe-then-bind race.
+    port_file: str | None = None
     workers: int = 4
     queue_size: int = 64
     cache_dir: str | None = None
+    #: disk tier behind ``cache_dir``: ``"json"`` (one file per
+    #: artifact) or ``"sqlite"`` (the cross-process
+    #: :class:`~repro.pipeline.artifacts.SharedDiskStore` the
+    #: ``--shards N`` worker plane points every shard at)
+    store_backend: str = "json"
+    #: memory-tier artifact cache capacity (entries).  Per process:
+    #: a ``--shards N`` cluster holds N times this many in aggregate,
+    #: with content-hash routing keeping each shard's share resident.
+    cache_entries: int = 8192
     max_retries: int = 0
     stage_timeout: float | None = None
     fault_plan: FaultPlan | None = None
@@ -77,7 +91,11 @@ class PipelineRunner:
         if config.lib_policy_source is not None:
             kwargs["lib_policy_source"] = config.lib_policy_source
         self.checker = PPChecker(
-            artifact_store=build_store(cache_dir=config.cache_dir),
+            artifact_store=build_store(
+                cache_dir=config.cache_dir,
+                max_entries=config.cache_entries,
+                backend=config.store_backend,
+            ),
             retry_policy=RetryPolicy(
                 max_retries=config.max_retries,
                 stage_timeout=config.stage_timeout,

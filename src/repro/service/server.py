@@ -24,9 +24,12 @@ stdlib (:mod:`http.server`), no new dependencies.
 from __future__ import annotations
 
 import json
+import os
 import re
 import signal
+import tempfile
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -534,11 +537,49 @@ class ServiceHandle:
         return drained
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically: readers polling the path
+    see nothing or the complete number, never a partial write."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def read_port_file(path: str, timeout: float = 30.0) -> int:
+    """Poll *path* until a serving process publishes its bound port
+    (the reader half of ``--port-file``; supervisors and tests use
+    this instead of the racy probe-a-port-then-release dance)."""
+    end = time.monotonic() + timeout
+    while True:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() > end:
+            raise TimeoutError(f"no port published at {path}")
+        time.sleep(0.05)
+
+
 def start_service(config: ServiceConfig) -> ServiceHandle:
     """Start the service and its HTTP listener on a daemon thread.
-    ``config.port=0`` binds an ephemeral port (see ``handle.port``)."""
+    ``config.port=0`` binds an ephemeral port (see ``handle.port``,
+    or set ``config.port_file`` to have it published to disk)."""
     service = CheckService(config)
     httpd = _ServiceHTTPServer((config.host, config.port), service)
+    if config.port_file is not None:
+        _write_port_file(config.port_file,
+                         httpd.server_address[1])
     thread = threading.Thread(
         target=httpd.serve_forever, kwargs={"poll_interval": 0.05},
         daemon=True, name="ppchecker-http",
@@ -582,6 +623,7 @@ __all__ = [
     "CheckService",
     "InvalidBundle",
     "ServiceHandle",
+    "read_port_file",
     "start_service",
     "serve",
 ]

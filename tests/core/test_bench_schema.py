@@ -21,7 +21,8 @@ from repro.core.schema import (
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 BENCH_FILES = ("BENCH_nlp.json", "BENCH_pipeline.json",
-               "BENCH_service.json", "BENCH_scale.json")
+               "BENCH_service.json", "BENCH_scale.json",
+               "BENCH_cluster.json")
 
 
 def bench_paths():

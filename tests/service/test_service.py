@@ -403,19 +403,18 @@ class TestCompletedJobEviction:
 
 
 class TestServeEntrypoint:
-    def test_serve_drains_on_sigterm(self):
+    def test_serve_drains_on_sigterm(self, tmp_path):
         """`ppchecker serve` in a child process: poll /healthz,
         submit one bundle, SIGTERM, expect a clean drain + exit 0."""
         import os
         import signal
-        import socket
         import subprocess
         import sys
         import time
 
-        with socket.socket() as probe:
-            probe.bind(("127.0.0.1", 0))
-            port = probe.getsockname()[1]
+        from repro.service import read_port_file
+
+        port_file = str(tmp_path / "serve.port")
         root = os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))))
         env = dict(os.environ)
@@ -424,13 +423,15 @@ class TestServeEntrypoint:
             if env.get("PYTHONPATH") else "")
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve",
-             "--port", str(port), "--workers", "1",
+             "--port", "0", "--port-file", port_file,
+             "--workers", "1",
              "--drain-timeout", "5"],
             env=env, stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT, text=True,
         )
         try:
-            client = ServiceClient(port=port, timeout=5.0)
+            client = ServiceClient(port=read_port_file(port_file),
+                                   timeout=5.0)
             deadline = time.monotonic() + 60
             while True:
                 try:

@@ -12,7 +12,6 @@ from __future__ import annotations
 import json
 import os
 import signal
-import socket
 import subprocess
 import sys
 import time
@@ -306,10 +305,13 @@ class TestServeSubprocessCrashRecovery:
                     raise TimeoutError("service never came up")
                 time.sleep(0.2)
 
-    def spawn(self, port, state_dir, fault_plan, env):
+    def spawn(self, port_file, state_dir, fault_plan, env):
+        # OS-assigned port published through --port-file: no
+        # probe-then-rebind race with parallel CI lanes
         return subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve",
-             "--port", str(port), "--workers", "1",
+             "--port", "0", "--port-file", port_file,
+             "--workers", "1",
              "--state-dir", state_dir, "--max-redeliveries", "1",
              "--drain-timeout", "5",
              "--fault-plan", fault_plan],
@@ -318,9 +320,9 @@ class TestServeSubprocessCrashRecovery:
 
     def test_crash_fault_restart_deadletters_the_pill(self,
                                                       tmp_path):
-        with socket.socket() as probe:
-            probe.bind(("127.0.0.1", 0))
-            port = probe.getsockname()[1]
+        from repro.service import read_port_file
+
+        port_file = str(tmp_path / "serve.port")
         root = os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))))
         env = dict(os.environ)
@@ -340,9 +342,10 @@ class TestServeSubprocessCrashRecovery:
              "kind": "crash"},
         ]}))
 
-        process = self.spawn(port, state_dir, str(plan), env)
+        process = self.spawn(port_file, state_dir, str(plan), env)
         try:
-            client = ServiceClient(port=port, timeout=5.0)
+            client = ServiceClient(port=read_port_file(port_file),
+                                   timeout=5.0)
             self.wait_healthy(client)
             stub = client.submit(make_doc(
                 package="com.example.poison"))
@@ -355,9 +358,11 @@ class TestServeSubprocessCrashRecovery:
 
         # restart with the SAME fault plan armed: recovery must
         # dead-letter the pill instead of crash-looping
-        process = self.spawn(port, state_dir, str(plan), env)
+        os.unlink(port_file)  # the restart publishes a fresh port
+        process = self.spawn(port_file, state_dir, str(plan), env)
         try:
-            client = ServiceClient(port=port, timeout=5.0)
+            client = ServiceClient(port=read_port_file(port_file),
+                                   timeout=5.0)
             health = self.wait_healthy(client)
             assert health["deadletters"] == 1
             payload = client.deadletter()
