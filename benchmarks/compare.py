@@ -48,6 +48,9 @@ METRICS: list[tuple[str, str, bool]] = [
     ("BENCH_service.json", "warm.throughput_rps", False),
     ("BENCH_cluster.json", "shard_speedup", True),
     ("BENCH_cluster.json", "cluster.warm.throughput_rps", False),
+    ("BENCH_resilience.json", "brownout_goodput_ratio", True),
+    ("BENCH_resilience.json", "healthy.goodput_rps", False),
+    ("BENCH_resilience.json", "browned.goodput_rps", False),
     ("BENCH_scale.json", "at_10k.apps_per_sec", False),
     ("BENCH_scale.json", "at_100k.apps_per_sec", False),
 ]

@@ -1,0 +1,244 @@
+"""Brownout goodput benchmark for the resilient cluster front.
+
+Drives the same request sweep against two fresh 3-shard clusters:
+
+- **healthy** -- no faults anywhere;
+- **browned** -- shard-0 runs a fault plan that slows every
+  ``policy_analysis`` stage by ``SLOW_S`` seconds (correct answers,
+  late -- the brownout shape).
+
+The front's resilience stack (hedged ``/v1/check`` requests plus the
+per-shard latency circuit breaker) must keep *goodput* -- successful
+checks per second with byte-identical reports -- from collapsing:
+the gated ``brownout_goodput_ratio`` (browned rps over healthy rps)
+must stay at or above ``GOODPUT_FLOOR``.  Without the stack, every
+shard-0-owned request eats the full brownout delay; with it, a slow
+primary is raced against a healthy peer after the hedge delay and
+the breaker eventually diverts shard-0's traffic outright.  Every
+sizing knob and the front's hedge/breaker counters land in
+``BENCH_resilience.json`` next to the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.android.packer import unpack
+from repro.android.serialization import bundle_to_dict
+from repro.service import ServiceClient
+from repro.service.cluster import ClusterConfig, start_cluster
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_resilience.json")
+
+N_APPS = 24
+CLIENT_THREADS = 4
+SHARDS = 3
+WORKERS_PER_SHARD = 1
+#: brownout delay injected into shard-0's policy_analysis stage;
+#: every corpus package starts with ``com.example`` so the plan
+#: matches the whole sweep
+SLOW_S = 0.8
+#: cold-start hedge delay; the front's latency tracker adapts it to
+#: the observed p95 once enough samples arrive.  The synthetic-corpus
+#: checks answer in tens of milliseconds, so the cold-start value
+#: sits just above a healthy check and well under the brownout.
+HEDGE_DELAY = 0.05
+BREAKER_FAILURES = 2
+BREAKER_LATENCY = 0.6
+BREAKER_COOLOFF = 2.0
+#: the gated floor: browned goodput over healthy goodput
+GOODPUT_FLOOR = 0.5
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def drive(client: ServiceClient, docs: list[dict]) -> dict:
+    """Fan *docs* out over CLIENT_THREADS concurrent clients;
+    goodput (successful checks per second), latency percentiles, and
+    the reports for the differential ride-along."""
+    pending = list(enumerate(docs))
+    lock = threading.Lock()
+    latencies: list[float] = []
+    reports: dict[int, dict] = {}
+    failures: list[str] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                index, doc = pending.pop()
+            started = time.perf_counter()
+            try:
+                report = client.check(doc)
+            except Exception as exc:
+                with lock:
+                    failures.append(f"{doc['package']}: {exc}")
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                reports[index] = report
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(CLIENT_THREADS)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "seconds": wall,
+        "ok": len(reports),
+        "failed": len(failures),
+        "goodput_rps": len(reports) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1000,
+        "p95_ms": percentile(latencies, 0.95) * 1000,
+        "p99_ms": percentile(latencies, 0.99) * 1000,
+        "_reports": reports,
+        "_failures": failures,
+    }
+
+
+def wait_cluster_up(client: ServiceClient, shards: int,
+                    deadline: float = 120.0) -> None:
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            if client.healthz()["shards_alive"] == shards:
+                return
+        except OSError:
+            pass
+        assert time.monotonic() < end, "cluster never became healthy"
+        time.sleep(0.2)
+
+
+def counter_samples(metrics_text: str, name: str) -> dict[str, float]:
+    """Every labelled sample of one metric family, keyed by its
+    label block (`` "{...}" `` or ``""`` for the bare sample)."""
+    samples: dict[str, float] = {}
+    for line in metrics_text.splitlines():
+        if not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest.startswith(" "):
+            samples[""] = float(rest.split()[-1])
+        elif rest.startswith("{"):
+            labels, _, value = rest.partition(" ")
+            samples[labels] = float(value.split()[-1])
+    return samples
+
+
+def sweep(docs: list[dict], fault_plan_path: str | None,
+          ) -> tuple[dict, dict, dict]:
+    """One fresh cluster, one cold drive; the phase row, the reports,
+    and the front's hedge/breaker counters at the end."""
+    handle = start_cluster(ClusterConfig(
+        port=0, shards=SHARDS, workers=WORKERS_PER_SHARD,
+        queue_size=max(64, N_APPS),
+        shard_fault_plans=(
+            {0: fault_plan_path} if fault_plan_path else {}),
+        hedge=True,
+        hedge_delay=HEDGE_DELAY,
+        breaker_failures=BREAKER_FAILURES,
+        breaker_latency=BREAKER_LATENCY,
+        breaker_cooloff=BREAKER_COOLOFF,
+        drain_timeout=5.0,
+    ))
+    try:
+        client = ServiceClient(port=handle.port, timeout=120.0)
+        wait_cluster_up(client, shards=SHARDS)
+        row = drive(client, docs)
+        metrics_text = client.metrics_text()
+    finally:
+        handle.close()
+    reports = row.pop("_reports")
+    failures = row.pop("_failures")
+    assert not failures, failures[0]
+    counters = {
+        "hedges": counter_samples(
+            metrics_text, "ppchecker_hedges_total"),
+        "breaker_transitions": counter_samples(
+            metrics_text, "ppchecker_breaker_transitions_total"),
+    }
+    return row, reports, counters
+
+
+def test_brownout_goodput(benchmark, store, tmp_path):
+    docs = []
+    for app in store.apps[:N_APPS]:
+        if app.bundle.apk.packed:
+            unpack(app.bundle.apk)  # a wire bundle is never packed
+        docs.append(bundle_to_dict(app.bundle))
+
+    plan_path = tmp_path / "brownout-plan.json"
+    plan_path.write_text(json.dumps({"faults": [{
+        "stage": "policy_analysis",
+        "match": "com.example",
+        "kind": "slow",
+        "delay_seconds": SLOW_S,
+    }]}))
+
+    def run() -> dict:
+        healthy, healthy_reports, _ = sweep(docs, None)
+        browned, browned_reports, counters = sweep(
+            docs, str(plan_path))
+        # differential ride-along: the brownout delays answers, it
+        # never changes them
+        assert browned_reports == healthy_reports
+        return {
+            "n_apps": len(docs),
+            "shards": SHARDS,
+            "client_threads": CLIENT_THREADS,
+            "knobs": {
+                "workers_per_shard": WORKERS_PER_SHARD,
+                "slow_s": SLOW_S,
+                "hedge_delay": HEDGE_DELAY,
+                "breaker_failures": BREAKER_FAILURES,
+                "breaker_latency": BREAKER_LATENCY,
+                "breaker_cooloff": BREAKER_COOLOFF,
+            },
+            "healthy": healthy,
+            "browned": browned,
+            "browned_counters": counters,
+            "brownout_goodput_ratio": (
+                browned["goodput_rps"] / healthy["goodput_rps"]
+                if healthy["goodput_rps"] else 0.0),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.core.schema import versioned
+
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(versioned(result), handle, indent=2, sort_keys=True)
+
+    print(f"\nBrownout goodput over {result['n_apps']} apps "
+          f"({result['client_threads']} clients, {SHARDS} shards, "
+          f"shard-0 browned by {SLOW_S:g}s)")
+    for phase in ("healthy", "browned"):
+        row = result[phase]
+        print(f"  {phase:<8} {row['goodput_rps']:>8.1f} req/s  "
+              f"p50 {row['p50_ms']:>7.1f} ms  "
+              f"p95 {row['p95_ms']:>7.1f} ms  "
+              f"({row['ok']}/{result['n_apps']} ok)")
+    print(f"  goodput ratio {result['brownout_goodput_ratio']:.2f} "
+          f"(floor {GOODPUT_FLOOR:g})")
+    print(f"  hedges {result['browned_counters']['hedges']}")
+    print(f"  wrote {BENCH_PATH}")
+
+    # the resilience stack must hold goodput: hedges mask the slow
+    # primary and the breaker diverts shard-0 once its latency trips
+    assert result["browned"]["failed"] == 0
+    assert result["brownout_goodput_ratio"] >= GOODPUT_FLOOR, (
+        f"browned goodput only "
+        f"{result['brownout_goodput_ratio']:.2f}x healthy "
+        f"(floor {GOODPUT_FLOOR}x)")

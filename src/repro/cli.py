@@ -110,15 +110,21 @@ def _lib_policy_source(directory: str | None):
 
 def _build_checker(args: argparse.Namespace, lib_policy_source) -> PPChecker:
     """A checker honoring the shared --cache-dir and resilience
-    flags (--max-retries / --stage-timeout / --fault-plan)."""
+    flags (--max-retries / --stage-timeout / --fault-plan /
+    --deadline / --retry-budget)."""
     from repro.pipeline.artifacts import build_store
     from repro.pipeline.faults import FaultPlan
-    from repro.pipeline.resilience import RetryPolicy
+    from repro.pipeline.resilience import RetryBudget, RetryPolicy
 
     fault_plan = None
     fault_path = getattr(args, "fault_plan", None)
     if fault_path is not None:
         fault_plan = FaultPlan.from_json_file(fault_path)
+    budget = None
+    capacity = getattr(args, "retry_budget", None)
+    if capacity is not None:
+        budget = RetryBudget(
+            capacity, getattr(args, "retry_budget_refill", 1.0))
     return PPChecker(
         lib_policy_source=lib_policy_source,
         artifact_store=build_store(
@@ -128,7 +134,9 @@ def _build_checker(args: argparse.Namespace, lib_policy_source) -> PPChecker:
         retry_policy=RetryPolicy(
             max_retries=getattr(args, "max_retries", 0),
             stage_timeout=getattr(args, "stage_timeout", None),
+            budget=budget,
         ),
+        deadline_seconds=getattr(args, "deadline", None),
         fault_plan=fault_plan,
     )
 
@@ -582,6 +590,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_redeliveries=args.max_redeliveries,
             completed_jobs=args.completed_jobs,
             cache_entries=args.cache_entries,
+            retry_budget=args.retry_budget,
+            retry_budget_refill=args.retry_budget_refill,
+            default_deadline=args.deadline,
+            hedge=args.hedge,
+            hedge_delay=args.hedge_delay,
+            breaker_failures=args.breaker_failures,
+            breaker_latency=args.breaker_latency,
+            breaker_cooloff=args.breaker_cooloff,
         ))
     fault_plan = None
     if args.fault_plan is not None:
@@ -604,6 +620,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         state_dir=args.state_dir,
         max_redeliveries=args.max_redeliveries,
+        retry_budget=args.retry_budget,
+        retry_budget_refill=args.retry_budget_refill,
+        default_deadline=args.deadline,
     ))
 
 
@@ -665,6 +684,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject faults from this JSON plan "
                             "(test/benchmark harness; see "
                             "repro.pipeline.faults)")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per check; stage "
+                            "timeouts, retries, and backoff all fit "
+                            "inside it, and expired work is shed "
+                            "(the service answers 504), never left "
+                            "half-running (default: unbounded)")
+        p.add_argument("--retry-budget", type=float, default=None,
+                       metavar="TOKENS",
+                       help="capacity of the shared retry token "
+                            "bucket; when dry, a failing stage is "
+                            "terminal instead of retried, so a "
+                            "brownout cannot amplify into a retry "
+                            "storm (default: unlimited)")
+        p.add_argument("--retry-budget-refill", type=float,
+                       default=1.0, metavar="PER_SECOND",
+                       help="tokens the retry budget regains per "
+                            "second (default: 1.0)")
         if batch:
             p.add_argument("--keep-going", default=True,
                            action=argparse.BooleanOptionalAction,
@@ -843,6 +880,33 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="memory-tier artifact cache capacity per "
                           "process, entries (default: 8192)")
+    srv.add_argument("--hedge", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="with --shards: race a slow /v1/check "
+                          "primary against a healthy peer after the "
+                          "hedge delay; content-addressed checks are "
+                          "idempotent, so the first answer wins "
+                          "(default: on)")
+    srv.add_argument("--hedge-delay", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="cold-start hedge delay; adapts to the "
+                          "observed p95 check latency once enough "
+                          "samples arrive (default: 1.0)")
+    srv.add_argument("--breaker-failures", type=int, default=5,
+                     metavar="N",
+                     help="consecutive failed (or brownout-slow) "
+                          "requests that open a shard's circuit "
+                          "breaker at the front (default: 5)")
+    srv.add_argument("--breaker-latency", type=float, default=None,
+                     metavar="SECONDS",
+                     help="treat a slower-than-this success as a "
+                          "brownout failure for the breaker "
+                          "(default: latency never trips it)")
+    srv.add_argument("--breaker-cooloff", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="seconds an open breaker waits before "
+                          "admitting a single half-open probe "
+                          "(default: 5.0)")
     add_cache_dir(srv)
     add_resilience(srv)
     srv.set_defaults(func=cmd_serve)

@@ -31,7 +31,11 @@ from repro.pipeline.artifacts import (
 )
 from repro.pipeline.faults import FaultPlan
 from repro.pipeline.pipeline import Pipeline
-from repro.pipeline.resilience import RetryPolicy
+from repro.pipeline.resilience import (
+    Deadline,
+    RetryPolicy,
+    deadline_scope,
+)
 from repro.policy.analyzer import PolicyAnalyzer
 from repro.policy.model import PolicyAnalysis
 
@@ -75,6 +79,11 @@ class PPChecker:
     retry_policy: RetryPolicy | None = None
     #: fault-injection hook for tests and benchmarks
     fault_plan: FaultPlan | None = None
+    #: per-app wall-clock budget (seconds): stage timeouts, retries,
+    #: and backoff sleeps all derive from the *remaining* budget, and
+    #: an exhausted budget fails the check with a deadline error
+    #: instead of burning more pipeline work (None = unbounded)
+    deadline_seconds: float | None = None
     pipeline: Pipeline | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -122,12 +131,19 @@ class PPChecker:
     # -- the check ----------------------------------------------------------
 
     def check(self, bundle: AppBundle) -> AppReport:
-        """Run all three detectors over one app."""
-        policy = self.analyze_policy(bundle)
-        static_result = self.analyze_code(bundle)
-        permissions = self.infer_permissions(bundle)
-        return self.pipeline.detect(bundle, policy, static_result,
-                                    permissions)
+        """Run all three detectors over one app.  When
+        ``deadline_seconds`` is set (and no ambient deadline is
+        already in scope -- the serving layer opens its own per-job
+        scope), the whole check runs under a fresh per-app
+        deadline."""
+        deadline = (Deadline.after(self.deadline_seconds)
+                    if self.deadline_seconds is not None else None)
+        with deadline_scope(deadline):
+            policy = self.analyze_policy(bundle)
+            static_result = self.analyze_code(bundle)
+            permissions = self.infer_permissions(bundle)
+            return self.pipeline.detect(bundle, policy, static_result,
+                                        permissions)
 
     def check_batch(self, bundles: list[AppBundle],
                     workers: int = 1,

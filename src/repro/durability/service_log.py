@@ -41,6 +41,10 @@ JOB_STARTED = "started"
 JOB_COMPLETED = "completed"
 JOB_QUARANTINED = "quarantined"
 JOB_DEADLETTERED = "deadlettered"
+#: the job's request deadline expired and the work was dropped;
+#: terminal for replay (the submitter stopped waiting -- a restart
+#: must not resurrect work nobody wants)
+JOB_SHED = "shed"
 
 _JOB_NUMBER = re.compile(r"^job-(\d+)$")
 
@@ -60,7 +64,7 @@ class RecoveredJob:
     @property
     def terminal(self) -> bool:
         return self.state in (JOB_COMPLETED, JOB_QUARANTINED,
-                              JOB_DEADLETTERED)
+                              JOB_DEADLETTERED, JOB_SHED)
 
 
 @dataclass
@@ -141,6 +145,9 @@ class ServiceLog:
         self._append(JOB_DEADLETTERED, {"id": job_id,
                                         "deliveries": deliveries})
 
+    def job_shed(self, job_id: str, error: dict[str, Any]) -> None:
+        self._append(JOB_SHED, {"id": job_id, "error": error})
+
     # -- recovery ----------------------------------------------------------
 
     def recover(self, max_redeliveries: int) -> RecoveredState:
@@ -216,6 +223,7 @@ __all__ = [
     "JOB_COMPLETED",
     "JOB_QUARANTINED",
     "JOB_DEADLETTERED",
+    "JOB_SHED",
     "RecoveredJob",
     "RecoveredState",
     "deadletter_doc",

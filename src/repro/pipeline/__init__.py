@@ -40,10 +40,16 @@ from repro.pipeline.faults import (
 )
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.resilience import (
+    Deadline,
+    DeadlineExceeded,
     PipelineError,
+    RetryBudget,
     RetryPolicy,
     StageError,
     StageTimeout,
+    current_deadline,
+    deadline_scope,
+    is_deadline_error,
 )
 from repro.pipeline.stages import STAGES
 
@@ -62,9 +68,15 @@ __all__ = [
     "Pipeline",
     "STAGES",
     "PipelineError",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryBudget",
     "RetryPolicy",
     "StageError",
     "StageTimeout",
+    "current_deadline",
+    "deadline_scope",
+    "is_deadline_error",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",

@@ -481,6 +481,8 @@ class PipelineStats:
         self._stages: dict[str, StageStats] = {}
         self._lock = threading.Lock()
         self._listeners: list[Callable[..., None]] = []
+        self._abandoned_live = 0
+        self._abandoned_total = 0
 
     def add_listener(
         self, listener: Callable[..., None],
@@ -506,6 +508,35 @@ class PipelineStats:
             listeners = tuple(self._listeners)
         for listener in listeners:
             listener(stage, hit=hit, failed=failed, seconds=seconds)
+
+    # -- abandoned stage threads (the call_with_timeout ledger) ------------
+
+    def thread_abandoned(self) -> None:
+        """A timed-out stage thread was left behind (it cannot be
+        killed; the cancellation event asks it to unwind)."""
+        with self._lock:
+            self._abandoned_live += 1
+            self._abandoned_total += 1
+
+    def thread_reclaimed(self) -> None:
+        """An abandoned stage thread finally returned (usually by
+        observing its cancellation event at a poll point)."""
+        with self._lock:
+            self._abandoned_live -= 1
+
+    @property
+    def abandoned_threads(self) -> int:
+        """Stage threads abandoned by a timeout and still running.
+        Bounded in a healthy process: cooperative stages unwind at
+        their next cancellation poll."""
+        with self._lock:
+            return self._abandoned_live
+
+    @property
+    def abandoned_threads_total(self) -> int:
+        """Stage threads ever abandoned by a timeout."""
+        with self._lock:
+            return self._abandoned_total
 
     def stage(self, name: str) -> StageStats:
         with self._lock:

@@ -2,12 +2,17 @@
 
 A :class:`FaultPlan` is handed to :class:`repro.pipeline.Pipeline`
 (or ``PPChecker(fault_plan=...)``, or the CLI ``--fault-plan`` flag)
-and fires at stage boundaries, forcing the three failure shapes real
+and fires at stage boundaries, forcing the failure shapes real
 corpora produce:
 
 - ``raise``   -- the stage throws (:class:`InjectedFault`),
 - ``hang``    -- the stage sleeps past any reasonable budget, so a
   configured stage timeout must cut it off,
+- ``slow``    -- the stage completes *correctly* but only after a
+  configurable latency (the brownout shape: a slow fetch or wedged
+  analyzer that still answers),
+- ``flaky``   -- the stage throws with a seeded probability (the
+  intermittent-failure shape retries are for),
 - ``corrupt`` -- the stage completes but yields a garbage artifact
   (:class:`CorruptArtifact`) that poisons downstream consumers,
 - ``crash``   -- the whole process dies on the spot (``os._exit``, no
@@ -16,10 +21,20 @@ corpora produce:
 
 Each :class:`FaultSpec` matches a stage name (or ``"*"``) and an
 app/lib context substring (or ``"*"``), and can be budgeted to fire
-only the first ``times`` matching attempts -- the recipe for testing
-"fails twice, then the retry succeeds".  Firing decisions are counted
-per ``(spec, stage, context)`` under a lock, so a plan behaves
-identically under serial and parallel batch execution.
+only the first ``times`` matching attempts per context (the recipe
+for "fails twice, then the retry succeeds") or the first ``total``
+attempts across *all* contexts (the recipe for "this shard is slow
+for a while, then recovers").  Every spec also takes a
+``probability`` in ``(0, 1]``: the firing roll is seeded from
+``(seed, spec, stage, context, attempt-ordinal)``, so probabilistic
+plans are exactly reproducible and behave identically under serial
+and parallel batch execution -- firing decisions are counted per
+``(spec, stage, context)`` under a lock.
+
+The latency kinds sleep through
+:func:`repro.pipeline.resilience.sleep_cancellable`, so a stage
+thread abandoned by its timeout guard unwinds at the next poll
+instead of leaking forever.
 
 Plans serialize to/from JSON (:meth:`FaultPlan.to_dict`,
 :meth:`FaultPlan.from_dict`, :meth:`FaultPlan.from_json_file`) so the
@@ -30,17 +45,22 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.hashing import fingerprint
+from repro.pipeline.resilience import sleep_cancellable
+
 RAISE = "raise"
 HANG = "hang"
+SLOW = "slow"
+FLAKY = "flaky"
 CORRUPT = "corrupt"
 CRASH = "crash"
 
-KINDS = (RAISE, HANG, CORRUPT, CRASH)
+KINDS = (RAISE, HANG, SLOW, FLAKY, CORRUPT, CRASH)
 
 #: the exit status a ``crash`` fault dies with (recognizable in a
 #: harness's ``process.returncode``)
@@ -52,7 +72,7 @@ _hard_exit: Callable[[int], None] = os._exit
 
 
 class InjectedFault(RuntimeError):
-    """The exception a ``raise``-kind fault throws."""
+    """The exception a ``raise``/``flaky``-kind fault throws."""
 
 
 class CorruptArtifact:
@@ -76,14 +96,23 @@ class FaultSpec:
 
     stage: str = "*"            # stage name or "*" for any
     match: str = "*"            # context substring or "*" for any
-    kind: str = RAISE           # "raise" | "hang" | "corrupt"
+    kind: str = RAISE           # one of KINDS
     message: str = "injected fault"
-    times: int | None = None    # fire only the first N attempts; None = always
+    times: int | None = None    # fire only the first N attempts per
+                                # (stage, context); None = always
+    total: int | None = None    # fire only the first N attempts across
+                                # every context; None = unbounded
     hang_seconds: float = 60.0
+    delay_seconds: float = 0.5  # the ``slow`` kind's added latency
+    probability: float = 1.0    # chance an eligible attempt fires
+    seed: int = 0               # seeds the probabilistic roll
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1]: {self.probability!r}")
 
     def applies_to(self, stage: str, context: str) -> bool:
         if self.stage not in ("*", stage):
@@ -97,7 +126,11 @@ class FaultSpec:
             "kind": self.kind,
             "message": self.message,
             "times": self.times,
+            "total": self.total,
             "hang_seconds": self.hang_seconds,
+            "delay_seconds": self.delay_seconds,
+            "probability": self.probability,
+            "seed": self.seed,
         }
 
     @classmethod
@@ -108,7 +141,11 @@ class FaultSpec:
             kind=doc.get("kind", RAISE),
             message=doc.get("message", "injected fault"),
             times=doc.get("times"),
+            total=doc.get("total"),
             hang_seconds=doc.get("hang_seconds", 60.0),
+            delay_seconds=doc.get("delay_seconds", 0.5),
+            probability=doc.get("probability", 1.0),
+            seed=doc.get("seed", 0),
         )
 
 
@@ -120,15 +157,21 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
-        # (spec index, stage, context) -> attempts the spec already hit
+        # (spec index, stage, context) -> attempts the spec fired on
         self._fired: dict[tuple[int, str, str], int] = {}
+        # (spec index, stage, context) -> eligible attempts consulted
+        # (the probabilistic roll is seeded from this ordinal, so the
+        # schedule replays exactly)
+        self._consulted: dict[tuple[int, str, str], int] = {}
+        # spec index -> attempts the spec fired on, across contexts
+        self._fired_total: dict[int, int] = {}
 
     # -- firing ------------------------------------------------------------
 
     def fire(self, stage: str, context: str) -> FaultSpec | None:
         """The spec that fires for this attempt, consuming one unit of
         its budget; ``None`` when no spec applies (or all budgets are
-        spent)."""
+        spent, or every eligible spec's probability roll passed)."""
         with self._lock:
             for index, spec in enumerate(self.faults):
                 if not spec.applies_to(stage, context):
@@ -137,7 +180,20 @@ class FaultPlan:
                 used = self._fired.get(key, 0)
                 if spec.times is not None and used >= spec.times:
                     continue
+                if spec.total is not None \
+                        and self._fired_total.get(index, 0) >= spec.total:
+                    continue
+                if spec.probability < 1.0:
+                    ordinal = self._consulted.get(key, 0)
+                    self._consulted[key] = ordinal + 1
+                    roll = random.Random(fingerprint(
+                        [spec.seed, index, stage, context, ordinal]
+                    )).random()
+                    if roll >= spec.probability:
+                        continue  # this attempt dodged the fault
                 self._fired[key] = used + 1
+                self._fired_total[index] = \
+                    self._fired_total.get(index, 0) + 1
                 return spec
         return None
 
@@ -150,12 +206,16 @@ class FaultPlan:
             spec = self.fire(stage, context)
             if spec is None:
                 return compute()
-            if spec.kind == RAISE:
+            if spec.kind in (RAISE, FLAKY):
                 raise InjectedFault(
                     f"{context}:{stage}: {spec.message}"
                 )
             if spec.kind == HANG:
-                time.sleep(spec.hang_seconds)
+                sleep_cancellable(spec.hang_seconds)
+                return compute()
+            if spec.kind == SLOW:
+                # brownout: the answer is still correct, just late
+                sleep_cancellable(spec.delay_seconds)
                 return compute()
             if spec.kind == CRASH:
                 # the process dies here: no stack unwinding, no
@@ -190,6 +250,8 @@ class FaultPlan:
 __all__ = [
     "RAISE",
     "HANG",
+    "SLOW",
+    "FLAKY",
     "CORRUPT",
     "CRASH",
     "CRASH_EXIT_CODE",

@@ -106,6 +106,7 @@ class Pipeline:
         try:
             artifact = self.resilience.execute(
                 compute, stage=stage, context=context, digest=digest,
+                ledger=self.stats,
             )
         except StageError:
             self.stats.record(stage, hit=False, failed=True,

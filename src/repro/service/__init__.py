@@ -29,7 +29,10 @@ from repro.service.metrics import MetricsRegistry, ServiceMetrics
 from repro.service.runner import PipelineRunner, ServiceConfig
 from repro.service.hashring import HashRing, ring_for, shard_name
 from repro.service.server import (
+    DEADLINE_FIELD,
+    DEADLINE_HEADER,
     CheckService,
+    DeadlineExpired,
     ServiceHandle,
     read_port_file,
     serve,
@@ -39,6 +42,9 @@ from repro.service.server import (
 __all__ = [
     "CheckQuarantined",
     "CheckService",
+    "DEADLINE_FIELD",
+    "DEADLINE_HEADER",
+    "DeadlineExpired",
     "HashRing",
     "Job",
     "JobGone",

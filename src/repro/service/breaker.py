@@ -1,0 +1,216 @@
+"""Per-shard circuit breakers and the hedge-delay latency tracker.
+
+The cluster front (:mod:`repro.service.cluster`) keeps one
+:class:`CircuitBreaker` per shard, fed from every proxied request's
+outcome.  The state machine is the classic three-state one:
+
+- **closed** -- normal routing.  Hard failures (connection refused,
+  5xx) and *slow successes* (latency over ``latency_threshold``, when
+  configured) increment a consecutive-failure counter; any fast
+  success resets it.  Reaching ``failure_threshold`` opens the
+  breaker.
+- **open** -- the shard is skipped at routing time (traffic falls
+  through to the next live shard on the hash ring).  After
+  ``open_seconds`` of cool-off the next routing attempt transitions
+  to half-open.
+- **half-open** -- exactly one probe request is let through.  A fast
+  success closes the breaker; a failure (or slow success) re-opens
+  it and restarts the cool-off.
+
+All transitions run under a lock with an injectable clock, so the
+chaos suite can drive the machine deterministically.  A breaker never
+*fails* a request by itself: when every shard's breaker is open the
+front still routes to the ring owner -- breakers shed load onto
+healthy shards, they do not turn a brownout into an outage.
+
+:class:`LatencyTracker` keeps a bounded window of observed request
+latencies and answers the p95-derived hedge delay: the front waits
+that long for the primary shard before racing a second, idempotent
+request against another shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: gauge encoding for ``ppchecker_breaker_state{shard=...}``
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Three-state breaker over one downstream (shard)."""
+
+    def __init__(self, *,
+                 failure_threshold: int = 5,
+                 latency_threshold: float | None = None,
+                 open_seconds: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str], None] | None = None,
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if open_seconds <= 0:
+            raise ValueError("open_seconds must be > 0")
+        self.failure_threshold = failure_threshold
+        #: a success slower than this (seconds) counts as a failure
+        #: signal; None disables the latency signal
+        self.latency_threshold = latency_threshold
+        self.open_seconds = open_seconds
+        self.clock = clock
+        #: observes every state change (``on_transition(new_state)``),
+        #: outside the lock -- the front counts transitions here
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """0 closed / 1 half-open / 2 open (the gauge encoding)."""
+        return STATE_CODES[self.state]
+
+    def _transition_locked(self, state: str) -> Callable | None:
+        if state == self._state:
+            return None
+        self._state = state
+        callback = self.on_transition
+        return (lambda: callback(state)) if callback else None
+
+    # -- routing decision --------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a request may be sent to this shard right now.
+
+        Open: denied until the cool-off elapses, at which point the
+        breaker half-opens and admits this caller as the single
+        probe.  Half-open: denied while a probe is in flight.  A
+        caller that gets ``True`` must follow up with
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        notify = None
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self.clock() - self._opened_at < self.open_seconds:
+                    return False
+                notify = self._transition_locked(HALF_OPEN)
+                self._probing = True
+                allowed = True
+            else:  # half-open
+                if self._probing:
+                    allowed = False
+                else:
+                    self._probing = True
+                    allowed = True
+        if notify is not None:
+            notify()
+        return allowed
+
+    # -- outcome feedback --------------------------------------------------
+
+    def record_success(self, seconds: float | None = None) -> None:
+        """A request to the shard answered.  A *slow* success (over
+        ``latency_threshold``) feeds the failure counter -- the
+        brownout signal -- but still closes nothing."""
+        if (self.latency_threshold is not None
+                and seconds is not None
+                and seconds > self.latency_threshold):
+            self.record_failure()
+            return
+        notify = None
+        with self._lock:
+            self._failures = 0
+            if self._state == HALF_OPEN:
+                self._probing = False
+                notify = self._transition_locked(CLOSED)
+        if notify is not None:
+            notify()
+
+    def record_failure(self) -> None:
+        """A request to the shard failed (or was brownout-slow)."""
+        notify = None
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                # the probe failed: back to a fresh cool-off
+                self._probing = False
+                self._opened_at = self.clock()
+                notify = self._transition_locked(OPEN)
+            elif (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._opened_at = self.clock()
+                notify = self._transition_locked(OPEN)
+        if notify is not None:
+            notify()
+
+
+class LatencyTracker:
+    """Bounded window of request latencies; answers the hedge delay.
+
+    The hedge delay is the window's p95 (a request slower than 95% of
+    its peers is *probably* stuck behind a browned-out shard), floored
+    by ``min_delay`` so hedging never fires on normal jitter, and
+    falling back to ``default_delay`` until the window has enough
+    samples to say anything.
+    """
+
+    def __init__(self, window: int = 128, min_samples: int = 8,
+                 default_delay: float = 1.0,
+                 min_delay: float = 0.05) -> None:
+        self.window = max(min_samples, window)
+        self.min_samples = min_samples
+        self.default_delay = default_delay
+        self.min_delay = min_delay
+        self._samples: list[float] = []
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def note(self, seconds: float) -> None:
+        with self._lock:
+            if len(self._samples) < self.window:
+                self._samples.append(seconds)
+            else:  # ring overwrite, oldest first
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self.window
+
+    def p95(self) -> float | None:
+        with self._lock:
+            if len(self._samples) < self.min_samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    round(0.95 * (len(ordered) - 1)))
+        return ordered[index]
+
+    def hedge_delay(self) -> float:
+        """Seconds to wait for the primary before racing a hedge."""
+        p95 = self.p95()
+        if p95 is None:
+            return self.default_delay
+        return max(self.min_delay, p95)
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_CODES",
+    "CircuitBreaker",
+    "LatencyTracker",
+]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import re
 import signal
 import subprocess
@@ -37,7 +38,7 @@ import sys
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -45,9 +46,19 @@ from typing import Any
 from repro import __version__
 from repro.core.schema import versioned
 from repro.hashing import fingerprint
+from repro.pipeline.resilience import Deadline, RetryBudget
+from repro.service.breaker import CLOSED, CircuitBreaker, LatencyTracker
 from repro.service.hashring import HashRing, shard_name
-from repro.service.metrics import MetricsRegistry
-from repro.service.server import _write_port_file, read_port_file
+from repro.service.metrics import CallbackGaugeFamily, MetricsRegistry
+from repro.service.runner import shed_error
+from repro.service.server import (
+    DEADLINE_FIELD,
+    DEADLINE_HEADER,
+    InvalidDeadline,
+    _write_port_file,
+    parse_deadline_seconds,
+    read_port_file,
+)
 
 _JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
 _SHARD_ID = re.compile(r"^s(\d+)-(.+)$")
@@ -91,6 +102,33 @@ class ClusterConfig:
     #: how long the front waits for a respawning shard before failing
     #: a request over to the client
     reroute_timeout: float = 30.0
+    #: per-shard fault plan paths (``{shard index: path}``); a listed
+    #: shard gets its own plan instead of ``fault_plan`` -- how the
+    #: brownout chaos harness browns out exactly one shard of N
+    shard_fault_plans: dict[int, str] = field(default_factory=dict)
+    #: retry token-bucket capacity, forwarded to every shard
+    #: (``--retry-budget``) and shared by the front's own reroute
+    #: retries and hedges; None = unlimited, the historical behaviour
+    retry_budget: float | None = None
+    #: tokens the retry bucket regains per second
+    retry_budget_refill: float = 1.0
+    #: default per-job deadline forwarded to every shard
+    #: (``--deadline``); None = unbounded
+    default_deadline: float | None = None
+    #: hedge idempotent ``/v1/check`` submissions: race a second shard
+    #: when the primary is slower than the p95-derived hedge delay
+    hedge: bool = True
+    #: hedge delay (seconds) used until the front's latency window
+    #: has enough samples to derive a p95
+    hedge_delay: float = 1.0
+    #: consecutive failures (or brownout-slow successes) that open a
+    #: shard's circuit breaker
+    breaker_failures: int = 5
+    #: a shard success slower than this (seconds) counts as a breaker
+    #: failure -- the brownout signal; None disables latency tripping
+    breaker_latency: float | None = None
+    #: how long an open breaker cools off before its half-open probe
+    breaker_cooloff: float = 5.0
 
 
 class ShardProcess:
@@ -127,10 +165,18 @@ class ShardProcess:
                     os.path.join(config.state_dir, self.name)]
         if config.lib_policies is not None:
             cmd += ["--lib-policies", config.lib_policies]
-        if config.fault_plan is not None:
-            cmd += ["--fault-plan", config.fault_plan]
+        fault_plan = config.shard_fault_plans.get(
+            self.index, config.fault_plan)
+        if fault_plan is not None:
+            cmd += ["--fault-plan", fault_plan]
         if config.stage_timeout is not None:
             cmd += ["--stage-timeout", str(config.stage_timeout)]
+        if config.retry_budget is not None:
+            cmd += ["--retry-budget", str(config.retry_budget),
+                    "--retry-budget-refill",
+                    str(config.retry_budget_refill)]
+        if config.default_deadline is not None:
+            cmd += ["--deadline", str(config.default_deadline)]
         return cmd
 
     def spawn(self, timeout: float = 60.0) -> None:
@@ -233,6 +279,18 @@ class ShardSupervisor:
                 return None
         return self.shards[int(name.split("-", 1)[1])]
 
+    def route_preference(self, key: str) -> list[ShardProcess]:
+        """Every live shard in deterministic failover order for
+        *key* (``[0]`` is the ring owner) -- what breaker-aware
+        routing and hedging walk."""
+        with self._lock:
+            try:
+                names = self.ring.preference(key)
+            except LookupError:
+                return []
+        return [self.shards[int(name.split("-", 1)[1])]
+                for name in names]
+
     def shard(self, index: int) -> ShardProcess | None:
         if 0 <= index < len(self.shards):
             return self.shards[index]
@@ -288,6 +346,44 @@ class FrontMetrics:
             "Shard processes currently alive.",
             callback=supervisor_alive,
         )
+        self.hedges = r.counter(
+            "ppchecker_hedges_total",
+            "Hedged /v1/check submissions, by outcome (primary_won "
+            "| hedge_won | suppressed -- the retry budget was dry).",
+            ("outcome",),
+        )
+        self.breaker_transitions = r.counter(
+            "ppchecker_breaker_transitions_total",
+            "Circuit-breaker state changes, by shard and new state.",
+            ("shard", "to"),
+        )
+        self.deadline_shed = r.counter(
+            "ppchecker_deadline_shed_total",
+            "Requests shed at the front because their deadline "
+            "expired before any shard could take the work.",
+        )
+
+    def register_breakers(self, breakers) -> None:
+        """Expose live breaker states as
+        ``ppchecker_breaker_state{shard=...}`` (0 closed / 1
+        half-open / 2 open); *breakers* is ``{shard name: breaker}``."""
+        self.registry.register(CallbackGaugeFamily(
+            "ppchecker_breaker_state",
+            "Per-shard circuit-breaker state "
+            "(0 closed, 1 half-open, 2 open).",
+            "shard",
+            lambda: {name: float(b.state_code)
+                     for name, b in breakers.items()},
+        ))
+
+    def register_retry_budget(self, budget) -> None:
+        """Expose the front's shared retry/hedge token bucket."""
+        self.registry.gauge(
+            "ppchecker_retry_budget_remaining",
+            "Tokens left in the front's retry budget; reroute "
+            "retries and hedges are denied when it reaches zero.",
+            callback=lambda: budget.remaining,
+        )
 
     def render(self) -> str:
         return self.registry.render()
@@ -312,6 +408,26 @@ def _prefixed(payload: Any, index: int) -> Any:
 
 class ShardUnavailable(Exception):
     """No live shard could take the request within the budget."""
+
+
+class FrontDeadlineExpired(Exception):
+    """The request's deadline ran out while the front was still
+    routing (waiting out a respawn or retrying a flaky shard)."""
+
+    def __init__(self, deadline: Deadline | None) -> None:
+        self.deadline = deadline
+        super().__init__("deadline expired at the cluster front")
+
+
+def _routing_key(doc: Any) -> str:
+    """The content fingerprint used for shard placement, blind to
+    the reserved ``deadline_s`` field -- the same bundle with a
+    different (or no) budget must land on the same shard so its
+    coalescing and artifact locality survive deadlines."""
+    if isinstance(doc, dict) and DEADLINE_FIELD in doc:
+        doc = {key: value for key, value in doc.items()
+               if key != DEADLINE_FIELD}
+    return fingerprint(doc)
 
 
 class _FrontHandler(BaseHTTPRequestHandler):
@@ -439,13 +555,44 @@ class _FrontHandler(BaseHTTPRequestHandler):
                 self._send_error_json(404, "not_found",
                                       f"no such endpoint: {path}")
 
+    def _request_deadline(self, doc: Any) -> Deadline | None:
+        """The submission's deadline, from the reserved ``deadline_s``
+        field (popped before the routing fingerprint) or the
+        ``X-Ppchecker-Deadline`` header; the field wins.  The front
+        starts the clock here and forwards the *remaining* budget to
+        whichever shard finally takes the work."""
+        value: Any = None
+        if isinstance(doc, dict) and DEADLINE_FIELD in doc:
+            value = doc.pop(DEADLINE_FIELD)
+        elif self.headers.get(DEADLINE_HEADER) is not None:
+            value = self.headers.get(DEADLINE_HEADER)
+        if value is None:
+            return None
+        return Deadline.after(parse_deadline_seconds(value))
+
+    def _send_shed(self, deadline: Deadline | None) -> None:
+        self.front.metrics.deadline_shed.inc()
+        self._send_json(504, versioned({
+            "error": shed_error("?", deadline,
+                                "at the cluster front"),
+        }), headers={"Retry-After": "1"})
+
     def _proxy_submission(self, path: str) -> None:
         doc = self._read_json()
         if doc is None:
             return
         try:
+            deadline = self._request_deadline(doc)
+        except InvalidDeadline as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+            return
+        try:
             shard, status, headers, payload = \
-                self.front.submit_to_shard(doc, path)
+                self.front.submit_to_shard(doc, path,
+                                           deadline=deadline)
+        except FrontDeadlineExpired as exc:
+            self._send_shed(exc.deadline)
+            return
         except ShardUnavailable:
             self._unavailable()
             return
@@ -501,6 +648,31 @@ class ClusterFront:
         self.supervisor = supervisor
         self.metrics = metrics
         self._draining = threading.Event()
+        #: one breaker per shard, fed from every proxied request;
+        #: open breakers divert traffic to the next ring owner
+        self.breakers = {
+            shard.name: CircuitBreaker(
+                failure_threshold=config.breaker_failures,
+                latency_threshold=config.breaker_latency,
+                open_seconds=config.breaker_cooloff,
+                on_transition=(
+                    lambda state, name=shard.name:
+                    metrics.breaker_transitions.inc(shard=name,
+                                                    to=state)),
+            )
+            for shard in supervisor.shards
+        }
+        metrics.register_breakers(self.breakers)
+        #: /v1/check latency window; its p95 is the hedge delay
+        self.latency = LatencyTracker(default_delay=config.hedge_delay)
+        #: shared token bucket bounding reroute retries and hedges,
+        #: so a brownout cannot amplify into a front-side storm
+        self.retry_budget = (
+            RetryBudget(config.retry_budget,
+                        config.retry_budget_refill)
+            if config.retry_budget is not None else None)
+        if self.retry_budget is not None:
+            metrics.register_retry_budget(self.retry_budget)
 
     @property
     def draining(self) -> bool:
@@ -513,29 +685,58 @@ class ClusterFront:
 
     def proxy(self, shard: ShardProcess, method: str, path: str,
               doc: Any = None,
+              deadline: Deadline | None = None,
               ) -> tuple[int, dict[str, str], Any]:
         """One request to *shard*, retried across a respawn window.
 
         A shard that dies mid-flight (connection refused/reset) is
         retried until it -- or its replacement on the same ring
-        position -- answers, bounded by ``reroute_timeout``."""
-        deadline = time.monotonic() + self.config.reroute_timeout
+        position -- answers, bounded by ``reroute_timeout``, the
+        request's remaining *deadline*, and (when configured) the
+        front's retry budget.  Every outcome feeds the shard's
+        breaker: connection failures and 5xx answers count against
+        it, fast answers reset it, and -- with ``breaker_latency``
+        set -- slow answers count as brownout failures even though
+        the response is still used."""
+        reroute_until = time.monotonic() + self.config.reroute_timeout
+        breaker = self.breakers.get(shard.name)
         attempt = 0
         while True:
+            if deadline is not None and deadline.expired:
+                raise FrontDeadlineExpired(deadline)
+            started = time.monotonic()
             try:
-                return self._request(shard, method, path, doc)
+                status, headers, payload = self._request(
+                    shard, method, path, doc, deadline=deadline)
             except (OSError, HTTPException):
                 # connection refused (respawning), reset, or torn
                 # mid-response (the shard died while answering)
+                if breaker is not None:
+                    breaker.record_failure()
                 attempt += 1
                 if attempt > 1:
                     self.metrics.reroutes.inc(shard=shard.name)
-                if time.monotonic() >= deadline:
+                if time.monotonic() >= reroute_until:
+                    raise ShardUnavailable(shard.name)
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_acquire()):
+                    # dry budget: fail fast instead of storming a
+                    # cluster that is already in trouble
                     raise ShardUnavailable(shard.name)
                 time.sleep(0.2)
+                continue
+            if breaker is not None:
+                # 504 is a deadline shed -- the shard doing its job,
+                # not the shard failing
+                if status >= 500 and status != 504:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success(time.monotonic() - started)
+            return status, headers, payload
 
     def _request(self, shard: ShardProcess, method: str, path: str,
                  doc: Any = None,
+                 deadline: Deadline | None = None,
                  ) -> tuple[int, dict[str, str], Any]:
         if shard.port is None:
             raise ConnectionError(f"{shard.name} has no port yet")
@@ -547,6 +748,11 @@ class ClusterFront:
             if doc is not None:
                 body = json.dumps(doc).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            if deadline is not None:
+                # forward what is *left* of the budget, so time spent
+                # routing at the front is not granted twice
+                headers[DEADLINE_HEADER] = (
+                    f"{max(deadline.remaining(), 0.001):.6f}")
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -561,7 +767,24 @@ class ClusterFront:
         finally:
             conn.close()
 
+    def _pick_shard(self, key: str) -> ShardProcess | None:
+        """The first live shard in *key*'s failover order whose
+        breaker admits the request.
+
+        A closed breaker is consulted without side effects; an open
+        one past its cool-off admits this request as the half-open
+        probe.  When every live breaker refuses, the ring owner is
+        used anyway -- breakers shift load onto healthy shards, they
+        never turn a brownout into an outage."""
+        preference = self.supervisor.route_preference(key)
+        for shard in preference:
+            breaker = self.breakers.get(shard.name)
+            if breaker is None or breaker.allow():
+                return shard
+        return preference[0] if preference else None
+
     def submit_to_shard(self, doc: Any, path: str,
+                        deadline: Deadline | None = None,
                         ) -> tuple[ShardProcess, int,
                                    dict[str, str], Any]:
         """Route one bundle document by content hash and forward it.
@@ -569,19 +792,112 @@ class ClusterFront:
         The routing key is the canonical fingerprint of the raw JSON
         document -- cheap (no bundle parsing in the accept process)
         and deterministic, so identical documents always reach the
-        same shard and coalesce there."""
-        key = fingerprint(doc)
-        deadline = time.monotonic() + self.config.reroute_timeout
+        same shard and coalesce there.  Routing walks the key's
+        failover order past open breakers; idempotent ``/v1/check``
+        submissions are additionally hedged."""
+        key = _routing_key(doc)
+        wait_until = time.monotonic() + self.config.reroute_timeout
         while True:
-            shard = self.supervisor.route(key)
+            shard = self._pick_shard(key)
             if shard is not None:
                 break
-            if time.monotonic() >= deadline:
+            if deadline is not None and deadline.expired:
+                raise FrontDeadlineExpired(deadline)
+            if time.monotonic() >= wait_until:
                 raise ShardUnavailable(key)
             time.sleep(0.2)
         self.metrics.routed.inc(shard=shard.name)
+        if path == "/v1/check" and self.config.hedge:
+            return self._check_hedged(key, shard, doc, deadline)
         status, headers, payload = self.proxy(shard, "POST", path,
-                                              doc)
+                                              doc, deadline=deadline)
+        return shard, status, headers, payload
+
+    def _hedge_peer(self, key: str,
+                    primary: ShardProcess) -> ShardProcess | None:
+        """The shard a hedged check races against *primary*: the
+        next shard in the key's failover order whose breaker is
+        fully closed.  Half-open shards are skipped -- a hedge must
+        never consume the single probe slot of a recovering shard."""
+        for shard in self.supervisor.route_preference(key):
+            if shard.name == primary.name:
+                continue
+            breaker = self.breakers.get(shard.name)
+            if breaker is None or breaker.state == CLOSED:
+                return shard
+        return None
+
+    def _check_hedged(self, key: str, primary: ShardProcess,
+                      doc: Any, deadline: Deadline | None,
+                      ) -> tuple[ShardProcess, int,
+                                 dict[str, str], Any]:
+        """``POST /v1/check`` with a hedge: when the primary has not
+        answered within the p95-derived hedge delay, race the same
+        request against a second shard and return whichever answers
+        first.
+
+        This is safe precisely because checks are content-addressed
+        and idempotent: both shards compute (or coalesce onto) the
+        same report for the same fingerprint, so the two answers are
+        byte-identical and the loser's work warms the shared
+        artifact store instead of being wasted.  Non-idempotent
+        paths (``/v1/jobs`` creates client-visible job ids) are
+        never hedged."""
+        answers: queue.Queue = queue.Queue()
+
+        def fire(shard: ShardProcess, who: str) -> None:
+            try:
+                out = self.proxy(shard, "POST", "/v1/check", doc,
+                                 deadline=deadline)
+            except (ShardUnavailable, FrontDeadlineExpired):
+                out = None
+            answers.put((who, shard, out))
+
+        started = time.monotonic()
+        threading.Thread(target=fire, args=(primary, "primary"),
+                         daemon=True,
+                         name="ppchecker-check-primary").start()
+        first = None
+        try:
+            first = answers.get(timeout=self.latency.hedge_delay())
+        except queue.Empty:
+            pass
+
+        winner = first if first is not None and first[2] is not None \
+            else None
+        hedged = False
+        if winner is None:
+            # the primary is slow (or already failed): race a hedge
+            # if a healthy peer exists and the budget allows
+            peer = self._hedge_peer(key, primary)
+            if peer is not None:
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_acquire()):
+                    self.metrics.hedges.inc(outcome="suppressed")
+                else:
+                    hedged = True
+                    self.metrics.routed.inc(shard=peer.name)
+                    threading.Thread(
+                        target=fire, args=(peer, "hedge"),
+                        daemon=True,
+                        name="ppchecker-check-hedge").start()
+            received = 1 if first is not None else 0
+            expected = 2 if hedged else 1
+            while winner is None and received < expected:
+                item = answers.get()
+                received += 1
+                if item[2] is not None:
+                    winner = item
+        if winner is None:
+            if deadline is not None and deadline.expired:
+                raise FrontDeadlineExpired(deadline)
+            raise ShardUnavailable(key)
+        who, shard, (status, headers, payload) = winner
+        if hedged:
+            self.metrics.hedges.inc(
+                outcome="hedge_won" if who == "hedge"
+                else "primary_won")
+        self.latency.note(time.monotonic() - started)
         return shard, status, headers, payload
 
     # -- aggregated endpoints ----------------------------------------------
@@ -634,7 +950,12 @@ class ClusterFront:
         groups: dict[int, list[int]] = {}
         unrouted: list[int] = []
         for position, bundle_doc in enumerate(bundles):
-            shard = self.supervisor.route(fingerprint(bundle_doc))
+            # deadline-blind key + breaker-aware pick: a browned-out
+            # shard's documents fail over to the next ring owner.
+            # Per-document deadlines travel inline (the reserved
+            # ``deadline_s`` field); the shard pops them before
+            # parsing, so they never reach its fingerprints either.
+            shard = self._pick_shard(_routing_key(bundle_doc))
             if shard is None:
                 unrouted.append(position)
                 continue
@@ -681,15 +1002,17 @@ class ClusterFront:
                 "message": "no shard is alive",
             }}
         results = [slot for slot in slots if slot is not None]
-        counts = {"ok": 0, "quarantined": 0, "rejected": 0,
-                  "invalid": 0, "pending": 0}
+        counts: dict[str, int] = {}
         for result in results:
-            counts[result.get("status", "rejected")] += 1
+            status = result.get("status", "rejected")
+            counts[status] = counts.get(status, 0) + 1
         return 200, versioned({
             "results": results,
-            "checked": counts["ok"],
-            "quarantined": counts["quarantined"],
-            "rejected": counts["rejected"] + counts["invalid"],
+            "checked": counts.get("ok", 0),
+            "quarantined": counts.get("quarantined", 0),
+            "rejected": (counts.get("rejected", 0)
+                         + counts.get("invalid", 0)),
+            "shed": counts.get("shed", 0),
         })
 
 
@@ -790,6 +1113,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterFront",
     "ClusterHandle",
+    "FrontDeadlineExpired",
     "FrontMetrics",
     "ShardProcess",
     "ShardSupervisor",

@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING
 
+from repro.pipeline.resilience import Deadline
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.checker import AppBundle
 
@@ -30,8 +32,13 @@ QUARANTINED = "quarantined"
 #: parked by crash recovery after too many redeliveries (see
 #: :mod:`repro.durability.service_log`); never runs again
 DEADLETTERED = "deadlettered"
+#: the request's deadline expired before (or while) the job ran; the
+#: work was dropped, not failed -- resubmitting with a fresh budget
+#: will run it
+SHED = "shed"
 
-TERMINAL_STATES = frozenset({COMPLETED, QUARANTINED, DEADLETTERED})
+TERMINAL_STATES = frozenset({COMPLETED, QUARANTINED, DEADLETTERED,
+                             SHED})
 
 
 class QueueFull(RuntimeError):
@@ -50,7 +57,8 @@ class Job:
     """One coalescable unit of check work."""
 
     def __init__(self, job_id: str, key: str,
-                 bundle: "AppBundle") -> None:
+                 bundle: "AppBundle",
+                 deadline: Deadline | None = None) -> None:
         self.id = job_id
         self.key = key
         self.bundle = bundle
@@ -60,6 +68,9 @@ class Job:
         self.error: dict | None = None    # AppFailure.to_dict()
         self.waiters = 1                  # submissions riding this job
         self.deliveries = 0               # times a worker picked it up
+        #: request-level wall-clock budget; an expired job is shed at
+        #: dequeue instead of burning pipeline work
+        self.deadline = deadline
         self._done = threading.Event()
 
     @property
@@ -75,6 +86,24 @@ class Job:
         self.error = error
         self.state = QUARANTINED
         self._done.set()
+
+    def shed(self, error: dict) -> None:
+        """Terminal: the deadline ran out before the work finished."""
+        self.error = error
+        self.state = SHED
+        self._done.set()
+
+    def extend_deadline(self, deadline: Deadline | None) -> None:
+        """A coalesced submission rides this job; the job keeps the
+        *loosest* budget any waiter asked for (``None`` = unbounded),
+        so a short-deadline straggler never sheds work a patient
+        waiter still wants."""
+        if self.deadline is None:
+            return
+        if deadline is None:
+            self.deadline = None
+        elif deadline.expires_at > self.deadline.expires_at:
+            self.deadline = deadline
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches a terminal state."""
@@ -136,6 +165,7 @@ __all__ = [
     "COMPLETED",
     "QUARANTINED",
     "DEADLETTERED",
+    "SHED",
     "TERMINAL_STATES",
     "QueueFull",
     "ServiceDraining",

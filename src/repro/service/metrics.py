@@ -359,6 +359,12 @@ class ServiceMetrics:
             "ppchecker_journal_size_bytes",
             "Size of the write-ahead job journal file.",
         )
+        self.deadline_shed = r.counter(
+            "ppchecker_deadline_shed_total",
+            "Jobs shed because their request deadline expired "
+            "before the work finished (at submit, at dequeue, or "
+            "mid-check).",
+        )
         self.stage_requests = r.counter(
             "ppchecker_stage_requests_total",
             "Pipeline stage lookups, by stage and outcome "
@@ -402,6 +408,35 @@ class ServiceMetrics:
             "ladder), by cache.",
             "cache", _cache_field("warnings"),
         ))
+
+    # -- late-bound gauges -------------------------------------------------
+
+    def register_retry_budget(self, budget) -> None:
+        """Expose a :class:`repro.pipeline.resilience.RetryBudget`'s
+        live token count (only registered when a budget is
+        configured, so an unlimited service renders no misleading
+        gauge)."""
+        self.registry.gauge(
+            "ppchecker_retry_budget_remaining",
+            "Tokens left in the shared retry budget; retries are "
+            "denied when it reaches zero.",
+            callback=lambda: budget.remaining,
+        )
+
+    def register_thread_ledger(self, stats) -> None:
+        """Expose a :class:`repro.pipeline.artifacts.PipelineStats`'s
+        abandoned stage-thread counters."""
+        self.registry.gauge(
+            "ppchecker_abandoned_threads",
+            "Timed-out stage threads still running (cancellation "
+            "asks them to unwind; bounded in a healthy process).",
+            callback=lambda: stats.abandoned_threads,
+        )
+        self.registry.gauge(
+            "ppchecker_abandoned_threads_total",
+            "Stage threads ever abandoned by a timeout.",
+            callback=lambda: stats.abandoned_threads_total,
+        )
 
     # -- PipelineStats listener -------------------------------------------
 

@@ -18,14 +18,21 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.checker import PPChecker
 from repro.core.report import AppFailure
 from repro.pipeline.artifacts import build_store
 from repro.pipeline.faults import FaultPlan
-from repro.pipeline.resilience import RetryPolicy
+from repro.pipeline.resilience import (
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+    deadline_scope,
+    is_deadline_error,
+)
 from repro.service import jobs as jobstates
 from repro.service.coalescing import JobIndex
 from repro.service.jobs import Job, JobQueue
@@ -78,6 +85,59 @@ class ServiceConfig:
     #: deliveries a journaled job may burn before recovery
     #: dead-letters it as a poison pill
     max_redeliveries: int = 3
+    #: capacity of the process-wide retry token bucket shared by every
+    #: stage retry (``serve --retry-budget``); None = unlimited
+    #: retries, the historical behaviour
+    retry_budget: float | None = None
+    #: tokens the retry bucket regains per second
+    retry_budget_refill: float = 1.0
+    #: default per-job deadline (seconds) applied when a request
+    #: carries none (``serve --deadline``); None = unbounded
+    default_deadline: float | None = None
+
+
+def shed_error(package: str, deadline: Deadline | None,
+               where: str) -> dict[str, Any]:
+    """The structured 504-style payload for one shed job."""
+    doc: dict[str, Any] = {
+        "kind": "deadline_exceeded",
+        "package": package,
+        "error": "DeadlineExceeded",
+        "message": (f"request deadline expired {where}; the work "
+                    f"was shed, not failed -- resubmit with a "
+                    f"fresh budget to run it"),
+        "where": where,
+    }
+    if deadline is not None and deadline.budget is not None:
+        doc["deadline_s"] = deadline.budget
+    return doc
+
+
+class DrainRateEstimator:
+    """Recent job completion rate (jobs/second), from a sliding
+    window of completion timestamps -- the denominator of the
+    load-aware ``Retry-After`` (queue depth over drain rate)."""
+
+    def __init__(self, window: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self._stamps: deque[float] = deque(maxlen=max(2, window))
+        self._lock = threading.Lock()
+
+    def note(self) -> None:
+        """Record one finished job."""
+        with self._lock:
+            self._stamps.append(self.clock())
+
+    def rate(self) -> float:
+        """Jobs/second over the window; 0.0 until two completions."""
+        with self._lock:
+            if len(self._stamps) < 2:
+                return 0.0
+            span = self._stamps[-1] - self._stamps[0]
+            if span <= 0:
+                return 0.0
+            return (len(self._stamps) - 1) / span
 
 
 class PipelineRunner:
@@ -90,6 +150,12 @@ class PipelineRunner:
         kwargs = {}
         if config.lib_policy_source is not None:
             kwargs["lib_policy_source"] = config.lib_policy_source
+        #: one token bucket shared by every stage retry in the
+        #: process, so a brownout cannot amplify into a retry storm
+        self.retry_budget = (
+            RetryBudget(config.retry_budget,
+                        config.retry_budget_refill)
+            if config.retry_budget is not None else None)
         self.checker = PPChecker(
             artifact_store=build_store(
                 cache_dir=config.cache_dir,
@@ -99,23 +165,41 @@ class PipelineRunner:
             retry_policy=RetryPolicy(
                 max_retries=config.max_retries,
                 stage_timeout=config.stage_timeout,
+                budget=self.retry_budget,
             ),
             fault_plan=config.fault_plan,
             **kwargs,
         )
+        #: recent completion rate feeding the load-aware Retry-After
+        self.drain_rate = DrainRateEstimator()
         # stage timing / cache counters flow into /metrics without
         # changing stage behaviour
         self.stats.add_listener(metrics.observe_stage)
+        metrics.register_thread_ledger(self.stats)
+        if self.retry_budget is not None:
+            metrics.register_retry_budget(self.retry_budget)
 
     @property
     def stats(self):
         return self.checker.stats
 
     def run(self, job: Job) -> None:
-        """Check the job's bundle; leave it completed or quarantined."""
+        """Check the job's bundle under its deadline; leave it
+        completed, quarantined, or -- when the deadline ran out
+        mid-check -- shed."""
         try:
-            report = self.checker.check(job.bundle)
+            with deadline_scope(job.deadline):
+                report = self.checker.check(job.bundle)
         except Exception as exc:
+            if is_deadline_error(exc) or (
+                    job.deadline is not None and job.deadline.expired):
+                # the submitter stopped waiting: drop, don't fail --
+                # the same bundle with a fresh budget runs fine
+                self.metrics.jobs.inc(status=jobstates.SHED)
+                self.metrics.deadline_shed.inc()
+                job.shed(shed_error(job.package, job.deadline,
+                                    "while the check was running"))
+                return
             failure = AppFailure.from_exception(job.package, exc)
             self.metrics.jobs.inc(status=jobstates.QUARANTINED)
             self.metrics.quarantined.inc()
@@ -164,6 +248,23 @@ class WorkerPool:
             with self._active_lock:
                 self._active += 1
             try:
+                if job.deadline is not None and job.deadline.expired:
+                    # shed at dequeue: the submitter's budget is
+                    # already gone, so the job must never burn
+                    # pipeline work
+                    metrics = self.runner.metrics
+                    metrics.jobs.inc(status=jobstates.SHED)
+                    metrics.deadline_shed.inc()
+                    job.shed(shed_error(job.package, job.deadline,
+                                        "while the job was queued"))
+                    if self.log is not None:
+                        self.log.job_shed(job.id, job.error or {})
+                    # forget, don't complete: a shed job must never
+                    # be a coalesce target -- a resubmission with a
+                    # fresh budget deserves to actually run
+                    self.index.forget(job)
+                    self.runner.drain_rate.note()
+                    continue
                 job.state = jobstates.RUNNING
                 job.deliveries += 1
                 if self.log is not None:
@@ -173,12 +274,18 @@ class WorkerPool:
                     if job.state == jobstates.QUARANTINED:
                         self.log.job_quarantined(job.id,
                                                  job.error or {})
+                    elif job.state == jobstates.SHED:
+                        self.log.job_shed(job.id, job.error or {})
                     else:
                         self.log.job_completed(job.id)
-                # index first, then the job's own event is already
-                # set -- late submissions of the same key resolve to
-                # the finished job either way
-                self.index.complete(job)
+                if job.state == jobstates.SHED:
+                    self.index.forget(job)
+                else:
+                    # index first, then the job's own event is
+                    # already set -- late submissions of the same key
+                    # resolve to the finished job either way
+                    self.index.complete(job)
+                self.runner.drain_rate.note()
             finally:
                 with self._active_lock:
                     self._active -= 1
@@ -213,4 +320,10 @@ class WorkerPool:
             thread.join(max(0.0, end - time.monotonic()))
 
 
-__all__ = ["ServiceConfig", "PipelineRunner", "WorkerPool"]
+__all__ = [
+    "ServiceConfig",
+    "DrainRateEstimator",
+    "PipelineRunner",
+    "WorkerPool",
+    "shed_error",
+]

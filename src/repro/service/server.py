@@ -38,17 +38,59 @@ from repro.android.serialization import bundle_from_dict, bundle_to_dict
 from repro.core.schema import versioned
 from repro.durability.service_log import ServiceLog, deadletter_doc
 from repro.hashing import fingerprint
+from repro.pipeline.resilience import Deadline
 from repro.service import jobs as jobstates
 from repro.service.coalescing import JobIndex
 from repro.service.jobs import Job, JobQueue, QueueFull, ServiceDraining
 from repro.service.metrics import ServiceMetrics
-from repro.service.runner import PipelineRunner, ServiceConfig, WorkerPool
+from repro.service.runner import (
+    PipelineRunner,
+    ServiceConfig,
+    WorkerPool,
+    shed_error,
+)
 
 _JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
+
+#: request-level deadline intake: relative seconds, as an HTTP header
+#: or a reserved top-level key in the bundle document.  The field is
+#: stripped before parsing/fingerprinting, so the same bundle with
+#: different deadlines still shares one content hash (coalescing and
+#: cluster routing stay deadline-blind).
+DEADLINE_HEADER = "X-Ppchecker-Deadline"
+DEADLINE_FIELD = "deadline_s"
 
 
 class InvalidBundle(ValueError):
     """The request body is JSON but not a valid bundle document."""
+
+
+class InvalidDeadline(ValueError):
+    """The request's deadline header/field is not a positive number."""
+
+
+class DeadlineExpired(RuntimeError):
+    """The submission's deadline was already spent on arrival; the
+    job was shed before it could burn any pipeline work."""
+
+    def __init__(self, error: dict) -> None:
+        self.error = error
+        super().__init__(error.get("message", "deadline expired"))
+
+
+def parse_deadline_seconds(value: Any) -> float:
+    """A deadline is a finite, positive number of seconds."""
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidDeadline(
+            f"deadline must be a number of seconds: {value!r}"
+        ) from exc
+    if not seconds > 0 or seconds != seconds or seconds == float("inf"):
+        raise InvalidDeadline(
+            f"deadline must be a finite positive number of seconds: "
+            f"{value!r}")
+    return seconds
 
 
 class CheckService:
@@ -158,11 +200,33 @@ class CheckService:
     def draining(self) -> bool:
         return self._draining.is_set()
 
-    def submit(self, doc: Any) -> tuple[Job, bool]:
+    def deadline_for(self, seconds: float | None) -> Deadline | None:
+        """A fresh :class:`Deadline` from request-supplied *seconds*,
+        falling back to the configured default (``serve --deadline``);
+        ``None`` = unbounded."""
+        if seconds is None:
+            seconds = self.config.default_deadline
+        return Deadline.after(seconds) if seconds is not None else None
+
+    def retry_after_seconds(self) -> int:
+        """Load-aware backoff hint: the queue's expected drain time
+        (depth over recent completion rate), clamped to [1, 60]s.
+        Returned on 429s and deadline-shed 504s, so clients back off
+        proportionally to real load instead of thundering back."""
+        backlog = self.queue.depth + self.pool.active
+        rate = self.runner.drain_rate.rate()
+        if rate <= 0.0 or backlog <= 0:
+            return 1
+        return max(1, min(60, int(backlog / rate) + 1))
+
+    def submit(self, doc: Any,
+               deadline: Deadline | None = None) -> tuple[Job, bool]:
         """Resolve a bundle document to a (possibly shared) job.
 
         Raises :class:`ServiceDraining` during shutdown,
-        :class:`InvalidBundle` on a malformed document, and
+        :class:`InvalidBundle` on a malformed document,
+        :class:`DeadlineExpired` when *deadline* is already spent
+        (the job is shed before touching the queue), and
         :class:`~repro.service.jobs.QueueFull` when over capacity.
         """
         if self.draining:
@@ -176,6 +240,13 @@ class CheckService:
         except Exception as exc:
             raise InvalidBundle(f"invalid bundle document: {exc}") \
                 from exc
+        if deadline is not None and deadline.expired:
+            self.metrics.rejected.inc(reason="deadline_expired")
+            self.metrics.deadline_shed.inc()
+            raise DeadlineExpired(shed_error(
+                bundle.package, deadline,
+                "before the job was queued"))
+
         def enqueue(job: Job) -> None:
             self.queue.put(job)
             # journal only after the queue accepted the job: a 429'd
@@ -189,7 +260,8 @@ class CheckService:
         try:
             job, coalesced = self.index.submit(
                 key,
-                lambda job_id, k: Job(job_id, k, bundle),
+                lambda job_id, k: Job(job_id, k, bundle,
+                                      deadline=deadline),
                 enqueue,
             )
         except QueueFull:
@@ -197,6 +269,8 @@ class CheckService:
             raise
         if coalesced:
             self.metrics.coalesced.inc()
+            # the job keeps the loosest budget any waiter asked for
+            job.extend_deadline(deadline)
         return job, coalesced
 
     def job(self, job_id: str) -> Job | None:
@@ -328,18 +402,53 @@ class _Handler(BaseHTTPRequestHandler):
         remaining work can take up to the configured drain budget."""
         return str(max(1, int(self.service.config.drain_timeout)))
 
+    def _load_retry_after(self) -> str:
+        return str(self.service.retry_after_seconds())
+
+    def _request_deadline(self, doc: Any) -> float | None:
+        """The request's relative deadline in seconds, from the
+        reserved ``deadline_s`` document field (popped -- it must
+        never reach the fingerprint) or the ``X-Ppchecker-Deadline``
+        header; the field wins when both are present.  Raises
+        :class:`InvalidDeadline` on garbage."""
+        value: Any = None
+        if isinstance(doc, dict) and DEADLINE_FIELD in doc:
+            value = doc.pop(DEADLINE_FIELD)
+        elif self.headers.get(DEADLINE_HEADER) is not None:
+            value = self.headers.get(DEADLINE_HEADER)
+        if value is None:
+            return None
+        return parse_deadline_seconds(value)
+
+    def _send_shed(self, error: dict, job_id: str | None = None,
+                   ) -> None:
+        """The 504-style structured payload for shed work, with the
+        same load-aware Retry-After as a 429."""
+        payload: dict = {"error": error}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        self._send_json(504, versioned(payload),
+                        headers={"Retry-After":
+                                 self._load_retry_after()})
+
     def _submit(self, doc: Any) -> tuple[Job, bool] | None:
         """Submit, translating intake failures to responses."""
         try:
-            return self.service.submit(doc)
+            deadline = self.service.deadline_for(
+                self._request_deadline(doc))
+            return self.service.submit(doc, deadline=deadline)
         except ServiceDraining:
             self._send_error_json(
                 503, "draining", "service is shutting down",
                 headers={"Retry-After": self._drain_retry_after()})
         except QueueFull:
-            self._send_error_json(429, "queue_full",
-                                  "job queue is at capacity",
-                                  headers={"Retry-After": "1"})
+            self._send_error_json(
+                429, "queue_full", "job queue is at capacity",
+                headers={"Retry-After": self._load_retry_after()})
+        except DeadlineExpired as exc:
+            self._send_shed(exc.error)
+        except InvalidDeadline as exc:
+            self._send_error_json(400, "bad_request", str(exc))
         except InvalidBundle as exc:
             self._send_error_json(400, "bad_request", str(exc))
         return None
@@ -426,6 +535,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "job_id": job.id,
             }))
             return
+        if job.state == jobstates.SHED:
+            self._send_shed(dict(job.error or {}), job_id=job.id)
+            return
         # exactly the `check --json` schema: the report document,
         # stamped with schema_version (copy: the stored job result
         # is shared with coalesced waiters and /v1/jobs readers)
@@ -460,7 +572,10 @@ class _Handler(BaseHTTPRequestHandler):
         slots: list[dict | Job] = []
         for bundle_doc in bundles:
             try:
-                job, _ = self.service.submit(bundle_doc)
+                deadline = self.service.deadline_for(
+                    self._request_deadline(bundle_doc))
+                job, _ = self.service.submit(bundle_doc,
+                                             deadline=deadline)
                 slots.append(job)
             except ServiceDraining:
                 self._send_error_json(
@@ -473,7 +588,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "kind": "queue_full",
                     "message": "job queue is at capacity",
                 }})
-            except InvalidBundle as exc:
+            except DeadlineExpired as exc:
+                slots.append({"status": "shed", "error": exc.error})
+            except (InvalidBundle, InvalidDeadline) as exc:
                 slots.append({"status": "invalid", "error": {
                     "kind": "bad_request", "message": str(exc),
                 }})
@@ -490,11 +607,15 @@ class _Handler(BaseHTTPRequestHandler):
                 results.append({"status": "quarantined",
                                 "job_id": slot.id,
                                 "error": slot.error})
+            elif slot.state == jobstates.SHED:
+                results.append({"status": "shed",
+                                "job_id": slot.id,
+                                "error": slot.error})
             else:
                 results.append({"status": "pending",
                                 "job_id": slot.id})
         counts = {"ok": 0, "quarantined": 0, "rejected": 0,
-                  "invalid": 0, "pending": 0}
+                  "invalid": 0, "pending": 0, "shed": 0}
         for result in results:
             counts[result["status"]] += 1
         self._send_json(200, versioned({
@@ -502,6 +623,7 @@ class _Handler(BaseHTTPRequestHandler):
             "checked": counts["ok"],
             "quarantined": counts["quarantined"],
             "rejected": counts["rejected"] + counts["invalid"],
+            "shed": counts["shed"],
         }))
 
 
@@ -621,8 +743,13 @@ def serve(config: ServiceConfig) -> int:
 
 __all__ = [
     "CheckService",
+    "DEADLINE_FIELD",
+    "DEADLINE_HEADER",
+    "DeadlineExpired",
     "InvalidBundle",
+    "InvalidDeadline",
     "ServiceHandle",
+    "parse_deadline_seconds",
     "read_port_file",
     "start_service",
     "serve",

@@ -22,7 +22,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 BENCH_FILES = ("BENCH_nlp.json", "BENCH_pipeline.json",
                "BENCH_service.json", "BENCH_scale.json",
-               "BENCH_cluster.json")
+               "BENCH_cluster.json", "BENCH_resilience.json")
 
 
 def bench_paths():

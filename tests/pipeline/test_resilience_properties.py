@@ -1,0 +1,230 @@
+"""Property suite for the resilience primitives.
+
+Hypothesis pins the contracts ISSUE 10 leans on everywhere else:
+
+- :meth:`RetryPolicy.backoff_for` is a pure, deterministic function
+  of ``(policy, stage, digest, attempt)``, monotone non-decreasing in
+  the attempt number (jitter aside), and never schedules a sleep past
+  the request's remaining deadline (nor a negative one);
+- :class:`RetryBudget` is an exact token bucket: deterministic under
+  an injected clock, never above capacity, refilling continuously;
+- a timed-out stage thread is *accounted*: abandoned then reclaimed,
+  never silently leaked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.artifacts import PipelineStats
+from repro.pipeline.resilience import (
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+    StageTimeout,
+    call_with_timeout,
+    sleep_cancellable,
+)
+
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(0, 5),
+    backoff_base=st.floats(0.0, 2.0, allow_nan=False),
+    backoff_multiplier=st.floats(1.0, 4.0, allow_nan=False),
+    jitter=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+
+stages = st.sampled_from(
+    ["policy_analysis", "static_analysis", "detect"])
+digests = st.text(st.characters(min_codepoint=33, max_codepoint=126),
+                  min_size=0, max_size=16)
+attempts = st.integers(1, 8)
+
+
+# -- backoff_for -----------------------------------------------------------
+
+
+@given(policies, stages, digests, attempts)
+def test_backoff_is_deterministic(policy, stage, digest, attempt):
+    first = policy.backoff_for(stage, digest, attempt)
+    assert policy.backoff_for(stage, digest, attempt) == first
+    # and a fresh but equal policy agrees: nothing hides in state
+    clone = RetryPolicy(
+        max_retries=policy.max_retries,
+        backoff_base=policy.backoff_base,
+        backoff_multiplier=policy.backoff_multiplier,
+        jitter=policy.jitter, seed=policy.seed)
+    assert clone.backoff_for(stage, digest, attempt) == first
+
+
+@given(policies, stages, digests, attempts)
+def test_backoff_is_never_negative(policy, stage, digest, attempt):
+    assert policy.backoff_for(stage, digest, attempt) >= 0.0
+    assert policy.backoff_for(stage, digest, attempt, 0.0) == 0.0
+
+
+@given(policies, stages, digests, attempts,
+       st.floats(-10.0, 10.0, allow_nan=False))
+def test_backoff_never_exceeds_remaining_deadline(
+        policy, stage, digest, attempt, remaining):
+    delay = policy.backoff_for(stage, digest, attempt, remaining)
+    assert delay >= 0.0
+    assert delay <= max(0.0, remaining)
+    assert delay <= policy.backoff_for(stage, digest, attempt)
+
+
+@given(policies, stages, digests, attempts)
+def test_backoff_base_is_monotone_in_attempt(
+        policy, stage, digest, attempt):
+    flat = RetryPolicy(
+        backoff_base=policy.backoff_base,
+        backoff_multiplier=policy.backoff_multiplier,
+        jitter=0.0, seed=policy.seed)
+    assert flat.backoff_for(stage, digest, attempt) <= \
+        flat.backoff_for(stage, digest, attempt + 1)
+
+
+@given(policies, stages, digests, attempts)
+def test_backoff_jitter_is_bounded(policy, stage, digest, attempt):
+    base = (policy.backoff_base
+            * policy.backoff_multiplier ** (attempt - 1))
+    delay = policy.backoff_for(stage, digest, attempt)
+    assert delay <= base * (1.0 + policy.jitter) + 1e-9
+
+
+# -- retry budget ----------------------------------------------------------
+
+
+@given(st.floats(0.5, 20.0, allow_nan=False),
+       st.floats(0.0, 5.0, allow_nan=False),
+       st.lists(st.one_of(
+           st.floats(0.0, 3.0, allow_nan=False),  # advance clock
+           st.none(),                             # try_acquire
+       ), max_size=40))
+@settings(max_examples=60)
+def test_budget_is_a_deterministic_token_bucket(
+        capacity, refill, script):
+    def run() -> tuple[list[bool], float]:
+        clock = [0.0]
+        budget = RetryBudget(capacity, refill,
+                             clock=lambda: clock[0])
+        grants: list[bool] = []
+        for step in script:
+            if step is None:
+                grants.append(budget.try_acquire())
+            else:
+                clock[0] += step
+            assert 0.0 <= budget.remaining <= capacity
+        return grants, budget.remaining
+
+    assert run() == run()
+
+
+def test_budget_refills_continuously_up_to_capacity():
+    clock = [0.0]
+    budget = RetryBudget(2.0, 1.0, clock=lambda: clock[0])
+    assert budget.try_acquire() and budget.try_acquire()
+    assert not budget.try_acquire()
+    assert budget.denied == 1
+    clock[0] += 0.5
+    assert not budget.try_acquire()   # only half a token back
+    clock[0] += 0.6
+    assert budget.try_acquire()
+    clock[0] += 100.0
+    assert budget.remaining == 2.0    # capped at capacity
+
+
+def test_budget_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        RetryBudget(0.0)
+    with pytest.raises(ValueError):
+        RetryBudget(1.0, -1.0)
+
+
+def test_dry_budget_makes_a_failure_terminal_immediately():
+    calls = {"n": 0}
+
+    def boom() -> None:
+        calls["n"] += 1
+        raise RuntimeError("still failing")
+
+    clock = [0.0]
+    budget = RetryBudget(1.0, 0.0, clock=lambda: clock[0])
+    policy = RetryPolicy(max_retries=5, backoff_base=0.0,
+                         budget=budget)
+    with pytest.raises(Exception):
+        policy.execute(boom, stage="s", context="c")
+    # first attempt + the single budgeted retry, then terminal
+    assert calls["n"] == 2
+    assert budget.denied == 1
+
+
+# -- deadline --------------------------------------------------------------
+
+
+@given(st.floats(0.001, 100.0, allow_nan=False),
+       st.floats(0.0, 200.0, allow_nan=False))
+def test_deadline_remaining_matches_the_clock(budget_s, elapsed):
+    clock = [0.0]
+    deadline = Deadline.after(budget_s, clock=lambda: clock[0])
+    assert deadline.budget == budget_s
+    clock[0] = elapsed
+    assert deadline.remaining() == pytest.approx(budget_s - elapsed)
+    assert deadline.expired == (budget_s - elapsed <= 0)
+
+
+# -- abandoned-thread accounting -------------------------------------------
+
+
+def test_timed_out_stage_thread_is_abandoned_then_reclaimed():
+    """The orphaned-thread fix: a stage that outlives its timeout is
+    counted as abandoned, asked to cancel, and reclaimed as soon as
+    it reaches a cancellation poll -- the leak is bounded and
+    observable, not silent."""
+    stats = PipelineStats()
+    release = threading.Event()
+
+    def stuck() -> None:
+        # polls the ambient cancel event every 20ms, so the abandoned
+        # thread unwinds promptly instead of sleeping out the hour
+        sleep_cancellable(3600.0)
+        release.set()  # pragma: no cover - cancellation wins
+
+    with pytest.raises(StageTimeout):
+        call_with_timeout(stuck, 0.05, stage="s", context="c",
+                          ledger=stats)
+    assert stats.abandoned_threads_total == 1
+    deadline = time.monotonic() + 5.0
+    while stats.abandoned_threads and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert stats.abandoned_threads == 0
+    assert not release.is_set()
+
+
+def test_bounded_leak_under_repeated_timeouts():
+    stats = PipelineStats()
+    for _ in range(10):
+        with pytest.raises(StageTimeout):
+            call_with_timeout(lambda: sleep_cancellable(3600.0),
+                              0.02, stage="s", context="c",
+                              ledger=stats)
+    deadline = time.monotonic() + 5.0
+    while stats.abandoned_threads and time.monotonic() < deadline:
+        time.sleep(0.01)
+    # every abandonment was eventually reclaimed; nothing leaked
+    assert stats.abandoned_threads == 0
+    assert stats.abandoned_threads_total == 10
+
+
+def test_zero_timeout_fails_fast_without_spawning():
+    stats = PipelineStats()
+    with pytest.raises(StageTimeout):
+        call_with_timeout(lambda: 1, 0.0, stage="s", context="c",
+                          ledger=stats)
+    assert stats.abandoned_threads_total == 0

@@ -1,0 +1,243 @@
+"""Unit tests for the brownout primitives behind the cluster front:
+the per-shard circuit breaker, the hedge-delay latency tracker, the
+hash ring's failover preference order, and the drain-rate estimator
+feeding the load-aware Retry-After."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    LatencyTracker,
+)
+from repro.service.hashring import ring_for
+from repro.service.runner import DrainRateEstimator
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- circuit breaker -------------------------------------------------------
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    transitions: list[str] = []
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("open_seconds", 5.0)
+    breaker = CircuitBreaker(clock=clock,
+                             on_transition=transitions.append,
+                             **kwargs)
+    return breaker, clock, transitions
+
+
+def test_breaker_starts_closed_and_allows():
+    breaker, _, _ = make_breaker()
+    assert breaker.state == CLOSED
+    assert breaker.state_code == 0
+    # closed allow() has no side effects: ask as often as you like
+    for _ in range(10):
+        assert breaker.allow()
+    assert breaker.state == CLOSED
+
+
+def test_breaker_opens_after_consecutive_failures():
+    breaker, _, transitions = make_breaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.state_code == 2
+    assert not breaker.allow()
+    assert transitions == [OPEN]
+
+
+def test_success_resets_the_failure_streak():
+    breaker, _, _ = make_breaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success(0.01)
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # streak broken, count restarted
+
+
+def test_open_half_opens_after_cooloff_with_single_probe():
+    breaker, clock, transitions = make_breaker(
+        failure_threshold=1, open_seconds=5.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(4.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    assert breaker.allow()          # admitted as the probe
+    assert breaker.state == HALF_OPEN
+    assert breaker.state_code == 1
+    assert not breaker.allow()      # only one probe in flight
+    breaker.record_success(0.01)
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert transitions == [OPEN, HALF_OPEN, CLOSED]
+
+
+def test_failed_probe_reopens_with_fresh_cooloff():
+    breaker, clock, transitions = make_breaker(
+        failure_threshold=1, open_seconds=5.0)
+    breaker.record_failure()
+    clock.advance(5.1)
+    assert breaker.allow()
+    breaker.record_failure()        # the probe failed
+    assert breaker.state == OPEN
+    clock.advance(4.9)
+    assert not breaker.allow()      # the cool-off restarted
+    clock.advance(0.2)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert transitions == [OPEN, HALF_OPEN, OPEN, HALF_OPEN, CLOSED]
+
+
+def test_slow_success_counts_as_brownout_failure():
+    breaker, _, _ = make_breaker(failure_threshold=2,
+                                 latency_threshold=0.5)
+    breaker.record_success(1.2)
+    breaker.record_success(1.2)
+    assert breaker.state == OPEN
+    # without a latency threshold the same latencies are fine
+    other, _, _ = make_breaker(failure_threshold=2)
+    other.record_success(1.2)
+    other.record_success(1.2)
+    assert other.state == CLOSED
+
+
+def test_fast_success_still_closes_under_latency_threshold():
+    breaker, clock, _ = make_breaker(
+        failure_threshold=1, latency_threshold=0.5,
+        open_seconds=1.0)
+    breaker.record_success(2.0)     # slow: trips
+    assert breaker.state == OPEN
+    clock.advance(1.1)
+    assert breaker.allow()
+    breaker.record_success(0.01)    # fast probe: recovers
+    assert breaker.state == CLOSED
+
+
+def test_breaker_validates_configuration():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(open_seconds=0)
+
+
+# -- latency tracker -------------------------------------------------------
+
+
+def test_tracker_uses_default_until_enough_samples():
+    tracker = LatencyTracker(min_samples=4, default_delay=1.5)
+    for _ in range(3):
+        tracker.note(0.1)
+    assert tracker.p95() is None
+    assert tracker.hedge_delay() == 1.5
+    tracker.note(0.1)
+    assert tracker.p95() is not None
+
+
+def test_tracker_p95_tracks_the_tail():
+    tracker = LatencyTracker(window=100, min_samples=8)
+    for _ in range(95):
+        tracker.note(0.1)
+    for _ in range(5):
+        tracker.note(2.0)
+    assert tracker.p95() in (0.1, 2.0)
+    assert tracker.hedge_delay() >= 0.1
+
+
+def test_tracker_floors_the_hedge_delay():
+    tracker = LatencyTracker(min_samples=2, min_delay=0.05)
+    tracker.note(0.001)
+    tracker.note(0.001)
+    assert tracker.hedge_delay() == 0.05
+
+
+def test_tracker_window_is_bounded():
+    tracker = LatencyTracker(window=8, min_samples=2)
+    for _ in range(8):
+        tracker.note(10.0)
+    for _ in range(8):
+        tracker.note(0.2)  # overwrites the slow era entirely
+    assert tracker.p95() == 0.2
+
+
+# -- hash ring preference --------------------------------------------------
+
+
+def test_preference_starts_at_the_owner_and_covers_the_ring():
+    ring = ring_for(5)
+    for key in ("com.example.a", "com.example.b", "org.other.c"):
+        preference = ring.preference(key)
+        assert preference[0] == ring.place(key)
+        assert sorted(preference) == ring.shards
+        # deterministic across calls (and, by construction, across
+        # processes -- the ring hashes with SHA-256)
+        assert ring.preference(key) == preference
+
+
+def test_preference_survives_membership_change():
+    ring = ring_for(4)
+    key = "com.example.app"
+    before = ring.preference(key)
+    ring.remove(before[0])
+    after = ring.preference(key)
+    # the old first fallback is the new owner
+    assert after[0] == before[1]
+    assert before[0] not in after
+    assert sorted(after) == ring.shards
+
+
+def test_preference_empty_ring_raises():
+    ring = ring_for(1)
+    ring.remove("shard-0")
+    with pytest.raises(LookupError):
+        ring.preference("anything")
+
+
+# -- drain-rate estimator --------------------------------------------------
+
+
+def test_drain_rate_needs_two_completions():
+    clock = FakeClock()
+    drain = DrainRateEstimator(clock=clock)
+    assert drain.rate() == 0.0
+    drain.note()
+    assert drain.rate() == 0.0
+
+
+def test_drain_rate_measures_completions_per_second():
+    clock = FakeClock()
+    drain = DrainRateEstimator(clock=clock)
+    for _ in range(5):
+        drain.note()
+        clock.advance(0.5)  # 2 jobs/second
+    assert drain.rate() == pytest.approx(2.0)
+
+
+def test_drain_rate_window_forgets_ancient_history():
+    clock = FakeClock()
+    drain = DrainRateEstimator(window=4, clock=clock)
+    drain.note()
+    clock.advance(100.0)  # a long stall, then a fast burst
+    for _ in range(4):
+        drain.note()
+        clock.advance(0.1)
+    assert drain.rate() == pytest.approx(10.0)
